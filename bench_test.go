@@ -1,0 +1,184 @@
+// Benchmarks regenerating the paper's tables and figures (see DESIGN.md's
+// experiment index). Each benchmark runs the corresponding experiment at a
+// small scale and reports the headline quantities as custom metrics; for
+// the paper-shaped output run cmd/fbpbench instead, e.g.
+//
+//	go run ./cmd/fbpbench -table all -scale 0.002
+package fbplace
+
+import (
+	"runtime"
+	"testing"
+
+	"fbplace/internal/exp"
+)
+
+// benchScale keeps `go test -bench=.` wall-clock reasonable (every
+// generated instance floors at 2000 cells).
+const benchScale = 0.0002
+
+// BenchmarkTable1FBPSizes builds and solves the FBP MinCostFlow over the
+// grid refinement sequence of Table I on the largest movebounded chip.
+func BenchmarkTable1FBPSizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, rows, err := exp.Table1(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			last := rows[len(rows)-1]
+			b.ReportMetric(float64(last.Nodes), "nodes")
+			b.ReportMetric(float64(last.Arcs), "arcs")
+			b.ReportMetric(last.Ratio, "arcs/node")
+		}
+	}
+}
+
+// BenchmarkTable2NoMovebounds compares the RQL-style baseline and FBP on
+// the first Table II chips.
+func BenchmarkTable2NoMovebounds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table2(benchScale, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var base, fbp float64
+			for _, r := range rows {
+				base += r.BaseHPWL
+				fbp += r.FBPHPWL
+			}
+			b.ReportMetric(100*fbp/base, "HPWL%ofRQL")
+		}
+	}
+}
+
+// BenchmarkTable4Inclusive runs the inclusive-movebound comparison.
+func BenchmarkTable4Inclusive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table4(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportCompare(b, rows)
+		}
+	}
+}
+
+// BenchmarkTable5Exclusive runs the exclusive-movebound comparison.
+func BenchmarkTable5Exclusive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table5(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportCompare(b, rows)
+		}
+	}
+}
+
+func reportCompare(b *testing.B, rows []exp.CompareRow) {
+	var base, fbp float64
+	viol := 0
+	fbpViol := 0
+	for _, r := range rows {
+		if !r.BaseFailed {
+			base += r.BaseHPWL
+			fbp += r.FBPHPWL
+			viol += r.BaseViol
+		}
+		fbpViol += r.FBPViol
+	}
+	b.ReportMetric(100*fbp/base, "HPWL%ofRQL")
+	b.ReportMetric(float64(viol), "RQLviol")
+	b.ReportMetric(float64(fbpViol), "FBPviol")
+}
+
+// BenchmarkTable6Breakdown measures the global/legalization split of the
+// FBP runs (Table VI reuses the Table IV rows).
+func BenchmarkTable6Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table4(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var g, l float64
+			for _, r := range rows {
+				g += r.FBPGlobal.Seconds()
+				l += r.FBPLegal.Seconds()
+			}
+			b.ReportMetric(100*g/(g+l), "global%")
+		}
+	}
+}
+
+// BenchmarkTable7ISPD runs the ISPD-2006-style comparison.
+func BenchmarkTable7ISPD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table7(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var kw, fbp float64
+			for _, r := range rows {
+				kw += r.KW.HD()
+				fbp += r.FBP.HD()
+			}
+			b.ReportMetric(100*fbp/kw, "H+D%ofKW")
+		}
+	}
+}
+
+// BenchmarkParallelRealization measures the §IV.B parallel speedup.
+func BenchmarkParallelRealization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Speedup(benchScale*5, runtime.GOMAXPROCS(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rows[len(rows)-1].Speedup, "speedup")
+		}
+	}
+}
+
+// BenchmarkFeasibilityCheck measures the Theorem-2 feasibility check.
+func BenchmarkFeasibilityCheck(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, feasible, err := exp.FeasibilityBench(benchScale * 10); err != nil || !feasible {
+			b.Fatalf("feasible=%v err=%v", feasible, err)
+		}
+	}
+}
+
+// BenchmarkAblationRecursive compares FBP against the recursive
+// partitioning baseline (§IV motivation).
+func BenchmarkAblationRecursive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.AblationRecursive(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && len(rows) == 2 {
+			b.ReportMetric(100*rows[0].HPWL/rows[1].HPWL, "HPWL%ofRecursive")
+			b.ReportMetric(float64(rows[1].Relaxations), "recRelaxations")
+		}
+	}
+}
+
+// BenchmarkAblationLocalQP measures the value of the realization-local QP.
+func BenchmarkAblationLocalQP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.AblationLocalQP(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && len(rows) == 2 {
+			b.ReportMetric(100*rows[0].HPWL/rows[1].HPWL, "HPWL%vsNoLocalQP")
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// fbpbench regenerates the paper's experiment tables on synthetic
+// instances.
+//
+//	fbpbench -table all            # everything (slow)
+//	fbpbench -table 2 -scale 0.002 # Table II at 0.2% of published sizes
+//	fbpbench -table speedup        # §IV.B parallel realization speedups
+//
+// Tables: 1 (FBP sizes/runtimes), 2 (no movebounds), 3 (instance
+// characteristics), 4 (inclusive movebounds), 5 (exclusive movebounds),
+// 6 (runtime split), 7 (ISPD-2006-style), speedup, ablation, feasibility.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"fbplace/internal/exp"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to run: 1..7, speedup, ablation, feasibility, all")
+	scale := flag.Float64("scale", exp.DefaultScale, "fraction of the published cell counts to generate")
+	chips := flag.Int("chips", 0, "limit the number of chips for table 2 (0 = all 21)")
+	flag.Parse()
+
+	run := func(name string) bool {
+		return *table == "all" || *table == name
+	}
+	out := os.Stdout
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "fbpbench: table %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	ran := false
+
+	if run("1") {
+		ran = true
+		spec, rows, err := exp.Table1(*scale)
+		if err != nil {
+			fail("1", err)
+		}
+		exp.PrintTable1(out, spec, rows)
+		fmt.Fprintln(out)
+	}
+	if run("2") {
+		ran = true
+		rows, err := exp.Table2(*scale, *chips)
+		if err != nil {
+			fail("2", err)
+		}
+		exp.PrintCompare(out, "TABLE II: Results without movebounds (RQL-style baseline vs BonnPlace FBP)", rows, false)
+		fmt.Fprintln(out)
+	}
+	if run("3") {
+		ran = true
+		rows, _, err := exp.Table3(*scale)
+		if err != nil {
+			fail("3", err)
+		}
+		exp.PrintTable3(out, rows)
+		fmt.Fprintln(out)
+	}
+	var t4 []exp.CompareRow
+	if run("4") || run("6") {
+		ran = true
+		var err error
+		t4, err = exp.Table4(*scale)
+		if err != nil {
+			fail("4", err)
+		}
+	}
+	if run("4") {
+		exp.PrintCompare(out, "TABLE IV: Results with inclusive movebounds", t4, true)
+		fmt.Fprintln(out)
+		if *table == "4" {
+			// Table VI is the runtime split of the same runs.
+			exp.PrintTable6(out, t4)
+			fmt.Fprintln(out)
+		}
+	}
+	if run("5") {
+		ran = true
+		rows, err := exp.Table5(*scale)
+		if err != nil {
+			fail("5", err)
+		}
+		exp.PrintCompare(out, "TABLE V: Results with exclusive movebounds", rows, true)
+		fmt.Fprintln(out)
+	}
+	if run("6") {
+		exp.PrintTable6(out, t4)
+		fmt.Fprintln(out)
+	}
+	if run("7") {
+		ran = true
+		rows, err := exp.Table7(*scale)
+		if err != nil {
+			fail("7", err)
+		}
+		exp.PrintTable7(out, rows)
+		fmt.Fprintln(out)
+	}
+	if run("speedup") {
+		ran = true
+		rows, err := exp.Speedup(*scale, runtime.GOMAXPROCS(0))
+		if err != nil {
+			fail("speedup", err)
+		}
+		exp.PrintSpeedup(out, rows)
+		fmt.Fprintln(out)
+	}
+	if run("ablation") {
+		ran = true
+		rows, err := exp.AblationRecursive(*scale)
+		if err != nil {
+			fail("ablation", err)
+		}
+		exp.PrintAblation(out, "Ablation A1: FBP vs recursive partitioning (movebounded chip)", rows, true)
+		rows, err = exp.AblationLocalQP(*scale)
+		if err != nil {
+			fail("ablation", err)
+		}
+		exp.PrintAblation(out, "Ablation A2: realization with/without local QP", rows, false)
+		fmt.Fprintln(out)
+	}
+	if run("feasibility") {
+		ran = true
+		d, feasible, err := exp.FeasibilityBench(*scale)
+		if err != nil {
+			fail("feasibility", err)
+		}
+		fmt.Fprintf(out, "Theorem-2 feasibility check on the largest movebounded chip: %v (feasible=%v)\n\n", d, feasible)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "fbpbench: unknown table %q (want 1..7, speedup, ablation, feasibility, all)\n", *table)
+		os.Exit(2)
+	}
+}

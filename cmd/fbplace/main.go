@@ -1,0 +1,152 @@
+// fbplace is the placer CLI: it places an FBPLACE v1 instance file (see
+// cmd/genchip) or a freshly generated chip, and reports quality metrics.
+//
+//	fbplace -i chip.fbp -o placed.fbp
+//	fbplace -cells 20000 -mode rql
+//	fbplace -i chip.fbp -dump-flow 8      # print the §IV.A flow plan
+//	fbplace -i adaptec5.aux               # ISPD Bookshelf benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fbplace"
+	"fbplace/internal/bookshelf"
+	"fbplace/internal/chipio"
+	"fbplace/internal/plot"
+)
+
+func main() {
+	in := flag.String("i", "", "input instance file (FBPLACE v1); empty = generate")
+	out := flag.String("o", "", "write the placed instance to this file")
+	cells := flag.Int("cells", 10000, "cells to generate when no input file is given")
+	seed := flag.Int64("seed", 1, "generator seed")
+	mode := flag.String("mode", "fbp", "placer: fbp, recursive, or rql")
+	cluster := flag.Float64("cluster", 0, "BestChoice cluster ratio (0 = off)")
+	density := flag.Float64("density", 0.97, "target placement density")
+	workers := flag.Int("workers", 0, "parallel realization workers (0 = GOMAXPROCS)")
+	dumpFlow := flag.Int("dump-flow", 0, "print the MinCostFlow plan on a k x k grid and exit")
+	skipLegal := flag.Bool("skip-legalization", false, "stop after global placement")
+	svg := flag.String("svg", "", "write an SVG rendering of the final placement")
+	detail := flag.Int("detail", 0, "detailed-placement passes after legalization (0 = off)")
+	flag.Parse()
+
+	n, mbs, err := load(*in, *cells, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("instance: %d cells, %d nets, %d movebounds\n", n.NumCells(), n.NumNets(), len(mbs))
+
+	if *dumpFlow > 0 {
+		stats, flows, err := fbplace.FlowModel(n, mbs, *dumpFlow, *density)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("flow model on %dx%d grid: |V|=%d |E|=%d (%.1f E/V), solve %v\n",
+			*dumpFlow, *dumpFlow, stats.NumNodes, stats.NumArcs,
+			float64(stats.NumArcs)/float64(stats.NumNodes), stats.SolveTime)
+		fmt.Printf("flow-carrying external edges: %d\n", len(flows))
+		for _, f := range flows {
+			fmt.Printf("  %-12s (%d,%d)%s -> (%d,%d)%s  area %.2f\n",
+				f.Class, f.FromWindow[0], f.FromWindow[1], f.FromDir,
+				f.ToWindow[0], f.ToWindow[1], f.ToDir, f.Amount)
+		}
+		return
+	}
+
+	start := time.Now()
+	switch *mode {
+	case "fbp", "recursive":
+		m := fbplace.ModeFBP
+		if *mode == "recursive" {
+			m = fbplace.ModeRecursive
+		}
+		rep, err := fbplace.Place(n, fbplace.Config{
+			Mode: m, Movebounds: mbs, TargetDensity: *density,
+			ClusterRatio: *cluster, Workers: *workers,
+			SkipLegalization: *skipLegal, DetailPasses: *detail,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("placed in %v (global %v, legalization %v, %d levels)\n",
+			time.Since(start).Round(time.Millisecond),
+			rep.GlobalTime.Round(time.Millisecond),
+			rep.LegalTime.Round(time.Millisecond), rep.Levels)
+		fmt.Printf("HPWL %.0f, violations %d, overlaps %d\n", rep.HPWL, rep.Violations, rep.Overlaps)
+	case "rql":
+		if _, err := fbplace.PlaceBaseline(n, fbplace.BaselineConfig{
+			Movebounds: mbs, TargetDensity: *density,
+		}); err != nil {
+			fatal(err)
+		}
+		if !*skipLegal {
+			if _, err := fbplace.Legalize(n); err != nil {
+				fatal(err)
+			}
+		}
+		viol := 0
+		if len(mbs) > 0 {
+			if viol, err = fbplace.CountViolations(n, mbs); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("placed in %v\n", time.Since(start).Round(time.Millisecond))
+		fmt.Printf("HPWL %.0f, violations %d, overlaps %d\n", n.HPWL(), viol, fbplace.CountOverlaps(n))
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := chipio.Write(f, n, mbs); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if *svg != "" {
+		f, err := os.Create(*svg)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := plot.SVG(f, n, mbs, plot.Options{Title: *mode}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *svg)
+	}
+}
+
+func load(path string, cells int, seed int64) (*fbplace.Netlist, []fbplace.Movebound, error) {
+	if path == "" {
+		inst, err := fbplace.Generate(fbplace.ChipSpec{Name: "cli", NumCells: cells, Seed: seed})
+		if err != nil {
+			return nil, nil, err
+		}
+		return inst.N, inst.Movebounds, nil
+	}
+	if strings.HasSuffix(path, ".aux") {
+		// ISPD Bookshelf benchmark (no movebounds in that format).
+		n, err := bookshelf.ReadAux(path)
+		return n, nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return chipio.Read(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fbplace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+// genchip synthesizes a placement instance and writes it as an FBPLACE v1
+// file (see internal/chipio).
+//
+//	genchip -cells 50000 -movebounds 4 -exclusive -o chip.fbp
+//	genchip -preset Erhard -scale 0.01 -o erhard.fbp
+//	genchip -preset newblue3 -scale 0.01 -o nb3.fbp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fbplace/internal/chipio"
+	"fbplace/internal/gen"
+	"fbplace/internal/region"
+)
+
+func main() {
+	cells := flag.Int("cells", 10000, "number of movable cells")
+	seed := flag.Int64("seed", 1, "generator seed")
+	macros := flag.Int("macros", 2, "number of fixed macro blocks")
+	movebounds := flag.Int("movebounds", 0, "number of movebounds to generate")
+	exclusive := flag.Bool("exclusive", false, "make the movebounds exclusive")
+	overlap := flag.Bool("overlap", false, "make inclusive movebounds overlap")
+	pct := flag.Float64("pct", 0.3, "total fraction of cells inside movebounds")
+	density := flag.Float64("density", 0.7, "target cell density inside each movebound")
+	util := flag.Float64("util", 0.55, "chip utilization")
+	preset := flag.String("preset", "", "use a paper preset instead (Table II/III chip name or ISPD instance)")
+	scale := flag.Float64("scale", 0.01, "cell-count scale for presets")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	spec, err := buildSpec(*preset, *scale, *cells, *seed, *macros, *movebounds, *exclusive, *overlap, *pct, *density, *util)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "genchip:", err)
+		os.Exit(1)
+	}
+	inst, err := gen.Chip(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "genchip:", err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "genchip:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := chipio.Write(w, inst.N, inst.Movebounds); err != nil {
+		fmt.Fprintln(os.Stderr, "genchip:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "genchip: %s: %d cells, %d nets, %d movebounds, chip %.0fx%.0f\n",
+		spec.Name, inst.N.NumCells(), inst.N.NumNets(), len(inst.Movebounds),
+		inst.N.Area.Width(), inst.N.Area.Height())
+}
+
+func buildSpec(preset string, scale float64, cells int, seed int64, macros, movebounds int, exclusive, overlap bool, pct, density, util float64) (gen.ChipSpec, error) {
+	if preset != "" {
+		for _, s := range gen.TableIIIChips(scale, region.Inclusive) {
+			if s.Name == preset {
+				return s, nil
+			}
+		}
+		for _, s := range gen.TableIIChips(scale, 0) {
+			if s.Name == preset {
+				return s, nil
+			}
+		}
+		for _, s := range gen.ISPDChips(scale) {
+			if s.Name == preset {
+				return s, nil
+			}
+		}
+		return gen.ChipSpec{}, fmt.Errorf("unknown preset %q", preset)
+	}
+	spec := gen.ChipSpec{
+		Name:        "custom",
+		NumCells:    cells,
+		Seed:        seed,
+		NumMacros:   macros,
+		Utilization: util,
+	}
+	kind := region.Inclusive
+	if exclusive {
+		kind = region.Exclusive
+	}
+	for m := 0; m < movebounds; m++ {
+		ms := gen.MoveboundSpec{
+			Kind:         kind,
+			CellFraction: pct / float64(movebounds),
+			Density:      density,
+			NestedIn:     -1,
+		}
+		if overlap && !exclusive && m%2 == 1 {
+			ms.Overlap = true
+		}
+		spec.Movebounds = append(spec.Movebounds, ms)
+	}
+	return spec, nil
+}

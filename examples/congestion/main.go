@@ -1,0 +1,67 @@
+// Congestion demonstrates the routability workflow that motivates
+// movebounds in §I: place a design, estimate routing congestion with the
+// RUDY model, report hotspots, and write an SVG rendering of the
+// placement for inspection.
+//
+//	go run ./examples/congestion
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"fbplace"
+)
+
+func main() {
+	inst, err := fbplace.Generate(fbplace.ChipSpec{
+		Name:     "congestion",
+		NumCells: 4000,
+		Seed:     33,
+		Movebounds: []fbplace.MoveboundSpec{
+			// A dense movebound concentrates wiring — a likely hotspot.
+			{Kind: fbplace.Inclusive, CellFraction: 0.25, Density: 0.8, NestedIn: -1},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := fbplace.Place(inst.N, fbplace.Config{Movebounds: inst.Movebounds, DetailPasses: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("placed %d cells: HPWL %.0f, violations %d\n",
+		inst.N.NumCells(), rep.HPWL, rep.Violations)
+
+	m := fbplace.EstimateCongestion(inst.N, 0, 0)
+	p50, p90 := m.Percentile(0.5), m.Percentile(0.9)
+	fmt.Printf("RUDY congestion: median %.3f, p90 %.3f, peak %.3f\n", p50, p90, m.Max())
+
+	hotspots := m.Hotspots(p90)
+	fmt.Printf("%d bins above the 90th percentile; worst:\n", len(hotspots))
+	for i, h := range hotspots {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  bin %v  rudy %.3f\n", h.Window, h.Rudy)
+	}
+
+	// The movebound area concentrates connectivity; check whether the
+	// worst hotspot lies inside it.
+	if len(hotspots) > 0 {
+		inside := inst.Movebounds[0].Area.OverlapsRect(hotspots[0].Window)
+		fmt.Printf("worst hotspot inside the dense movebound: %v\n", inside)
+	}
+
+	out := "congestion_placement.svg"
+	f, err := os.Create(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := fbplace.RenderSVG(f, inst.N, inst.Movebounds, "congestion example"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote", out)
+}

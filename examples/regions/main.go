@@ -1,0 +1,78 @@
+// Regions reproduces paper Figure 1: three movebounds — an exclusive N
+// and two inclusive M, L with A(L) contained in A(M) — decompose the chip
+// into exactly three maximal regions. The program prints an ASCII map of
+// the decomposition and the admissibility matrix.
+//
+//	go run ./examples/regions
+package main
+
+import (
+	"fmt"
+
+	"fbplace"
+	"fbplace/internal/region"
+)
+
+func main() {
+	chip := fbplace.Rect{Xlo: 0, Ylo: 0, Xhi: 48, Yhi: 24}
+	mbs := []fbplace.Movebound{
+		{Name: "N", Kind: fbplace.Exclusive, Area: fbplace.RectSet{{Xlo: 32, Ylo: 12, Xhi: 48, Yhi: 24}}},
+		{Name: "M", Kind: fbplace.Inclusive, Area: fbplace.RectSet{chip}},
+		{Name: "L", Kind: fbplace.Inclusive, Area: fbplace.RectSet{{Xlo: 8, Ylo: 6, Xhi: 24, Yhi: 18}}},
+	}
+	fmt.Println("Figure 1: movebounds")
+	for _, m := range mbs {
+		fmt.Printf("  %s (%s): %v\n", m.Name, m.Kind, m.Area)
+	}
+
+	// Normalize removes the exclusive N's area from M (paper §II: "such
+	// situations can easily be detected and modified at the input").
+	norm, err := region.Normalize(chip, mbs)
+	if err != nil {
+		panic(err)
+	}
+	d := region.Decompose(chip, norm)
+	fmt.Printf("\nmaximal regions: %d\n", len(d.Regions))
+	for ri, r := range d.Regions {
+		var covered []string
+		for m := range norm {
+			if r.Covers[m] {
+				covered = append(covered, norm[m].Name)
+			}
+		}
+		fmt.Printf("  region %d: area %.0f, covered by %v, exclusive-only: %v\n",
+			ri, r.Area, covered, r.Blocked)
+	}
+
+	// ASCII map: sample the chip on a grid; label each sample with its
+	// region index.
+	fmt.Println("\nregion map (one character per 2x2 units):")
+	glyph := []byte("012345678")
+	for y := chip.Yhi - 1; y > chip.Ylo; y -= 2 {
+		row := make([]byte, 0, 26)
+		for x := chip.Xlo + 1; x < chip.Xhi; x += 2 {
+			ri := d.RegionOf(fbplace.Point{X: x, Y: y})
+			if ri < 0 {
+				row = append(row, '?')
+			} else {
+				row = append(row, glyph[ri%len(glyph)])
+			}
+		}
+		fmt.Printf("  %s\n", row)
+	}
+
+	fmt.Println("\nadmissibility (which cells may use which region):")
+	classes := []struct {
+		name string
+		mb   int
+	}{{"cells of N", 0}, {"cells of M", 1}, {"cells of L", 2}, {"unbounded", fbplace.NoMovebound}}
+	for _, c := range classes {
+		fmt.Printf("  %-12s:", c.name)
+		for ri := range d.Regions {
+			if d.Admissible(c.mb, ri) {
+				fmt.Printf(" r%d", ri)
+			}
+		}
+		fmt.Println()
+	}
+}

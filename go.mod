@@ -1,0 +1,3 @@
+module fbplace
+
+go 1.22

@@ -1,0 +1,133 @@
+package chipio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fbplace/internal/gen"
+	"fbplace/internal/region"
+)
+
+func TestRoundTrip(t *testing.T) {
+	inst, err := gen.Chip(gen.ChipSpec{
+		Name: "io", NumCells: 300, Seed: 5, NumMacros: 2,
+		Movebounds: []gen.MoveboundSpec{
+			{Kind: region.Inclusive, CellFraction: 0.1, Density: 0.7, NestedIn: -1},
+			{Kind: region.Exclusive, CellFraction: 0.05, Density: 0.7, NestedIn: -1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, inst.N, inst.Movebounds); err != nil {
+		t.Fatal(err)
+	}
+	n2, mbs2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := inst.N
+	if n2.NumCells() != n.NumCells() || n2.NumNets() != n.NumNets() {
+		t.Fatalf("counts differ: %d/%d cells, %d/%d nets",
+			n2.NumCells(), n.NumCells(), n2.NumNets(), n.NumNets())
+	}
+	if n2.Area != n.Area || n2.RowHeight != n.RowHeight {
+		t.Fatalf("area/rowheight differ")
+	}
+	for i := range n.Cells {
+		a, b := n.Cells[i], n2.Cells[i]
+		if a.Width != b.Width || a.Height != b.Height || a.Fixed != b.Fixed || a.Movebound != b.Movebound || a.Name != b.Name {
+			t.Fatalf("cell %d differs: %+v vs %+v", i, a, b)
+		}
+		if n.X[i] != n2.X[i] || n.Y[i] != n2.Y[i] {
+			t.Fatalf("cell %d position differs", i)
+		}
+	}
+	if len(mbs2) != len(inst.Movebounds) {
+		t.Fatalf("movebound count differs")
+	}
+	for m := range mbs2 {
+		if mbs2[m].Kind != inst.Movebounds[m].Kind || len(mbs2[m].Area) != len(inst.Movebounds[m].Area) {
+			t.Fatalf("movebound %d differs", m)
+		}
+	}
+	// HPWL must be identical (pins, weights, offsets preserved).
+	if n.HPWL() != n2.HPWL() {
+		t.Fatalf("HPWL differs: %g vs %g", n.HPWL(), n2.HPWL())
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"no header":     "AREA 0 0 1 1 ROWHEIGHT 1\n",
+		"bad area":      "FBPLACE v1\nAREA 0 0 1\n",
+		"bad kind":      "FBPLACE v1\nAREA 0 0 10 10 ROWHEIGHT 1\nMOVEBOUND m sideways 1 0 0 1 1\n",
+		"bad record":    "FBPLACE v1\nAREA 0 0 10 10 ROWHEIGHT 1\nBLOB x\n",
+		"short cell":    "FBPLACE v1\nAREA 0 0 10 10 ROWHEIGHT 1\nCELL a 1 1\n",
+		"bad pin index": "FBPLACE v1\nAREA 0 0 10 10 ROWHEIGHT 1\nCELL a 1 1 5 5\nNET n 1 1 PIN x 0 0\n",
+		"bad pin ref":   "FBPLACE v1\nAREA 0 0 10 10 ROWHEIGHT 1\nCELL a 1 1 5 5\nNET n 1 1 PIN 7 0 0\n",
+	}
+	for name, input := range cases {
+		if _, _, err := Read(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	input := `
+# a comment
+FBPLACE v1
+
+AREA 0 0 10 10 ROWHEIGHT 1
+# cells
+CELL a 1 1 5 5
+CELL b 2 1 3 3 FIXED
+NET n 2 2 PIN 0 0 0 PAD 1 1
+`
+	n, _, err := Read(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumCells() != 2 || n.NumNets() != 1 {
+		t.Fatalf("parsed %d cells, %d nets", n.NumCells(), n.NumNets())
+	}
+	if !n.Cells[1].Fixed {
+		t.Fatal("FIXED lost")
+	}
+	if n.Nets[0].Weight != 2 {
+		t.Fatalf("weight = %v", n.Nets[0].Weight)
+	}
+}
+
+// Property: write/read round-trips preserve HPWL and structure for random
+// generated instances.
+func TestRoundTripRandomInstances(t *testing.T) {
+	for seed := int64(20); seed < 24; seed++ {
+		inst, err := gen.Chip(gen.ChipSpec{
+			Name: "rt", NumCells: 150 + int(seed)*17, Seed: seed, NumMacros: int(seed % 3),
+			Movebounds: []gen.MoveboundSpec{
+				{Kind: region.Inclusive, CellFraction: 0.1, Density: 0.7, NestedIn: -1, LShaped: seed%2 == 0},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, inst.N, inst.Movebounds); err != nil {
+			t.Fatal(err)
+		}
+		n2, mbs2, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n2.HPWL() != inst.N.HPWL() {
+			t.Fatalf("seed %d: HPWL changed", seed)
+		}
+		if len(mbs2[0].Area) != len(inst.Movebounds[0].Area) {
+			t.Fatalf("seed %d: area rect count changed", seed)
+		}
+	}
+}

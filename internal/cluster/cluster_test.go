@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fbplace/internal/geom"
+	"fbplace/internal/netlist"
+)
+
+var chip = geom.Rect{Xlo: 0, Ylo: 0, Xhi: 100, Yhi: 100}
+
+// pairNetlist builds k disjoint tightly-connected cell pairs plus one
+// loose cell.
+func pairNetlist(k int) *netlist.Netlist {
+	n := netlist.New(chip, 1)
+	for i := 0; i < k; i++ {
+		a := n.AddCell(netlist.Cell{Width: 1, Height: 1, Movebound: netlist.NoMovebound})
+		b := n.AddCell(netlist.Cell{Width: 1, Height: 1, Movebound: netlist.NoMovebound})
+		// Three parallel nets: a strong bond.
+		for j := 0; j < 3; j++ {
+			n.AddNet(netlist.Net{Pins: []netlist.Pin{{Cell: a}, {Cell: b}}})
+		}
+	}
+	n.AddCell(netlist.Cell{Width: 1, Height: 1, Movebound: netlist.NoMovebound})
+	return n
+}
+
+func TestBestChoiceMergesBondedPairs(t *testing.T) {
+	n := pairNetlist(10) // 21 movable cells
+	cl := BestChoice(n, Options{Ratio: 2})
+	if got := cl.Clustered.NumCells(); got > 11 {
+		t.Fatalf("clustered to %d cells, want <= 11", got)
+	}
+	// Every strong pair must have been merged.
+	for i := 0; i < 10; i++ {
+		a, b := netlist.CellID(2*i), netlist.CellID(2*i+1)
+		if cl.Parent[a] != cl.Parent[b] {
+			t.Fatalf("bonded pair %d not merged", i)
+		}
+	}
+}
+
+func TestBestChoiceRatioOneIsIdentity(t *testing.T) {
+	n := pairNetlist(3)
+	cl := BestChoice(n, Options{Ratio: 1})
+	if cl.Clustered.NumCells() != n.NumCells() {
+		t.Fatalf("ratio 1 changed cell count: %d -> %d", n.NumCells(), cl.Clustered.NumCells())
+	}
+	if cl.Clustered.NumNets() != n.NumNets() {
+		t.Fatalf("ratio 1 changed net count")
+	}
+}
+
+func TestBestChoicePreservesArea(t *testing.T) {
+	n := pairNetlist(8)
+	cl := BestChoice(n, Options{Ratio: 4})
+	if math.Abs(cl.Clustered.TotalMovableArea()-n.TotalMovableArea()) > 1e-9 {
+		t.Fatalf("area changed: %g -> %g", n.TotalMovableArea(), cl.Clustered.TotalMovableArea())
+	}
+}
+
+func TestBestChoiceNeverMergesAcrossMovebounds(t *testing.T) {
+	n := netlist.New(chip, 1)
+	a := n.AddCell(netlist.Cell{Width: 1, Height: 1, Movebound: 0})
+	b := n.AddCell(netlist.Cell{Width: 1, Height: 1, Movebound: 1})
+	c := n.AddCell(netlist.Cell{Width: 1, Height: 1, Movebound: 0})
+	for j := 0; j < 5; j++ {
+		n.AddNet(netlist.Net{Pins: []netlist.Pin{{Cell: a}, {Cell: b}}})
+		n.AddNet(netlist.Net{Pins: []netlist.Pin{{Cell: a}, {Cell: c}}})
+	}
+	cl := BestChoice(n, Options{Ratio: 3})
+	if cl.Parent[a] == cl.Parent[b] {
+		t.Fatal("cells of different movebounds merged")
+	}
+	if cl.Parent[a] != cl.Parent[c] {
+		t.Fatal("same-movebound bonded cells not merged")
+	}
+	if cl.Clustered.Cells[cl.Parent[a]].Movebound != 0 {
+		t.Fatal("cluster lost its movebound")
+	}
+}
+
+func TestBestChoiceNeverMergesFixed(t *testing.T) {
+	n := netlist.New(chip, 1)
+	f := n.AddCell(netlist.Cell{Width: 5, Height: 5, Fixed: true})
+	a := n.AddCell(netlist.Cell{Width: 1, Height: 1})
+	b := n.AddCell(netlist.Cell{Width: 1, Height: 1})
+	for j := 0; j < 5; j++ {
+		n.AddNet(netlist.Net{Pins: []netlist.Pin{{Cell: f}, {Cell: a}}})
+	}
+	n.AddNet(netlist.Net{Pins: []netlist.Pin{{Cell: a}, {Cell: b}}})
+	cl := BestChoice(n, Options{Ratio: 3})
+	if cl.Parent[f] == cl.Parent[a] {
+		t.Fatal("fixed cell merged")
+	}
+	if !cl.Clustered.Cells[cl.Parent[f]].Fixed {
+		t.Fatal("fixed cell lost Fixed flag")
+	}
+}
+
+func TestClusteredNetsDropInternal(t *testing.T) {
+	n := pairNetlist(2)
+	// Add a cross net between the two pairs. Ratio 1.5 targets 3 clusters
+	// (the two pairs plus the loose cell), so the cross net survives.
+	n.AddNet(netlist.Net{Pins: []netlist.Pin{{Cell: 0}, {Cell: 2}}})
+	cl := BestChoice(n, Options{Ratio: 1.5})
+	if cl.Parent[0] != cl.Parent[1] || cl.Parent[2] != cl.Parent[3] {
+		t.Skip("pairs not merged; clustering heuristic changed")
+	}
+	// The 6 intra-pair nets vanish, the cross net survives.
+	for ni := range cl.Clustered.Nets {
+		if len(cl.Clustered.Nets[ni].Pins) < 2 {
+			t.Fatalf("net %d has %d pins", ni, len(cl.Clustered.Nets[ni].Pins))
+		}
+	}
+	if cl.Clustered.NumNets() != 1 {
+		t.Fatalf("clustered nets = %d, want 1", cl.Clustered.NumNets())
+	}
+}
+
+func TestProjectPlacesMembersAtCluster(t *testing.T) {
+	n := pairNetlist(4)
+	cl := BestChoice(n, Options{Ratio: 2})
+	for i := range cl.Clustered.Cells {
+		if !cl.Clustered.Cells[i].Fixed {
+			cl.Clustered.SetPos(netlist.CellID(i), geom.Point{X: float64(i), Y: 42})
+		}
+	}
+	cl.Project()
+	for i := range n.Cells {
+		want := cl.Clustered.Pos(cl.Parent[i])
+		if n.Pos(netlist.CellID(i)) != want {
+			t.Fatalf("flat cell %d at %v, cluster at %v", i, n.Pos(netlist.CellID(i)), want)
+		}
+	}
+}
+
+func TestBestChoiceDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := netlist.New(chip, 1)
+	for i := 0; i < 120; i++ {
+		n.AddCell(netlist.Cell{Width: 0.5 + rng.Float64(), Height: 1})
+	}
+	for e := 0; e < 300; e++ {
+		i, j := rng.Intn(120), rng.Intn(120)
+		if i != j {
+			n.AddNet(netlist.Net{Pins: []netlist.Pin{{Cell: netlist.CellID(i)}, {Cell: netlist.CellID(j)}}})
+		}
+	}
+	a := BestChoice(n.Clone(), Options{Ratio: 4})
+	b := BestChoice(n.Clone(), Options{Ratio: 4})
+	if a.Clustered.NumCells() != b.Clustered.NumCells() {
+		t.Fatalf("cluster counts differ: %d vs %d", a.Clustered.NumCells(), b.Clustered.NumCells())
+	}
+	for i := range a.Parent {
+		if a.Parent[i] != b.Parent[i] {
+			t.Fatalf("parent of cell %d differs", i)
+		}
+	}
+}
+
+func TestBestChoiceReachesTargetRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := netlist.New(chip, 1)
+	for i := 0; i < 200; i++ {
+		n.AddCell(netlist.Cell{Width: 1, Height: 1})
+	}
+	for e := 0; e < 600; e++ {
+		i, j := rng.Intn(200), rng.Intn(200)
+		if i != j {
+			n.AddNet(netlist.Net{Pins: []netlist.Pin{{Cell: netlist.CellID(i)}, {Cell: netlist.CellID(j)}}})
+		}
+	}
+	cl := BestChoice(n, Options{Ratio: 5})
+	got := cl.Clustered.NumCells()
+	if got > 60 { // target 40, allow stall slack
+		t.Fatalf("clustered to %d cells, want near 40", got)
+	}
+}

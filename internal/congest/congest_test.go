@@ -1,0 +1,114 @@
+package congest
+
+import (
+	"math"
+	"testing"
+
+	"fbplace/internal/geom"
+	"fbplace/internal/netlist"
+)
+
+func TestEstimateSingleNet(t *testing.T) {
+	n := netlist.New(geom.Rect{Xhi: 40, Yhi: 40}, 1)
+	a := n.AddCell(netlist.Cell{Width: 1, Height: 1, Movebound: netlist.NoMovebound})
+	b := n.AddCell(netlist.Cell{Width: 1, Height: 1, Movebound: netlist.NoMovebound})
+	n.SetPos(a, geom.Point{X: 5, Y: 5})
+	n.SetPos(b, geom.Point{X: 15, Y: 15})
+	n.AddNet(netlist.Net{Pins: []netlist.Pin{{Cell: a}, {Cell: b}}})
+	m := Estimate(n, 4, 4)
+	// The net bbox is [5,15]^2: density = 20/100 = 0.2 spread over it.
+	// Bin (0,0) is [0,10]^2, overlap [5,10]^2 = 25, bin area 100:
+	// contribution 0.2 * 25/100 = 0.05.
+	got := m.Rudy[m.Grid.Index(0, 0)]
+	if math.Abs(got-0.05) > 1e-9 {
+		t.Fatalf("bin(0,0) = %v, want 0.05", got)
+	}
+	// Far corner untouched.
+	if m.Rudy[m.Grid.Index(3, 3)] != 0 {
+		t.Fatalf("far bin = %v", m.Rudy[m.Grid.Index(3, 3)])
+	}
+	// Total over the four touched bins: 0.2 * 100/100 = 0.2.
+	total := 0.0
+	for _, v := range m.Rudy {
+		total += v
+	}
+	if math.Abs(total-0.2) > 1e-9 {
+		t.Fatalf("total = %v, want 0.2", total)
+	}
+}
+
+func TestEstimateDegenerateNetPadded(t *testing.T) {
+	n := netlist.New(geom.Rect{Xhi: 10, Yhi: 10}, 1)
+	a := n.AddCell(netlist.Cell{Width: 1, Height: 1, Movebound: netlist.NoMovebound})
+	b := n.AddCell(netlist.Cell{Width: 1, Height: 1, Movebound: netlist.NoMovebound})
+	n.SetPos(a, geom.Point{X: 5, Y: 5})
+	n.SetPos(b, geom.Point{X: 5, Y: 5}) // zero-size bbox
+	n.AddNet(netlist.Net{Pins: []netlist.Pin{{Cell: a}, {Cell: b}}})
+	m := Estimate(n, 2, 2)
+	if m.Max() <= 0 || math.IsInf(m.Max(), 1) || math.IsNaN(m.Max()) {
+		t.Fatalf("degenerate net produced Max = %v", m.Max())
+	}
+}
+
+func TestHotspotsAndPercentile(t *testing.T) {
+	n := netlist.New(geom.Rect{Xhi: 20, Yhi: 20}, 1)
+	var pins []netlist.Pin
+	for i := 0; i < 6; i++ {
+		c := n.AddCell(netlist.Cell{Width: 1, Height: 1, Movebound: netlist.NoMovebound})
+		n.SetPos(c, geom.Point{X: 2 + float64(i)*0.5, Y: 2})
+		pins = append(pins, netlist.Pin{Cell: c})
+	}
+	// Many short nets in one corner.
+	for i := 0; i+1 < len(pins); i++ {
+		n.AddNet(netlist.Net{Pins: []netlist.Pin{pins[i], pins[i+1]}})
+	}
+	m := Estimate(n, 4, 4)
+	hs := m.Hotspots(m.Percentile(0.9))
+	if len(hs) == 0 {
+		t.Fatal("no hotspots above the 90th percentile")
+	}
+	if hs[0].Rudy != m.Max() {
+		t.Fatalf("hotspots not sorted: %v vs max %v", hs[0].Rudy, m.Max())
+	}
+	// The hotspot is the lower-left corner bin.
+	if !hs[0].Window.Contains(geom.Point{X: 2.5, Y: 2.5}) {
+		t.Fatalf("hotspot at %v", hs[0].Window)
+	}
+}
+
+func TestInflateCells(t *testing.T) {
+	n := netlist.New(geom.Rect{Xhi: 20, Yhi: 20}, 1)
+	hot := n.AddCell(netlist.Cell{Width: 1, Height: 1, Movebound: netlist.NoMovebound})
+	cold := n.AddCell(netlist.Cell{Width: 1, Height: 1, Movebound: netlist.NoMovebound})
+	n.SetPos(hot, geom.Point{X: 2, Y: 2})
+	n.SetPos(cold, geom.Point{X: 18, Y: 18})
+	other := n.AddCell(netlist.Cell{Width: 1, Height: 1, Movebound: netlist.NoMovebound})
+	n.SetPos(other, geom.Point{X: 3, Y: 3})
+	n.AddNet(netlist.Net{Pins: []netlist.Pin{{Cell: hot}, {Cell: other}}})
+	m := Estimate(n, 4, 4)
+	f := m.InflateCells(n, m.Max()/2, 2.0)
+	if f[hot] <= 1 {
+		t.Fatalf("hot cell not inflated: %v", f[hot])
+	}
+	if f[cold] != 1 {
+		t.Fatalf("cold cell inflated: %v", f[cold])
+	}
+	if f[hot] > 2.0 {
+		t.Fatalf("inflation above maxFactor: %v", f[hot])
+	}
+	// Disabled thresholds return identity.
+	f = m.InflateCells(n, 0, 2)
+	for _, v := range f {
+		if v != 1 {
+			t.Fatalf("identity expected, got %v", v)
+		}
+	}
+}
+
+func TestEstimateAutoBins(t *testing.T) {
+	n := netlist.New(geom.Rect{Xhi: 100, Yhi: 60}, 1)
+	m := Estimate(n, 0, 0)
+	if m.Grid.Nx != 13 || m.Grid.Ny != 8 { // ceil(100/8), ceil(60/8)
+		t.Fatalf("auto bins = %dx%d", m.Grid.Nx, m.Grid.Ny)
+	}
+}

@@ -1,0 +1,314 @@
+// Package detail implements detailed placement: local, legality-preserving
+// HPWL optimization after legalization. Two moves are used, both standard
+// in production flows:
+//
+//   - window reordering: consecutive cells of one row are permuted and
+//     re-packed within their span, keeping the best permutation;
+//   - global swaps: pairs of equal-width cells exchange positions when
+//     that shortens the involved nets.
+//
+// Movebounds are respected: a move is rejected if any touched cell would
+// leave its movebound area or enter a foreign exclusive area. The paper
+// delegates detailed placement to the surrounding BonnPlace flow; this
+// package provides the equivalent so the repository is usable end to end.
+package detail
+
+import (
+	"math"
+	"sort"
+
+	"fbplace/internal/geom"
+	"fbplace/internal/netlist"
+	"fbplace/internal/region"
+)
+
+// Options tunes the optimizer.
+type Options struct {
+	// Passes is the number of full sweeps. Default 2.
+	Passes int
+	// WindowSize is the reorder window (2..4 cells). Default 3.
+	WindowSize int
+}
+
+// Result reports the improvement.
+type Result struct {
+	InitialHPWL, FinalHPWL float64
+	// Reorders and Swaps count the accepted moves.
+	Reorders, Swaps int
+}
+
+// optimizer carries indexed state for incremental HPWL evaluation.
+type optimizer struct {
+	n       *netlist.Netlist
+	mbs     []region.Movebound
+	netsOf  [][]int32 // cell -> net indices
+	rows    [][]netlist.CellID
+	rowOf   func(y float64) int
+	numRows int
+}
+
+// Optimize runs detailed placement on a legalized netlist in place.
+func Optimize(n *netlist.Netlist, mbs []region.Movebound, opt Options) (Result, error) {
+	if opt.Passes == 0 {
+		opt.Passes = 2
+	}
+	if opt.WindowSize < 2 {
+		opt.WindowSize = 3
+	}
+	if opt.WindowSize > 4 {
+		opt.WindowSize = 4
+	}
+	res := Result{InitialHPWL: n.HPWL()}
+	o := &optimizer{n: n, mbs: mbs}
+	o.buildNetIndex()
+	for pass := 0; pass < opt.Passes; pass++ {
+		o.buildRows()
+		r := o.reorderPass(opt.WindowSize)
+		s := o.swapPass()
+		res.Reorders += r
+		res.Swaps += s
+		if r+s == 0 {
+			break
+		}
+	}
+	res.FinalHPWL = n.HPWL()
+	return res, nil
+}
+
+func (o *optimizer) buildNetIndex() {
+	n := o.n
+	o.netsOf = make([][]int32, n.NumCells())
+	for ni := range n.Nets {
+		seen := map[netlist.CellID]bool{}
+		for _, p := range n.Nets[ni].Pins {
+			if p.IsPad() || seen[p.Cell] {
+				continue
+			}
+			seen[p.Cell] = true
+			o.netsOf[p.Cell] = append(o.netsOf[p.Cell], int32(ni))
+		}
+	}
+}
+
+func (o *optimizer) buildRows() {
+	n := o.n
+	rh := n.RowHeight
+	o.numRows = int((n.Area.Height() + 1e-9) / rh)
+	o.rowOf = func(y float64) int {
+		r := int((y - rh/2 - n.Area.Ylo) / rh)
+		if r < 0 {
+			r = 0
+		}
+		if r >= o.numRows {
+			r = o.numRows - 1
+		}
+		return r
+	}
+	o.rows = make([][]netlist.CellID, o.numRows)
+	for i := range n.Cells {
+		if n.Cells[i].Fixed {
+			continue
+		}
+		r := o.rowOf(n.Y[i])
+		o.rows[r] = append(o.rows[r], netlist.CellID(i))
+	}
+	for r := range o.rows {
+		row := o.rows[r]
+		sort.Slice(row, func(a, b int) bool {
+			if n.X[row[a]] != n.X[row[b]] {
+				return n.X[row[a]] < n.X[row[b]]
+			}
+			return row[a] < row[b]
+		})
+	}
+}
+
+// hpwlOf returns the total HPWL of the given nets.
+func (o *optimizer) hpwlOf(nets map[int32]bool) float64 {
+	total := 0.0
+	for ni := range nets {
+		total += o.n.NetHPWL(netlist.NetID(ni))
+	}
+	return total
+}
+
+// netsTouching collects the nets of the given cells.
+func (o *optimizer) netsTouching(cells []netlist.CellID) map[int32]bool {
+	out := map[int32]bool{}
+	for _, c := range cells {
+		for _, ni := range o.netsOf[c] {
+			out[ni] = true
+		}
+	}
+	return out
+}
+
+// legalAt reports whether cell id placed at p respects the movebounds.
+func (o *optimizer) legalAt(id netlist.CellID, p geom.Point) bool {
+	c := &o.n.Cells[id]
+	r := geom.Rect{
+		Xlo: p.X - c.Width/2, Ylo: p.Y - c.Height/2,
+		Xhi: p.X + c.Width/2, Yhi: p.Y + c.Height/2,
+	}
+	// Movebound indices beyond the provided list are treated as
+	// unbounded (callers may optimize without movebound context).
+	if c.Movebound != netlist.NoMovebound && c.Movebound < len(o.mbs) {
+		if !o.mbs[c.Movebound].Area.ContainsRect(r.Expand(-1e-9)) {
+			return false
+		}
+	}
+	for m := range o.mbs {
+		if o.mbs[m].Kind == region.Exclusive && m != c.Movebound && o.mbs[m].Area.OverlapsRect(r.Expand(-1e-9)) {
+			return false
+		}
+	}
+	return true
+}
+
+// reorderPass permutes sliding windows of consecutive same-row cells.
+func (o *optimizer) reorderPass(k int) int {
+	n := o.n
+	accepted := 0
+	for _, row := range o.rows {
+		for start := 0; start+k <= len(row); start++ {
+			win := row[start : start+k]
+			// Span: from the left edge of the first cell to the right
+			// edge of the last (gaps inside the span are compacted).
+			left := n.X[win[0]] - n.Cells[win[0]].Width/2
+			right := n.X[win[k-1]] + n.Cells[win[k-1]].Width/2
+			total := 0.0
+			for _, c := range win {
+				total += n.Cells[c].Width
+			}
+			if total > right-left+1e-9 {
+				continue
+			}
+			nets := o.netsTouching(win)
+			baseline := o.hpwlOf(nets)
+			origX := make([]float64, k)
+			for i, c := range win {
+				origX[i] = n.X[c]
+			}
+			bestPerm := -1
+			bestHPWL := baseline
+			var bestX []float64
+			perms := permutations(k)
+			for pi, perm := range perms {
+				// Pack the permuted cells left-justified in the span.
+				x := left
+				ok := true
+				xs := make([]float64, k)
+				for _, idx := range perm {
+					c := win[idx]
+					xs[idx] = x + n.Cells[c].Width/2
+					if !o.legalAt(c, geom.Point{X: xs[idx], Y: n.Y[c]}) {
+						ok = false
+						break
+					}
+					x += n.Cells[c].Width
+				}
+				if !ok {
+					continue
+				}
+				for i, c := range win {
+					n.X[c] = xs[i]
+				}
+				if h := o.hpwlOf(nets); h < bestHPWL-1e-9 {
+					bestHPWL = h
+					bestPerm = pi
+					bestX = xs
+				}
+				for i, c := range win {
+					n.X[c] = origX[i]
+				}
+			}
+			if bestPerm >= 0 {
+				for i, c := range win {
+					n.X[c] = bestX[i]
+				}
+				// Keep the row sorted by x for subsequent windows.
+				sort.Slice(win, func(a, b int) bool { return n.X[win[a]] < n.X[win[b]] })
+				accepted++
+			}
+		}
+	}
+	return accepted
+}
+
+// swapPass exchanges equal-width cell pairs across the chip when the
+// involved nets shrink. Candidate partners are taken from the same and
+// adjacent rows within a horizontal distance budget.
+func (o *optimizer) swapPass() int {
+	n := o.n
+	accepted := 0
+	for r := range o.rows {
+		for _, a := range o.rows[r] {
+			best := netlist.CellID(-1)
+			bestGain := 1e-9
+			var bestPosA, bestPosB geom.Point
+			for dr := -1; dr <= 1; dr++ {
+				rr := r + dr
+				if rr < 0 || rr >= o.numRows {
+					continue
+				}
+				for _, b := range o.rows[rr] {
+					if b == a || math.Abs(n.Cells[a].Width-n.Cells[b].Width) > 1e-9 {
+						continue
+					}
+					if math.Abs(n.X[a]-n.X[b]) > n.Area.Width()/8 {
+						continue
+					}
+					pa, pb := n.Pos(a), n.Pos(b)
+					if !o.legalAt(a, pb) || !o.legalAt(b, pa) {
+						continue
+					}
+					nets := o.netsTouching([]netlist.CellID{a, b})
+					before := o.hpwlOf(nets)
+					n.SetPos(a, pb)
+					n.SetPos(b, pa)
+					after := o.hpwlOf(nets)
+					n.SetPos(a, pa)
+					n.SetPos(b, pb)
+					if gain := before - after; gain > bestGain {
+						best, bestGain = b, gain
+						bestPosA, bestPosB = pb, pa
+					}
+				}
+			}
+			if best >= 0 {
+				n.SetPos(a, bestPosA)
+				n.SetPos(best, bestPosB)
+				accepted++
+			}
+		}
+		// Rebuild this row's order after swaps.
+		row := o.rows[r]
+		sort.Slice(row, func(x, y int) bool { return n.X[row[x]] < n.X[row[y]] })
+	}
+	return accepted
+}
+
+// permutations returns all permutations of 0..k-1 (k <= 4).
+func permutations(k int) [][]int {
+	base := make([]int, k)
+	for i := range base {
+		base[i] = i
+	}
+	var out [][]int
+	var rec func(cur []int, rest []int)
+	rec = func(cur []int, rest []int) {
+		if len(rest) == 0 {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := range rest {
+			next := append(cur, rest[i])
+			var remain []int
+			remain = append(remain, rest[:i]...)
+			remain = append(remain, rest[i+1:]...)
+			rec(next, remain)
+		}
+	}
+	rec(nil, base)
+	return out
+}

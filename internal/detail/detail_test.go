@@ -1,0 +1,91 @@
+package detail_test
+
+import (
+	"testing"
+
+	"fbplace/internal/detail"
+	"fbplace/internal/gen"
+	"fbplace/internal/geom"
+	"fbplace/internal/legalize"
+	"fbplace/internal/netlist"
+	"fbplace/internal/placer"
+	"fbplace/internal/region"
+)
+
+func TestOptimizeReordersObviousInversion(t *testing.T) {
+	// Two equal-width cells placed in inverted order relative to their
+	// pads: detailed placement must swap them.
+	n := netlist.New(geom.Rect{Xhi: 20, Yhi: 4}, 1)
+	a := n.AddCell(netlist.Cell{Width: 2, Height: 1, Movebound: netlist.NoMovebound})
+	b := n.AddCell(netlist.Cell{Width: 2, Height: 1, Movebound: netlist.NoMovebound})
+	n.SetPos(a, geom.Point{X: 11, Y: 0.5})
+	n.SetPos(b, geom.Point{X: 9, Y: 0.5})
+	n.AddNet(netlist.Net{Pins: []netlist.Pin{{Cell: a}, {Cell: -1, Offset: geom.Point{X: 0, Y: 0.5}}}})
+	n.AddNet(netlist.Net{Pins: []netlist.Pin{{Cell: b}, {Cell: -1, Offset: geom.Point{X: 20, Y: 0.5}}}})
+	res, err := detail.Optimize(n, nil, detail.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalHPWL >= res.InitialHPWL {
+		t.Fatalf("no improvement: %g -> %g", res.InitialHPWL, res.FinalHPWL)
+	}
+	if n.X[a] >= n.X[b] {
+		t.Fatalf("inversion not fixed: a at %g, b at %g", n.X[a], n.X[b])
+	}
+	if got := legalize.VerifyNoOverlaps(n); got != 0 {
+		t.Fatalf("overlaps = %d", got)
+	}
+}
+
+func TestOptimizeNeverWorsens(t *testing.T) {
+	inst, err := gen.Chip(gen.ChipSpec{Name: "d", NumCells: 1500, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := placer.Place(inst.N, placer.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	before := inst.N.HPWL()
+	res, err := detail.Optimize(inst.N, nil, detail.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalHPWL > before+1e-6 {
+		t.Fatalf("HPWL worsened: %g -> %g", before, res.FinalHPWL)
+	}
+	if got := legalize.VerifyNoOverlaps(inst.N); got != 0 {
+		t.Fatalf("overlaps after detail = %d", got)
+	}
+	if res.Reorders+res.Swaps == 0 {
+		t.Fatal("no moves accepted on a realistic design")
+	}
+}
+
+func TestOptimizeRespectsMovebounds(t *testing.T) {
+	inst, err := gen.Chip(gen.ChipSpec{
+		Name: "dm", NumCells: 1500, Seed: 32,
+		Movebounds: []gen.MoveboundSpec{
+			{Kind: region.Exclusive, CellFraction: 0.1, Density: 0.7, NestedIn: -1},
+			{Kind: region.Inclusive, CellFraction: 0.15, Density: 0.7, NestedIn: -1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := placer.Place(inst.N, placer.Config{Movebounds: inst.Movebounds}); err != nil {
+		t.Fatal(err)
+	}
+	norm, err := region.Normalize(inst.N.Area, inst.Movebounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := detail.Optimize(inst.N, norm, detail.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if viol := region.CheckLegal(inst.N, norm); viol != 0 {
+		t.Fatalf("detail placement introduced %d movebound violations", viol)
+	}
+	if got := legalize.VerifyNoOverlaps(inst.N); got != 0 {
+		t.Fatalf("overlaps = %d", got)
+	}
+}

@@ -1,0 +1,22 @@
+package detail
+
+import "testing"
+
+func TestPermutations(t *testing.T) {
+	for k, want := range map[int]int{2: 2, 3: 6, 4: 24} {
+		if got := len(permutations(k)); got != want {
+			t.Fatalf("permutations(%d) = %d, want %d", k, got, want)
+		}
+	}
+	seen := map[string]bool{}
+	for _, p := range permutations(3) {
+		key := ""
+		for _, v := range p {
+			key += string(rune('0' + v))
+		}
+		if seen[key] {
+			t.Fatalf("duplicate permutation %s", key)
+		}
+		seen[key] = true
+	}
+}

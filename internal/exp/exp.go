@@ -1,0 +1,382 @@
+// Package exp implements the experiment harness that regenerates every
+// table and figure of the paper's evaluation (§V) on synthetic instances:
+// Table I (FBP instance sizes and runtimes over grid levels), Table II
+// (no-movebound comparison vs the RQL-style baseline), Table III (instance
+// characteristics), Tables IV/V (inclusive/exclusive movebound
+// comparisons), Table VI (global/legalization runtime split), Table VII
+// (ISPD-2006-style scoring vs a Kraftwerk2-style baseline), the parallel
+// realization speedup (§IV.B), and the ablations called out in DESIGN.md.
+//
+// Both the root bench_test.go and cmd/fbpbench drive these functions; the
+// Print* helpers emit tables shaped like the paper's.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"fbplace/internal/cluster"
+	"fbplace/internal/fbp"
+	"fbplace/internal/gen"
+	"fbplace/internal/grid"
+	"fbplace/internal/legalize"
+	"fbplace/internal/netlist"
+	"fbplace/internal/placer"
+	"fbplace/internal/region"
+	"fbplace/internal/rql"
+)
+
+// DefaultScale is the default fraction of the published cell counts the
+// harness generates (the paper's chips reach 9.3M cells; the floor of
+// 2000 cells per instance keeps every run in the multi-level regime).
+const DefaultScale = 0.002
+
+// fmtDur renders a duration like the paper's h:mm:ss columns but with
+// sub-second resolution where it matters.
+func fmtDur(d time.Duration) string {
+	if d < time.Second {
+		return fmt.Sprintf("%dms", d.Milliseconds())
+	}
+	d = d.Round(time.Millisecond * 10)
+	return d.String()
+}
+
+// T1Row is one grid level of Table I.
+type T1Row struct {
+	Nodes, Arcs      int
+	Ratio            float64
+	Windows, Regions int
+	FlowTime         time.Duration
+	RealizeTime      time.Duration
+}
+
+// Table1 builds FBP instances on successively finer grids over the
+// largest movebounded chip (Erhard-like) and reports model sizes and
+// phase runtimes, reproducing paper Table I.
+func Table1(scale float64) (gen.ChipSpec, []T1Row, error) {
+	spec := gen.ErhardLike(scale)
+	inst, err := gen.Chip(spec)
+	if err != nil {
+		return spec, nil, err
+	}
+	norm, err := region.Normalize(inst.N.Area, inst.Movebounds)
+	if err != nil {
+		return spec, nil, err
+	}
+	d := region.Decompose(inst.N.Area, norm)
+	blockages := inst.N.FixedRects()
+	// Spread cells once so the partitioning works on a realistic state.
+	base := inst.N.Clone()
+	if _, err := rql.Place(base, rql.Config{MaxIters: 4, Movebounds: norm}); err != nil {
+		return spec, nil, err
+	}
+	var rows []T1Row
+	for _, k := range gen.GridLevels(spec.NumCells) {
+		n := base.Clone()
+		g := grid.New(n.Area, k, k)
+		wr := grid.BuildWindowRegions(g, d, blockages, 0.97)
+		model := fbp.BuildModel(n, wr, g.AssignCells(n))
+		if err := model.Solve(); err != nil {
+			return spec, nil, fmt.Errorf("grid %dx%d: %w", k, k, err)
+		}
+		res, err := fbp.Realize(model, fbp.DefaultConfig())
+		if err != nil {
+			return spec, nil, fmt.Errorf("grid %dx%d realize: %w", k, k, err)
+		}
+		s := res.Stats
+		rows = append(rows, T1Row{
+			Nodes: s.NumNodes, Arcs: s.NumArcs,
+			Ratio:   float64(s.NumArcs) / float64(s.NumNodes),
+			Windows: s.NumWindows, Regions: s.NumRegions,
+			FlowTime: s.SolveTime, RealizeTime: s.RealizeTime,
+		})
+	}
+	return spec, rows, nil
+}
+
+// PrintTable1 renders Table I.
+func PrintTable1(w io.Writer, spec gen.ChipSpec, rows []T1Row) {
+	fmt.Fprintf(w, "TABLE I: Sizes and runtimes of the flow-based partitioning instances\n")
+	fmt.Fprintf(w, "from %s-like (%d cells, %d movebounds)\n", spec.Name, spec.NumCells, len(spec.Movebounds))
+	fmt.Fprintf(w, "%10s %10s %6s %8s %8s %12s %12s\n", "|V|", "|E|", "|E|/|V|", "|W|", "|R|", "flow", "realization")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%10d %10d %6.1f %8d %8d %12s %12s\n",
+			r.Nodes, r.Arcs, r.Ratio, r.Windows, r.Regions, fmtDur(r.FlowTime), fmtDur(r.RealizeTime))
+	}
+}
+
+// CompareRow is one chip of Tables II/IV/V: baseline vs FBP.
+type CompareRow struct {
+	Chip       string
+	Cells      int
+	BaseHPWL   float64
+	BaseTime   time.Duration
+	BaseViol   int
+	BaseFailed bool
+	FBPHPWL    float64
+	FBPTime    time.Duration
+	FBPViol    int
+	// Global/Legal split of the FBP run (Table VI).
+	FBPGlobal, FBPLegal time.Duration
+}
+
+// clusterRatioFor matches the paper's experimental setup — "Both tools
+// used BestChoice [17] for clustering with cluster ratio 5" — scaled to
+// the instance: ratio 5 on a 2000-cell scaled-down chip would leave only
+// 400 objects, far below the regime the paper clustered in, so the ratio
+// is capped to keep at least ~1500 clustered objects.
+func clusterRatioFor(movable int) float64 {
+	const full = 5.0
+	const minObjects = 1500
+	if float64(movable)/full >= minObjects {
+		return full
+	}
+	r := float64(movable) / minObjects
+	if r < 2 {
+		return 0 // clustering off: ratios below 2 only add noise
+	}
+	return r
+}
+
+// runPair places the same instance with the RQL-style baseline and the
+// FBP placer and returns the comparison row. Both tools run on a
+// BestChoice-clustered netlist, as in the paper.
+func runPair(inst *gen.Instance, withMB bool) (CompareRow, error) {
+	row := CompareRow{Chip: inst.Spec.Name, Cells: inst.N.NumCells()}
+	var mbs []region.Movebound
+	if withMB {
+		mbs = inst.Movebounds
+	}
+
+	// Baseline: RQL-style global placement on the clustered netlist +
+	// plain legalization (naive movebound handling, violations possible).
+	baseNet := inst.N.Clone()
+	start := time.Now()
+	var err error
+	func() {
+		norm := mbs
+		if withMB {
+			if norm, err = region.Normalize(baseNet.Area, mbs); err != nil {
+				return
+			}
+		}
+		ratio := clusterRatioFor(len(baseNet.MovableIDs()))
+		if ratio > 1 {
+			cl := cluster.BestChoice(baseNet, cluster.Options{Ratio: ratio})
+			if _, err = rql.Place(cl.Clustered, rql.Config{Movebounds: norm}); err != nil {
+				return
+			}
+			cl.Project()
+		} else if _, err = rql.Place(baseNet, rql.Config{Movebounds: norm}); err != nil {
+			return
+		}
+		_, err = legalize.Legalize(baseNet, legalize.Options{})
+	}()
+	row.BaseTime = time.Since(start)
+	if err != nil {
+		// Mirrors "crashed" entries of Table IV: the baseline could not
+		// produce a legal placement.
+		row.BaseFailed = true
+	} else {
+		row.BaseHPWL = baseNet.HPWL()
+		if withMB {
+			norm, nerr := region.Normalize(baseNet.Area, mbs)
+			if nerr == nil {
+				row.BaseViol = region.CheckLegal(baseNet, norm)
+			}
+		}
+	}
+
+	// FBP placer (same cluster ratio).
+	fbpNet := inst.N.Clone()
+	rep, err := placer.Place(fbpNet, placer.Config{
+		Movebounds:   mbs,
+		ClusterRatio: clusterRatioFor(len(fbpNet.MovableIDs())),
+	})
+	if err != nil {
+		return row, fmt.Errorf("%s: FBP: %w", inst.Spec.Name, err)
+	}
+	row.FBPHPWL = rep.HPWL
+	row.FBPTime = rep.GlobalTime + rep.LegalTime
+	row.FBPViol = rep.Violations
+	row.FBPGlobal = rep.GlobalTime
+	row.FBPLegal = rep.LegalTime
+	return row, nil
+}
+
+// Table2 compares the two placers on chips without movebounds (paper
+// Table II). count limits the chip list (0 = all 21).
+func Table2(scale float64, count int) ([]CompareRow, error) {
+	var rows []CompareRow
+	for _, spec := range gen.TableIIChips(scale, count) {
+		inst, err := gen.Chip(spec)
+		if err != nil {
+			return rows, err
+		}
+		row, err := runPair(inst, false)
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintCompare renders Tables II/IV/V: HPWL and runtime per chip with
+// the baseline as 100%, plus totals.
+func PrintCompare(w io.Writer, title string, rows []CompareRow, withViol bool) {
+	fmt.Fprintln(w, title)
+	if withViol {
+		fmt.Fprintf(w, "%-10s %8s | %12s %10s %6s | %12s %10s %6s | %7s %8s\n",
+			"chip", "cells", "RQL HPWL", "time", "viol", "FBP HPWL", "time", "viol", "HPWL%", "speedup")
+	} else {
+		fmt.Fprintf(w, "%-10s %8s | %12s %10s | %12s %10s | %7s %8s\n",
+			"chip", "cells", "RQL HPWL", "time", "FBP HPWL", "time", "HPWL%", "speedup")
+	}
+	var sumBase, sumFBP float64
+	var sumBaseT, sumFBPT time.Duration
+	for _, r := range rows {
+		ratio := "-"
+		speedup := "-"
+		baseH := "crashed"
+		baseT := "-"
+		if !r.BaseFailed {
+			baseH = fmt.Sprintf("%.0f", r.BaseHPWL)
+			baseT = fmtDur(r.BaseTime)
+			ratio = fmt.Sprintf("%.1f%%", 100*r.FBPHPWL/r.BaseHPWL)
+			speedup = fmt.Sprintf("%.1fx", float64(r.BaseTime)/float64(r.FBPTime))
+			sumBase += r.BaseHPWL
+			sumFBP += r.FBPHPWL
+			sumBaseT += r.BaseTime
+			sumFBPT += r.FBPTime
+		}
+		if withViol {
+			fmt.Fprintf(w, "%-10s %8d | %12s %10s %6d | %12.0f %10s %6d | %7s %8s\n",
+				r.Chip, r.Cells, baseH, baseT, r.BaseViol, r.FBPHPWL, fmtDur(r.FBPTime), r.FBPViol, ratio, speedup)
+		} else {
+			fmt.Fprintf(w, "%-10s %8d | %12s %10s | %12.0f %10s | %7s %8s\n",
+				r.Chip, r.Cells, baseH, baseT, r.FBPHPWL, fmtDur(r.FBPTime), ratio, speedup)
+		}
+	}
+	if sumBase > 0 && sumFBPT > 0 {
+		fmt.Fprintf(w, "%-10s: FBP HPWL = %.1f%% of baseline, speedup %.1fx\n",
+			"TOTAL", 100*sumFBP/sumBase, float64(sumBaseT)/float64(sumFBPT))
+	}
+}
+
+// T3Row is one chip of Table III.
+type T3Row struct {
+	Chip       string
+	NumMB      int
+	Cells      int
+	PctMB      float64
+	MaxDensity float64
+	Remark     string
+}
+
+// Table3 generates the movebounded instances and reports their measured
+// characteristics (paper Table III).
+func Table3(scale float64) ([]T3Row, []*gen.Instance, error) {
+	var rows []T3Row
+	var insts []*gen.Instance
+	for _, spec := range gen.TableIIIChips(scale, region.Inclusive) {
+		inst, err := gen.Chip(spec)
+		if err != nil {
+			return rows, insts, err
+		}
+		n := inst.N
+		withMB := 0
+		mbArea := make([]float64, len(inst.Movebounds))
+		for i := range n.Cells {
+			if n.Cells[i].Fixed {
+				continue
+			}
+			if mb := n.Cells[i].Movebound; mb != netlist.NoMovebound {
+				withMB++
+				mbArea[mb] += n.Cells[i].Size()
+			}
+		}
+		maxDens := 0.0
+		for m := range inst.Movebounds {
+			if a := inst.Movebounds[m].Area.Area(); a > 0 {
+				if d := mbArea[m] / a; d > maxDens {
+					maxDens = d
+				}
+			}
+		}
+		rows = append(rows, T3Row{
+			Chip: spec.Name, NumMB: len(inst.Movebounds), Cells: n.NumCells(),
+			PctMB:      float64(withMB) / float64(len(n.MovableIDs())),
+			MaxDensity: maxDens,
+			Remark:     gen.TableIIIRemark(spec.Name),
+		})
+		insts = append(insts, inst)
+	}
+	return rows, insts, nil
+}
+
+// PrintTable3 renders Table III.
+func PrintTable3(w io.Writer, rows []T3Row) {
+	fmt.Fprintln(w, "TABLE III: Movebounded instances (generated)")
+	fmt.Fprintf(w, "%-10s %6s %10s %12s %10s %8s\n", "chip", "|M|", "|C|", "% cells mb", "max dens", "remarks")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %6d %10d %11.1f%% %9.0f%% %8s\n",
+			r.Chip, r.NumMB, r.Cells, 100*r.PctMB, 100*r.MaxDensity, r.Remark)
+	}
+}
+
+// Table4 compares the placers on the inclusive movebound instances
+// (paper Table IV); the rows double as Table VI input.
+func Table4(scale float64) ([]CompareRow, error) {
+	_, insts, err := Table3(scale)
+	if err != nil {
+		return nil, err
+	}
+	var rows []CompareRow
+	for _, inst := range insts {
+		row, err := runPair(inst, true)
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table5 compares the placers on the exclusive movebound instances
+// (paper Table V).
+func Table5(scale float64) ([]CompareRow, error) {
+	var rows []CompareRow
+	for _, spec := range gen.TableIIIChips(scale, region.Exclusive) {
+		inst, err := gen.Chip(spec)
+		if err != nil {
+			return rows, err
+		}
+		row, err := runPair(inst, true)
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintTable6 renders the runtime split of the FBP runs (paper Table VI).
+func PrintTable6(w io.Writer, rows []CompareRow) {
+	fmt.Fprintln(w, "TABLE VI: BonnPlace FBP runtime split (inclusive movebounds)")
+	fmt.Fprintf(w, "%-10s %12s %14s %12s %14s\n", "chip", "global", "legalization", "total", "global/total")
+	var g, l time.Duration
+	for _, r := range rows {
+		total := r.FBPGlobal + r.FBPLegal
+		fmt.Fprintf(w, "%-10s %12s %14s %12s %13.1f%%\n",
+			r.Chip, fmtDur(r.FBPGlobal), fmtDur(r.FBPLegal), fmtDur(total),
+			100*float64(r.FBPGlobal)/float64(total))
+		g += r.FBPGlobal
+		l += r.FBPLegal
+	}
+	if g+l > 0 {
+		fmt.Fprintf(w, "%-10s %12s %14s %12s %13.1f%%\n",
+			"TOTAL", fmtDur(g), fmtDur(l), fmtDur(g+l), 100*float64(g)/float64(g+l))
+	}
+}

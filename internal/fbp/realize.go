@@ -1,0 +1,795 @@
+package fbp
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"fbplace/internal/flow"
+	"fbplace/internal/geom"
+	"fbplace/internal/grid"
+	"fbplace/internal/netlist"
+	"fbplace/internal/qp"
+	"fbplace/internal/transport"
+)
+
+// RegionRef identifies a window-region: window index and position within
+// the window's region list.
+type RegionRef struct {
+	Window int32
+	Index  int32
+}
+
+// Result of a partitioning run.
+type Result struct {
+	// CellRegion maps every cell to its assigned window-region;
+	// {-1, -1} for fixed cells.
+	CellRegion []RegionRef
+	// Stats carries model sizes and phase runtimes.
+	Stats Stats
+	// RoundingOverflow is the total cell area exceeding region capacities
+	// after majority rounding of split cells (diagnostics; absorbed by
+	// later levels or legalization).
+	RoundingOverflow float64
+}
+
+// realizer carries the mutable state of the realization phase.
+type realizer struct {
+	m   *Model
+	n   *netlist.Netlist
+	cfg Config
+
+	// Per movable cell: current window, position, parked-at-transit flag.
+	curWin []int32
+	parked []bool
+	// assignment after the most recent transportation covering the cell.
+	cellRegion []RegionRef
+	// cellsIn[w] lists movable cells currently in window w.
+	cellsIn [][]int32
+	// unrealizedOut[(class*W+w)*4+dir] = remaining outgoing external flow.
+	unrealizedOut []float64
+	// outgoing[class*W+w] lists indices into m.Externals with the given
+	// class and From == w, flow > 0. The topological order runs over
+	// these (class, window) units: each class's external subgraph is
+	// acyclic (an optimal MCF cannot afford the positive-cost transit
+	// edges a directed cycle would need), and different classes are
+	// disjoint subgraphs, so the union is acyclic too. Collapsing to
+	// plain windows would create artificial cycles whenever two classes
+	// ship in opposite directions between the same window pair.
+	outgoing [][]int32
+	incoming [][]int32
+
+	waves int
+}
+
+// unit is a realization step: one window together with the classes whose
+// outgoing external edges are realized in this step. Multiple classes of
+// the same window at the same topological level are merged into one step —
+// the block transportation repartitions all block cells anyway, so
+// realizing them together saves a full local QP + transport per class.
+type unit struct {
+	window  int
+	classes []int
+}
+
+// Partition runs the full flow-based partitioning: model build, MCF solve
+// and realization. It assigns every movable cell to a window-region,
+// updates cell positions to lie inside their regions, and returns the
+// assignment. The netlist's positions are used as the starting state (the
+// "any given placement" of the paper).
+//
+// Feasibility invariant (sketch; the window-at-a-time variant of the
+// paper's per-edge induction [22]): at every stage and for every window w
+// and movebound class c,
+//
+//	area_c(w) <= absorbed_c(w) + unrealizedOut_c(w),
+//
+// where absorbed_c(w) is the class's share of w's region capacities in
+// the MCF solution and unrealizedOut_c(w) the flow on c's not yet
+// realized outgoing external edges. It holds initially by flow
+// conservation (supply + in = absorbed + out at each cell-group/transit
+// subgraph), and each realization step preserves it: the step's
+// transportation admits exactly the region capacities plus the remaining
+// transit capacities as sinks, and the incoming flows being realized fit
+// because f_e <= unrealizedIn_c(w) and
+// area_c(w) + unrealizedIn_c(w) <= absorbed_c(w) + unrealizedOut_c(w)
+// (conservation again). Processing units in topological order of the
+// flow-carrying external edges guarantees all of a unit's incoming edges
+// are realized before its outgoing ones, so after the last unit
+// unrealizedOut == 0 everywhere and the final per-window transportation
+// (cells -> regions) is feasible. Majority rounding perturbs the
+// invariant by at most a cell per sink; the capacity-aware rounding, the
+// relaxation ladder and repairOverflow bound and then remove that drift.
+func Partition(n *netlist.Netlist, wr *grid.WindowRegions, cfg Config) (*Result, error) {
+	assign := wr.Grid.AssignCells(n)
+	model := BuildModel(n, wr, assign)
+	if err := model.Solve(); err != nil {
+		return nil, err
+	}
+	return Realize(model, cfg)
+}
+
+// Realize turns a solved model into a cell-to-region partitioning.
+func Realize(m *Model, cfg Config) (*Result, error) {
+	start := time.Now()
+	n := m.N
+	g := m.WR.Grid
+	W := g.NumWindows()
+	r := &realizer{
+		m:             m,
+		n:             n,
+		cfg:           cfg,
+		curWin:        make([]int32, n.NumCells()),
+		parked:        make([]bool, n.NumCells()),
+		cellRegion:    make([]RegionRef, n.NumCells()),
+		cellsIn:       make([][]int32, W),
+		unrealizedOut: make([]float64, m.Classes*W*numDirs),
+		outgoing:      make([][]int32, m.Classes*W),
+		incoming:      make([][]int32, m.Classes*W),
+	}
+	for i := range n.Cells {
+		r.cellRegion[i] = RegionRef{-1, -1}
+		if n.Cells[i].Fixed {
+			r.curWin[i] = -1
+			continue
+		}
+		w := int32(g.LocateIndex(n.Pos(netlist.CellID(i))))
+		r.curWin[i] = w
+		r.cellsIn[w] = append(r.cellsIn[w], int32(i))
+	}
+	r.rebuildEdgeIndex()
+
+	levels, err := r.topoLevels()
+	if err != nil {
+		return nil, err
+	}
+	for _, level := range levels {
+		for _, wave := range r.waveSplit(level) {
+			r.waves++
+			if err := r.runWave(wave); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Final internal partitioning: every window maps its cells to its
+	// regions (no transit sinks remain).
+	if err := r.finalPass(); err != nil {
+		return nil, err
+	}
+	// Repair the residual overflow left by majority rounding across
+	// multi-hop realizations: move the smallest set of cells from
+	// overfull regions to the nearest admissible regions with headroom.
+	r.repairOverflow()
+	m.Stats.RealizeTime = time.Since(start)
+	m.Stats.Waves = r.waves
+
+	res := &Result{CellRegion: r.cellRegion, Stats: m.Stats}
+	res.RoundingOverflow = r.roundingOverflow()
+	return res, nil
+}
+
+// topoLevels orders the (class, window) units that carry outgoing external
+// flow into topological levels of the flow-carrying external edge DAG.
+// Each class subgraph is acyclic in an optimal MCF (a directed cycle would
+// have to traverse positive-cost intra-window transit edges and could be
+// canceled at profit), and distinct classes are vertex-disjoint subgraphs,
+// so the union is a DAG. Rounding dust may still produce tiny residual
+// cycles; those are broken at their smallest-flow edge.
+func (r *realizer) topoLevels() ([][]unit, error) {
+	W := r.m.WR.Grid.NumWindows()
+	numUnits := r.m.Classes * W
+	indeg := make([]int, numUnits)
+	active := make([]bool, numUnits)
+	for ei := range r.m.Externals {
+		e := &r.m.Externals[ei]
+		if e.Flow <= flow.Eps {
+			continue
+		}
+		indeg[e.Class*W+e.To]++
+		active[e.Class*W+e.From] = true
+		active[e.Class*W+e.To] = true
+	}
+	level := make([]int, numUnits)
+	queue := make([]int, 0, numUnits)
+	totalActive := 0
+	for u := 0; u < numUnits; u++ {
+		if active[u] {
+			totalActive++
+			if indeg[u] == 0 {
+				queue = append(queue, u)
+			}
+		}
+	}
+	processed := 0
+	var order []int
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		processed++
+		for _, ei := range r.outgoing[u] {
+			e := &r.m.Externals[ei]
+			v := e.Class*W + e.To
+			if lv := level[u] + 1; lv > level[v] {
+				level[v] = lv
+			}
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if processed < totalActive {
+		// Residual cycle: drop the smallest-flow edge still blocked and
+		// retry (strictly decreases the number of flow-carrying edges).
+		minEi, minFlow := -1, flow.Inf
+		for ei := range r.m.Externals {
+			e := &r.m.Externals[ei]
+			if e.Flow > flow.Eps && e.Flow < minFlow && indeg[e.Class*W+e.To] > 0 {
+				minEi, minFlow = ei, e.Flow
+			}
+		}
+		if minEi < 0 {
+			return nil, fmt.Errorf("fbp: external edge cycle could not be broken")
+		}
+		r.m.Externals[minEi].Flow = 0
+		r.rebuildEdgeIndex()
+		return r.topoLevels()
+	}
+	// Group units with outgoing edges by level.
+	byLevel := map[int][]int{}
+	maxLevel := 0
+	for _, u := range order {
+		if len(r.outgoing[u]) == 0 {
+			continue
+		}
+		byLevel[level[u]] = append(byLevel[level[u]], u)
+		if level[u] > maxLevel {
+			maxLevel = level[u]
+		}
+	}
+	var levels [][]unit
+	for lv := 0; lv <= maxLevel; lv++ {
+		us := byLevel[lv]
+		if len(us) == 0 {
+			continue
+		}
+		sort.Ints(us)
+		// Merge same-window entries of this level into one unit.
+		var units []unit
+		byWin := map[int]int{}
+		for _, u := range us {
+			w, cls := u%W, u/W
+			pos, ok := byWin[w]
+			if !ok {
+				pos = len(units)
+				byWin[w] = pos
+				units = append(units, unit{window: w})
+			}
+			units[pos].classes = append(units[pos].classes, cls)
+		}
+		sort.Slice(units, func(a, b int) bool { return units[a].window < units[b].window })
+		levels = append(levels, units)
+	}
+	return levels, nil
+}
+
+func (r *realizer) rebuildEdgeIndex() {
+	W := r.m.WR.Grid.NumWindows()
+	for u := range r.outgoing {
+		r.outgoing[u] = r.outgoing[u][:0]
+		r.incoming[u] = r.incoming[u][:0]
+	}
+	for i := range r.unrealizedOut {
+		r.unrealizedOut[i] = 0
+	}
+	for ei := range r.m.Externals {
+		e := &r.m.Externals[ei]
+		if e.Flow <= flow.Eps {
+			continue
+		}
+		r.outgoing[e.Class*W+e.From] = append(r.outgoing[e.Class*W+e.From], int32(ei))
+		r.incoming[e.Class*W+e.To] = append(r.incoming[e.Class*W+e.To], int32(ei))
+		r.unrealizedOut[(e.Class*W+e.From)*numDirs+e.FromDir] += e.Flow
+	}
+}
+
+// waveSplit partitions one topological level into waves of units whose
+// 3x3 window blocks are pairwise disjoint (window Chebyshev distance > 2,
+// regardless of class — they mutate the same cell state), so each wave can
+// run fully in parallel while staying deterministic.
+func (r *realizer) waveSplit(level []unit) [][]unit {
+	g := r.m.WR.Grid
+	var waves [][]unit
+	taken := make([]int, len(level)) // wave index per unit
+	for i := range taken {
+		taken[i] = -1
+	}
+	for i, u := range level {
+		ix, iy := g.Coords(u.window)
+		wave := 0
+	retry:
+		for j := 0; j < i; j++ {
+			if taken[j] != wave {
+				continue
+			}
+			ox, oy := g.Coords(level[j].window)
+			if abs(ox-ix) <= 2 && abs(oy-iy) <= 2 {
+				wave++
+				goto retry
+			}
+		}
+		taken[i] = wave
+		for wave >= len(waves) {
+			waves = append(waves, nil)
+		}
+		waves[wave] = append(waves[wave], u)
+	}
+	return waves
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// runWave realizes the outgoing external edges of each unit in the wave,
+// in parallel. Positions of cells outside a unit's block are read from a
+// snapshot taken at wave start, which makes the computation independent of
+// scheduling order.
+func (r *realizer) runWave(wave []unit) error {
+	workers := r.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(wave) {
+		workers = len(wave)
+	}
+	var snapX, snapY []float64
+	if r.cfg.LocalQP {
+		snapX = append([]float64(nil), r.n.X...)
+		snapY = append([]float64(nil), r.n.Y...)
+	}
+	if workers <= 1 {
+		for _, u := range wave {
+			if err := r.realizeUnit(u, snapX, snapY); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(wave))
+	sem := make(chan struct{}, workers)
+	for i, u := range wave {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, u unit) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = r.realizeUnit(u, snapX, snapY)
+		}(i, u)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// realizeUnit realizes all outgoing external edges of one window for the
+// unit's classes: local QP over the 3x3 block, then a movebound-aware
+// transportation of all block cells onto the block's regions plus the
+// block's still-unrealized transit capacities (eq. 2).
+func (r *realizer) realizeUnit(un unit, snapX, snapY []float64) error {
+	g := r.m.WR.Grid
+	W := g.NumWindows()
+	u := un.window
+	block := g.Block3x3(u)
+
+	// Mark the unit's outgoing edges realized (their flow must move now).
+	for _, cls := range un.classes {
+		for _, ei := range r.outgoing[cls*W+u] {
+			e := &r.m.Externals[ei]
+			r.unrealizedOut[(e.Class*W+e.From)*numDirs+e.FromDir] -= e.Flow
+		}
+	}
+
+	// Collect the block's cells.
+	var cells []int32
+	for _, w := range block {
+		cells = append(cells, r.cellsIn[w]...)
+	}
+	if len(cells) == 0 {
+		return nil
+	}
+	// Local QP with everything outside the block fixed (snapshot reads).
+	// The QP only steers the transportation costs, so it runs at low
+	// precision; without the caps, coarse levels would solve near-global
+	// systems to full CG tolerance once per unit.
+	if r.cfg.LocalQP {
+		subset := make([]netlist.CellID, 0, len(cells))
+		for _, c := range cells {
+			if !r.parked[c] {
+				subset = append(subset, netlist.CellID(c))
+			}
+		}
+		opt := r.cfg.QP
+		opt.ReadX, opt.ReadY = snapX, snapY
+		if opt.Tol == 0 {
+			opt.Tol = 1e-3
+		}
+		if opt.MaxIter == 0 {
+			opt.MaxIter = 60
+		}
+		opt.BestEffort = true
+		if err := qp.SolveSubset(r.n, subset, nil, opt); err != nil {
+			return fmt.Errorf("fbp: local QP in window %d: %w", u, err)
+		}
+	}
+	return r.transportBlock(u, block, cells, true)
+}
+
+// transportBlock partitions the given cells among the regions of the
+// block windows plus (if allowTransit) the unrealized transit capacities.
+func (r *realizer) transportBlock(u int, block []int, cells []int32, allowTransit bool) error {
+	g := r.m.WR.Grid
+	W := g.NumWindows()
+	d := r.m.WR.Decomp
+	numMB := len(d.Movebounds)
+
+	type sinkInfo struct {
+		window  int32
+		region  int32 // region list index, or -1 for a transit sink
+		class   int32 // class restriction for transit sinks, -1 = open
+		dir     int32
+		pos     geom.Point
+		rectSet geom.RectSet
+	}
+	var sinks []sinkInfo
+	var caps []float64
+	for _, w := range block {
+		for k := range r.m.WR.PerWin[w] {
+			reg := &r.m.WR.PerWin[w][k]
+			if reg.Capacity <= 0 {
+				continue
+			}
+			sinks = append(sinks, sinkInfo{
+				window: int32(w), region: int32(k), class: -1,
+				pos: reg.Center, rectSet: reg.Rects,
+			})
+			caps = append(caps, reg.Capacity)
+		}
+	}
+	if allowTransit {
+		for cls := 0; cls < r.m.Classes; cls++ {
+			for _, w := range block {
+				for dir := 0; dir < numDirs; dir++ {
+					rem := r.unrealizedOut[(cls*W+w)*numDirs+dir]
+					if rem <= flow.Eps {
+						continue
+					}
+					sinks = append(sinks, sinkInfo{
+						window: int32(w), region: -1, class: int32(cls), dir: int32(dir),
+						pos: TransitPos(g, w, dir),
+					})
+					caps = append(caps, rem)
+				}
+			}
+		}
+	}
+	prob := &transport.Problem{
+		Supply:   make([]float64, len(cells)),
+		Capacity: caps,
+		Arcs:     make([][]transport.Arc, len(cells)),
+	}
+	for i, ci := range cells {
+		c := &r.n.Cells[ci]
+		prob.Supply[i] = c.Size()
+		pos := r.n.Pos(netlist.CellID(ci))
+		cls := classOf(c.Movebound, numMB)
+		for si := range sinks {
+			s := &sinks[si]
+			var cost float64
+			if s.region >= 0 {
+				reg := &r.m.WR.PerWin[s.window][s.region]
+				if !d.Admissible(c.Movebound, reg.Region) {
+					continue
+				}
+				// dist(c, r): L1 distance to the region area itself.
+				cost = pos.DistL1(nearestInSet(s.rectSet, pos))
+			} else {
+				if int(s.class) != cls {
+					continue
+				}
+				cost = pos.DistL1(s.pos)
+			}
+			prob.Arcs[i] = append(prob.Arcs[i], transport.Arc{Sink: si, Cost: cost})
+		}
+	}
+	sol, err := solveWithRelaxation(prob)
+	if err != nil {
+		return fmt.Errorf("fbp: transportation in block of window %d: %w", u, err)
+	}
+	rounded := roundCapacityAware(prob, sol)
+	// Apply: move cells between windows, set positions and assignments.
+	// First remove all block cells from their window lists, then re-add.
+	present := make(map[int32]bool, len(cells))
+	for _, ci := range cells {
+		present[ci] = true
+	}
+	for _, w := range block {
+		kept := r.cellsIn[w][:0]
+		for _, ci := range r.cellsIn[w] {
+			if !present[ci] {
+				kept = append(kept, ci)
+			}
+		}
+		r.cellsIn[w] = kept
+	}
+	for i, ci := range cells {
+		si := rounded[i]
+		if si < 0 {
+			return fmt.Errorf("fbp: cell %d received no sink", ci)
+		}
+		s := &sinks[si]
+		r.curWin[ci] = s.window
+		r.cellsIn[s.window] = append(r.cellsIn[s.window], ci)
+		if s.region >= 0 {
+			r.parked[ci] = false
+			r.cellRegion[ci] = RegionRef{Window: s.window, Index: s.region}
+			r.n.SetPos(netlist.CellID(ci), nearestInSet(s.rectSet, r.n.Pos(netlist.CellID(ci))))
+		} else {
+			r.parked[ci] = true
+			r.cellRegion[ci] = RegionRef{-1, -1}
+			r.n.SetPos(netlist.CellID(ci), s.pos)
+		}
+	}
+	return nil
+}
+
+// roundCapacityAware rounds the fractional transportation solution to an
+// integral assignment: unsplit cells keep their sink; split cells are then
+// placed, largest first, at the admissible sink of theirs with the most
+// remaining capacity headroom after preferring the majority portion. This
+// keeps the per-sink overflow bounded by one cell instead of letting many
+// boundary cells pile onto the same region.
+func roundCapacityAware(p *transport.Problem, sol *transport.Solution) []int {
+	remaining := append([]float64(nil), p.Capacity...)
+	out := make([]int, len(sol.Assign))
+	type split struct {
+		src  int
+		size float64
+	}
+	var splits []split
+	for i, ps := range sol.Assign {
+		if len(ps) == 1 {
+			out[i] = ps[0].Sink
+			remaining[ps[0].Sink] -= p.Supply[i]
+			continue
+		}
+		out[i] = -1
+		splits = append(splits, split{src: i, size: p.Supply[i]})
+	}
+	sort.Slice(splits, func(a, b int) bool {
+		if splits[a].size != splits[b].size {
+			return splits[a].size > splits[b].size
+		}
+		return splits[a].src < splits[b].src
+	})
+	for _, s := range splits {
+		best, bestScore := -1, 0.0
+		for _, portion := range sol.Assign[s.src] {
+			// Prefer the portion-weighted sink, tempered by remaining
+			// capacity so we do not overfill one sink repeatedly.
+			score := portion.Amount
+			if remaining[portion.Sink] < s.size {
+				score -= 2 * (s.size - remaining[portion.Sink])
+			}
+			if best < 0 || score > bestScore {
+				best, bestScore = portion.Sink, score
+			}
+		}
+		out[s.src] = best
+		remaining[best] -= s.size
+	}
+	return out
+}
+
+// solveWithRelaxation retries an infeasible transportation with gently
+// inflated capacities: majority rounding of earlier steps can overfill a
+// block by a few cells' area. The inflation ladder keeps the violation
+// bounded and is recorded by the caller via Result.RoundingOverflow.
+func solveWithRelaxation(p *transport.Problem) (*transport.Solution, error) {
+	factors := []float64{1, 1.001, 1.02, 1.1, 1.5, 4, 64}
+	base := append([]float64(nil), p.Capacity...)
+	var lastErr error
+	for _, f := range factors {
+		for i := range p.Capacity {
+			p.Capacity[i] = base[i] * f
+		}
+		sol, err := transport.Solve(p)
+		if err == nil {
+			copy(p.Capacity, base)
+			return sol, nil
+		}
+		lastErr = err
+	}
+	copy(p.Capacity, base)
+	return nil, lastErr
+}
+
+// nearestInSet returns the point of the rectangle set closest (L1) to p.
+func nearestInSet(rs geom.RectSet, p geom.Point) geom.Point {
+	best := p
+	bestD := -1.0
+	for _, rect := range rs {
+		q := rect.ClampPoint(p)
+		d := q.DistL1(p)
+		if bestD < 0 || d < bestD {
+			best, bestD = q, d
+		}
+	}
+	return best
+}
+
+// finalPass maps the cells of every window onto the window's regions
+// (transit capacities are all realized by now). Windows are independent,
+// so the pass runs on a worker pool; results are deterministic because
+// each window's transportation only touches its own cells.
+func (r *realizer) finalPass() error {
+	g := r.m.WR.Grid
+	workers := r.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > g.NumWindows() {
+		workers = g.NumWindows()
+	}
+	if workers <= 1 {
+		for w := 0; w < g.NumWindows(); w++ {
+			if len(r.cellsIn[w]) == 0 {
+				continue
+			}
+			if err := r.transportBlock(w, []int{w}, append([]int32(nil), r.cellsIn[w]...), false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	next := make(chan int)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			for w := range next {
+				if err := r.transportBlock(w, []int{w}, append([]int32(nil), r.cellsIn[w]...), false); err != nil && errs[wk] == nil {
+					errs[wk] = err
+				}
+			}
+		}(wk)
+	}
+	for w := 0; w < g.NumWindows(); w++ {
+		if len(r.cellsIn[w]) > 0 {
+			next <- w
+		}
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// repairOverflow relocates cells from regions whose rounded usage exceeds
+// capacity to admissible regions with free space, nearest first. Rounding
+// leaves only a few cells' worth of overflow, so a greedy deterministic
+// sweep suffices.
+func (r *realizer) repairOverflow() {
+	wr := r.m.WR
+	usage := map[RegionRef]float64{}
+	cellsOf := map[RegionRef][]int32{}
+	for i := range r.n.Cells {
+		if r.n.Cells[i].Fixed {
+			continue
+		}
+		ref := r.cellRegion[i]
+		usage[ref] += r.n.Cells[i].Size()
+		cellsOf[ref] = append(cellsOf[ref], int32(i))
+	}
+	// All region refs in deterministic order.
+	var refs []RegionRef
+	for w := range wr.PerWin {
+		for k := range wr.PerWin[w] {
+			refs = append(refs, RegionRef{Window: int32(w), Index: int32(k)})
+		}
+	}
+	capOf := func(ref RegionRef) float64 { return wr.PerWin[ref.Window][ref.Index].Capacity }
+	for _, ref := range refs {
+		over := usage[ref] - capOf(ref)
+		if over <= flow.Eps {
+			continue
+		}
+		// Move smallest cells first: they fit into slack most easily and
+		// minimize moved area beyond the strict overflow.
+		cells := append([]int32(nil), cellsOf[ref]...)
+		sort.Slice(cells, func(a, b int) bool {
+			sa, sb := r.n.Cells[cells[a]].Size(), r.n.Cells[cells[b]].Size()
+			if sa != sb {
+				return sa < sb
+			}
+			return cells[a] < cells[b]
+		})
+		for _, ci := range cells {
+			if over <= flow.Eps {
+				break
+			}
+			size := r.n.Cells[ci].Size()
+			pos := r.n.Pos(netlist.CellID(ci))
+			mb := r.n.Cells[ci].Movebound
+			best := RegionRef{-1, -1}
+			bestD := 0.0
+			var bestPos geom.Point
+			for _, cand := range refs {
+				if cand == ref {
+					continue
+				}
+				reg := &wr.PerWin[cand.Window][cand.Index]
+				if !wr.Decomp.Admissible(mb, reg.Region) {
+					continue
+				}
+				if capOf(cand)-usage[cand] < size {
+					continue
+				}
+				q := nearestInSet(reg.Rects, pos)
+				d := q.DistL1(pos)
+				if best.Window < 0 || d < bestD {
+					best, bestD, bestPos = cand, d, q
+				}
+			}
+			if best.Window < 0 {
+				continue // no headroom anywhere admissible; leave the cell
+			}
+			usage[ref] -= size
+			usage[best] += size
+			over -= size
+			r.cellRegion[ci] = best
+			r.curWin[ci] = best.Window
+			r.n.SetPos(netlist.CellID(ci), bestPos)
+		}
+	}
+}
+
+// roundingOverflow sums, over all window-regions, the assigned cell area
+// exceeding the region capacity.
+func (r *realizer) roundingOverflow() float64 {
+	usage := map[RegionRef]float64{}
+	for i := range r.n.Cells {
+		if r.n.Cells[i].Fixed {
+			continue
+		}
+		usage[r.cellRegion[i]] += r.n.Cells[i].Size()
+	}
+	total := 0.0
+	for ref, u := range usage {
+		if ref.Window < 0 {
+			total += u // unassigned cells count fully
+			continue
+		}
+		if c := r.m.WR.PerWin[ref.Window][ref.Index].Capacity; u > c {
+			total += u - c
+		}
+	}
+	return total
+}

@@ -1,0 +1,49 @@
+package flow
+
+import "fmt"
+
+// nsDebugCheck, when set, validates the simplex invariants after every
+// pivot (tests only; quadratic cost).
+var nsDebugCheck func(ns *netSimplex, b []float64, pivotNo int)
+
+func nsValidate(ns *netSimplex, b []float64, pivotNo int) error {
+	// Conservation at every node.
+	bal := make([]float64, ns.numNodes)
+	for ai := range ns.from {
+		f := ns.flow[ai]
+		if f < -1e-9 {
+			return fmt.Errorf("pivot %d: arc %d negative flow %g", pivotNo, ai, f)
+		}
+		if f > ns.cap[ai]+1e-9 {
+			return fmt.Errorf("pivot %d: arc %d flow %g > cap %g", pivotNo, ai, f, ns.cap[ai])
+		}
+		bal[ns.from[ai]] -= f
+		bal[ns.to[ai]] += f
+	}
+	for v := 0; v < ns.numNodes; v++ {
+		want := -b[v]
+		if diff := bal[v] - want; diff > 1e-6 || diff < -1e-6 {
+			return fmt.Errorf("pivot %d: node %d balance %g want %g", pivotNo, v, bal[v], want)
+		}
+	}
+	// Tree arcs: reduced cost zero; non-tree at bounds.
+	for ai := range ns.from {
+		rc := ns.cost[ai] + ns.pi[ns.from[ai]] - ns.pi[ns.to[ai]]
+		switch ns.state[ai] {
+		case stateTree:
+			if rc > 1e-6 || rc < -1e-6 {
+				return fmt.Errorf("pivot %d: tree arc %d rc %g", pivotNo, ai, rc)
+			}
+		case stateLower:
+			if ns.flow[ai] > 1e-9 {
+				return fmt.Errorf("pivot %d: lower arc %d flow %g", pivotNo, ai, ns.flow[ai])
+			}
+		case stateUpper:
+			if ns.flow[ai] < ns.cap[ai]-1e-9 {
+				return fmt.Errorf("pivot %d: upper arc %d flow %g cap %g", pivotNo, ai, ns.flow[ai], ns.cap[ai])
+			}
+		}
+	}
+	// Tree structure: every node reaches root.
+	return nil
+}

@@ -1,0 +1,297 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"fbplace/internal/netlist"
+	"fbplace/internal/region"
+)
+
+func TestChipBasics(t *testing.T) {
+	inst, err := Chip(ChipSpec{Name: "t", NumCells: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := inst.N
+	if n.NumCells() != 500 {
+		t.Fatalf("cells = %d", n.NumCells())
+	}
+	if n.NumNets() < 500 {
+		t.Fatalf("nets = %d, want >= cells", n.NumNets())
+	}
+	// Utilization near the default 0.55.
+	util := n.TotalMovableArea() / n.Area.Area()
+	if util < 0.4 || util > 0.7 {
+		t.Fatalf("utilization = %g", util)
+	}
+	if err := n.Validate(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChipDeterministic(t *testing.T) {
+	a, err := Chip(ChipSpec{Name: "t", NumCells: 300, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Chip(ChipSpec{Name: "t", NumCells: 300, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N.NumNets() != b.N.NumNets() {
+		t.Fatalf("net counts differ: %d vs %d", a.N.NumNets(), b.N.NumNets())
+	}
+	for i := range a.N.Cells {
+		if a.N.Cells[i].Width != b.N.Cells[i].Width {
+			t.Fatalf("cell %d width differs", i)
+		}
+	}
+	c, err := Chip(ChipSpec{Name: "t", NumCells: 300, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a.N.Cells {
+		if a.N.Cells[i].Width == c.N.Cells[i].Width {
+			same++
+		}
+	}
+	if same == 300 {
+		t.Fatal("different seeds produced identical cells")
+	}
+}
+
+func TestChipWithMacros(t *testing.T) {
+	inst, err := Chip(ChipSpec{Name: "t", NumCells: 400, NumMacros: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := 0
+	for i := range inst.N.Cells {
+		if inst.N.Cells[i].Fixed {
+			fixed++
+			if !inst.N.Area.ContainsRect(inst.N.CellRect(netlist.CellID(i))) {
+				t.Fatalf("macro %d outside chip", i)
+			}
+		}
+	}
+	if fixed != 4 {
+		t.Fatalf("fixed cells = %d, want 4", fixed)
+	}
+}
+
+func TestChipMovebounds(t *testing.T) {
+	inst, err := Chip(ChipSpec{
+		Name: "t", NumCells: 600, Seed: 3,
+		Movebounds: []MoveboundSpec{
+			{Kind: region.Inclusive, CellFraction: 0.2, Density: 0.7, NestedIn: -1},
+			{Kind: region.Inclusive, CellFraction: 0.1, Density: 0.6, NestedIn: 0},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Movebounds) != 2 {
+		t.Fatalf("movebounds = %d", len(inst.Movebounds))
+	}
+	counts := make([]int, 2)
+	areas := make([]float64, 2)
+	for i := range inst.N.Cells {
+		if mb := inst.N.Cells[i].Movebound; mb != netlist.NoMovebound {
+			counts[mb]++
+			areas[mb] += inst.N.Cells[i].Size()
+		}
+	}
+	if counts[0] < 100 || counts[1] < 50 {
+		t.Fatalf("movebound cell counts = %v", counts)
+	}
+	// Density target respected: cell area <= density * area.
+	for m := range inst.Movebounds {
+		a := inst.Movebounds[m].Area.Area()
+		if areas[m] > a*0.95 {
+			t.Fatalf("movebound %d too dense: %g cells in %g area", m, areas[m], a)
+		}
+	}
+	// Nested movebound inside its parent.
+	if !inst.Movebounds[0].Area.ContainsRect(inst.Movebounds[1].Area[0]) {
+		t.Fatalf("nested movebound not contained: %v in %v", inst.Movebounds[1].Area, inst.Movebounds[0].Area)
+	}
+	// The whole instance must be feasible.
+	norm, err := region.Normalize(inst.N.Area, inst.Movebounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := region.Decompose(inst.N.Area, norm)
+	caps := d.Capacities(inst.N.FixedRects(), 0.97)
+	if rep := region.CheckFeasibility(inst.N, d, caps); !rep.Feasible {
+		t.Fatalf("generated instance infeasible: %+v", rep)
+	}
+}
+
+func TestChipExclusiveMoveboundsSeparated(t *testing.T) {
+	inst, err := Chip(ChipSpec{
+		Name: "t", NumCells: 800, Seed: 4,
+		Movebounds: []MoveboundSpec{
+			{Kind: region.Exclusive, CellFraction: 0.1, Density: 0.7, NestedIn: -1},
+			{Kind: region.Exclusive, CellFraction: 0.1, Density: 0.7, NestedIn: -1},
+			{Kind: region.Inclusive, CellFraction: 0.1, Density: 0.7, NestedIn: -1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normalize must accept (exclusive bounds disjoint from everything).
+	if _, err := region.Normalize(inst.N.Area, inst.Movebounds); err != nil {
+		t.Fatalf("exclusive movebounds not separated: %v", err)
+	}
+}
+
+func TestTableIIChips(t *testing.T) {
+	specs := TableIIChips(0.01, 0)
+	if len(specs) != 21 {
+		t.Fatalf("specs = %d, want 21", len(specs))
+	}
+	if specs[0].Name != "Dagmar" || specs[20].Name != "Erik" {
+		t.Fatalf("order wrong: %s .. %s", specs[0].Name, specs[20].Name)
+	}
+	// Scaled counts keep the ordering.
+	for i := 1; i < len(specs); i++ {
+		if specs[i].NumCells < specs[i-1].NumCells {
+			t.Fatalf("cell counts not monotone at %s", specs[i].Name)
+		}
+	}
+	if specs[0].NumCells != 2000 { // floor applies at 1% of 50k
+		t.Fatalf("Dagmar scaled = %d", specs[0].NumCells)
+	}
+}
+
+func TestTableIIIChips(t *testing.T) {
+	incl := TableIIIChips(0.01, region.Inclusive)
+	if len(incl) != 8 {
+		t.Fatalf("inclusive specs = %d, want 8", len(incl))
+	}
+	excl := TableIIIChips(0.01, region.Exclusive)
+	if len(excl) != 5 {
+		t.Fatalf("exclusive specs = %d, want 5 (Table V)", len(excl))
+	}
+	for _, s := range excl {
+		for _, mb := range s.Movebounds {
+			if mb.Kind != region.Exclusive {
+				t.Fatalf("%s has non-exclusive movebound", s.Name)
+			}
+			if mb.Overlap || mb.NestedIn >= 0 {
+				t.Fatalf("%s exclusive spec requests overlap/nesting", s.Name)
+			}
+		}
+	}
+	// All Table III instances must generate and be feasible.
+	for _, s := range incl[:3] {
+		s.NumCells = 2000
+		inst, err := Chip(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		norm, err := region.Normalize(inst.N.Area, inst.Movebounds)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		d := region.Decompose(inst.N.Area, norm)
+		caps := d.Capacities(inst.N.FixedRects(), 0.97)
+		if rep := region.CheckFeasibility(inst.N, d, caps); !rep.Feasible {
+			t.Fatalf("%s infeasible: %+v", s.Name, rep)
+		}
+	}
+}
+
+func TestISPDChips(t *testing.T) {
+	specs := ISPDChips(0.01)
+	if len(specs) != 8 {
+		t.Fatalf("specs = %d", len(specs))
+	}
+	if _, err := ISPDTargetDensity("newblue3"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ISPDTargetDensity("nope"); err == nil {
+		t.Fatal("unknown instance accepted")
+	}
+}
+
+func TestTableIIIRemark(t *testing.T) {
+	cases := map[string]string{
+		"Rabe": "", "Ashraf": "(F)", "Tomoku": "(O)(F)", "Trips": "(O)",
+	}
+	for name, want := range cases {
+		if got := TableIIIRemark(name); got != want {
+			t.Errorf("remark(%s) = %q, want %q", name, got, want)
+		}
+	}
+}
+
+func TestGridLevels(t *testing.T) {
+	levels := GridLevels(100_000)
+	if len(levels) == 0 || levels[0] != 4 {
+		t.Fatalf("levels = %v", levels)
+	}
+	for i := 1; i < len(levels); i++ {
+		if levels[i] != levels[i-1]*2 {
+			t.Fatalf("levels not doubling: %v", levels)
+		}
+	}
+	last := levels[len(levels)-1]
+	if last*last > 100_000/4 {
+		t.Fatalf("finest grid too fine: %v", levels)
+	}
+}
+
+func TestScaleCellsFloor(t *testing.T) {
+	if got := scaleCells(50_000, 0.001); got != 2000 {
+		t.Fatalf("scaleCells = %d", got)
+	}
+	if got := scaleCells(1_000_000, 0.01); got != 10_000 {
+		t.Fatalf("scaleCells = %d", got)
+	}
+}
+
+func TestErhardLike(t *testing.T) {
+	s := ErhardLike(0.005)
+	if s.Name != "Erhard" {
+		t.Fatalf("name = %s", s.Name)
+	}
+	if len(s.Movebounds) == 0 {
+		t.Fatal("Erhard spec has no movebounds")
+	}
+	if math.Abs(float64(s.NumCells)-2578246*0.005) > 2 {
+		t.Fatalf("NumCells = %d", s.NumCells)
+	}
+}
+
+func TestChipLShapedMovebound(t *testing.T) {
+	inst, err := Chip(ChipSpec{
+		Name: "L", NumCells: 800, Seed: 12,
+		Movebounds: []MoveboundSpec{
+			{Kind: region.Inclusive, CellFraction: 0.2, Density: 0.6, NestedIn: -1, LShaped: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	area := inst.Movebounds[0].Area
+	if len(area) != 2 {
+		t.Fatalf("L-shaped area has %d rects, want 2", len(area))
+	}
+	// Non-convex: the union area is strictly below the bounding box area.
+	if area.Area() >= area.BBox().Area()-1e-9 {
+		t.Fatalf("area %v is convex (union %.1f, bbox %.1f)", area, area.Area(), area.BBox().Area())
+	}
+	// Still feasible end to end.
+	norm, err := region.Normalize(inst.N.Area, inst.Movebounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := region.Decompose(inst.N.Area, norm)
+	caps := d.Capacities(inst.N.FixedRects(), 0.97)
+	if rep := region.CheckFeasibility(inst.N, d, caps); !rep.Feasible {
+		t.Fatalf("L-shaped instance infeasible: %+v", rep)
+	}
+}

@@ -1,0 +1,239 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"fbplace/internal/region"
+)
+
+// tableIIRow carries the published size of one industrial chip (Table II).
+type tableIIRow struct {
+	name  string
+	cells int // thousands in the paper; stored as full counts
+}
+
+// tableII mirrors the 21 chips of paper Table II (cell counts in units).
+var tableII = []tableIIRow{
+	{"Dagmar", 50_000}, {"Elisa", 67_000}, {"Lucius", 77_000},
+	{"Felix", 87_000}, {"Paula", 129_000}, {"Rabe", 175_000},
+	{"Julia", 190_000}, {"Max", 328_000}, {"Roger", 456_000},
+	{"Ashraf", 867_000}, {"Patrick", 1_052_000}, {"Erhard", 2_578_000},
+	{"Arijan", 3_753_000}, {"Philipp", 3_946_000}, {"Tomoku", 5_296_000},
+	{"Trips", 5_747_000}, {"Valentin", 5_838_000}, {"Andre", 6_794_000},
+	{"Ludwig", 7_500_000}, {"Leyla", 8_472_000}, {"Erik", 9_316_000},
+}
+
+// tableIIIRow carries the movebound characteristics of paper Table III.
+type tableIIIRow struct {
+	name       string
+	numMB      int
+	cells      int
+	pctCells   float64 // fraction of cells with movebounds
+	maxDensity float64
+	overlap    bool // (O)
+	flattened  bool // (F): nested movebounds from hierarchy
+}
+
+var tableIII = []tableIIIRow{
+	{"Rabe", 2, 175_646, 0.043, 0.67, false, false},
+	{"Ashraf", 206, 866_777, 0.220, 0.92, false, true},
+	{"Erhard", 43, 2_578_246, 0.978, 0.74, false, false},
+	{"Tomoku", 85, 5_296_120, 0.012, 0.74, true, true},
+	{"Trips", 114, 5_747_007, 0.994, 0.81, true, false},
+	{"Andre", 43, 6_794_323, 0.038, 0.73, true, true},
+	{"Ludwig", 33, 7_500_446, 0.027, 0.70, true, true},
+	{"Erik", 39, 9_316_938, 0.846, 0.85, false, true},
+}
+
+// tableVChips are the instances of paper Table V (exclusive movebounds).
+var tableVChips = []string{"Rabe", "Ashraf", "Erhard", "Andre", "Erik"}
+
+// ispdRow approximates the ISPD 2006 contest instances (Table VII).
+type ispdRow struct {
+	name    string
+	cells   int
+	macros  int
+	density float64 // contest target density
+}
+
+var ispdTable = []ispdRow{
+	{"adaptec5", 843_128, 20, 0.50},
+	{"newblue1", 330_474, 10, 0.80},
+	{"newblue2", 441_516, 30, 0.90},
+	{"newblue3", 494_011, 20, 0.80},
+	{"newblue4", 646_139, 20, 0.50},
+	{"newblue5", 1_233_058, 30, 0.50},
+	{"newblue6", 1_255_039, 20, 0.80},
+	{"newblue7", 2_507_954, 40, 0.80},
+}
+
+// scaleCells scales a published cell count down for tractable runs. The
+// scale is a fraction (1.0 = full size); counts are floored at 2000 so the
+// algorithmic regime (many windows, many levels) is preserved.
+func scaleCells(published int, scale float64) int {
+	c := int(float64(published) * scale)
+	if c < 2000 {
+		c = 2000
+	}
+	return c
+}
+
+// TableIIChips returns the specs of the 21 industrial chips of Table II at
+// the given scale, without movebounds. count limits the list (0 = all).
+func TableIIChips(scale float64, count int) []ChipSpec {
+	if count <= 0 || count > len(tableII) {
+		count = len(tableII)
+	}
+	specs := make([]ChipSpec, 0, count)
+	for i, row := range tableII[:count] {
+		specs = append(specs, ChipSpec{
+			Name:        row.name,
+			NumCells:    scaleCells(row.cells, scale),
+			Utilization: 0.55,
+			NumMacros:   2 + i%4,
+			Seed:        int64(1000 + i),
+		})
+	}
+	return specs
+}
+
+// TableIIIChips returns the specs of the 8 movebounded chips of Table III
+// at the given scale. kind selects inclusive (Table IV) or exclusive
+// (Table V — only the five chips the paper ran exclusively) variants.
+func TableIIIChips(scale float64, kind region.Kind) []ChipSpec {
+	var specs []ChipSpec
+	for i, row := range tableIII {
+		if kind == region.Exclusive && !contains(tableVChips, row.name) {
+			continue
+		}
+		// The paper caps movebound counts per chip; scale them down too,
+		// keeping at least 2 so overlap/nesting scenarios still occur.
+		// Exclusive areas must be pairwise disjoint, so scaled-down chips
+		// carry fewer of them.
+		numMB := row.numMB
+		if numMB > 12 {
+			numMB = 12
+		}
+		if kind == region.Exclusive && numMB > 6 {
+			numMB = 6
+		}
+		spec := ChipSpec{
+			Name:        row.name,
+			NumCells:    scaleCells(row.cells, scale),
+			Utilization: 0.55,
+			NumMacros:   2,
+			Seed:        int64(2000 + i),
+		}
+		perMB := row.pctCells / float64(numMB)
+		for m := 0; m < numMB; m++ {
+			ms := MoveboundSpec{
+				Kind:         kind,
+				CellFraction: perMB,
+				Density:      row.maxDensity * (0.8 + 0.2*float64(m%3)/2),
+				NestedIn:     -1,
+			}
+			if kind == region.Inclusive {
+				if row.flattened && m%3 == 1 && m > 0 {
+					ms.NestedIn = m - 1
+				}
+				if row.overlap && m%4 == 2 {
+					ms.Overlap = true
+				}
+				if row.flattened && m%5 == 3 {
+					// Flattened hierarchy blocks are often non-convex.
+					ms.LShaped = true
+				}
+			}
+			spec.Movebounds = append(spec.Movebounds, ms)
+		}
+		specs = append(specs, spec)
+	}
+	return specs
+}
+
+// ISPDChips returns the 8 ISPD-2006-style mixed-size specs of Table VII.
+func ISPDChips(scale float64) []ChipSpec {
+	specs := make([]ChipSpec, 0, len(ispdTable))
+	for i, row := range ispdTable {
+		util := row.density * 0.75 // contest designs are not full
+		if util > 0.65 {
+			util = 0.65
+		}
+		specs = append(specs, ChipSpec{
+			Name:        row.name,
+			NumCells:    scaleCells(row.cells, scale),
+			Utilization: util,
+			NumMacros:   row.macros,
+			Seed:        int64(3000 + i),
+		})
+	}
+	return specs
+}
+
+// ISPDTargetDensity returns the contest target density of an ISPD-style
+// instance generated by ISPDChips.
+func ISPDTargetDensity(name string) (float64, error) {
+	for _, row := range ispdTable {
+		if row.name == name {
+			return row.density, nil
+		}
+	}
+	return 0, fmt.Errorf("gen: unknown ISPD instance %q", name)
+}
+
+// TableIIIRemark reproduces the remark column of Table III for a chip.
+func TableIIIRemark(name string) string {
+	for _, row := range tableIII {
+		if row.name == name {
+			switch {
+			case row.overlap && row.flattened:
+				return "(O)(F)"
+			case row.overlap:
+				return "(O)"
+			case row.flattened:
+				return "(F)"
+			}
+			return ""
+		}
+	}
+	return ""
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// ErhardLike returns the Table I instance: the largest movebounded chip
+// (Erhard: 2 578 246 cells, 43 movebounds) at the given scale.
+func ErhardLike(scale float64) ChipSpec {
+	specs := TableIIIChips(scale, region.Inclusive)
+	for _, s := range specs {
+		if s.Name == "Erhard" {
+			return s
+		}
+	}
+	panic("gen: Erhard spec missing")
+}
+
+// GridLevels returns the Table I grid refinement sequence for a chip with
+// the given cell count: 4x4 up to the finest grid the paper reports,
+// capped so windows keep a sensible number of cells.
+func GridLevels(numCells int) []int {
+	var out []int
+	for k := 4; k*k <= numCells/4; k *= 2 {
+		out = append(out, k)
+		if k >= 576 {
+			break
+		}
+	}
+	if len(out) == 0 {
+		out = []int{int(math.Max(2, math.Sqrt(float64(numCells))/8))}
+	}
+	return out
+}

@@ -1,0 +1,548 @@
+// Package legalize implements the legalization stage standing in for
+// Brenner-Vygen minimum-movement legalization [6]: standard cells are
+// snapped into rows without overlaps while minimizing movement with an
+// Abacus-style cluster algorithm (cells never waste row space; clusters of
+// abutting cells slide to their quadratic-optimal positions). For
+// movebounded designs it implements the scheme of paper §III: decompose
+// the chip into regions, partition cells onto regions with the
+// movebound-aware transportation, then legalize each region's cells inside
+// the region area — so cells of different (even overlapping) movebounds
+// are legalized simultaneously.
+package legalize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fbplace/internal/geom"
+	"fbplace/internal/netlist"
+	"fbplace/internal/region"
+	"fbplace/internal/transport"
+)
+
+// Options tunes legalization.
+type Options struct {
+	// MaxRowSearch bounds how many rows above/below the desired row are
+	// tried per cell; 0 = all rows.
+	MaxRowSearch int
+}
+
+// Result reports movement statistics.
+type Result struct {
+	// Moved is the total L1 movement of all legalized cells.
+	Moved float64
+	// MaxMove is the largest single-cell movement.
+	MaxMove float64
+	// Failed counts cells that could not be placed without overlap.
+	Failed int
+	// FailedCells lists them.
+	FailedCells []netlist.CellID
+}
+
+// cluster is a maximal run of abutting cells in one segment (Abacus).
+type cluster struct {
+	xc     float64 // current start position
+	w      float64 // total width
+	weight float64 // number of member cells (uniform weights)
+	q      float64 // sum over members of (desired start - offset in cluster)
+	cells  []netlist.CellID
+}
+
+// segment is a free interval of one row holding a list of clusters.
+type segment struct {
+	rowY     float64 // bottom of the row
+	x0, x1   float64
+	used     float64
+	clusters []cluster
+}
+
+// buildSegments splits each row intersecting the allowed area into free
+// segments (allowed minus blockages). Rows are anchored at the chip
+// bottom.
+func buildSegments(n *netlist.Netlist, allowed geom.RectSet, blockages geom.RectSet) [][]segment {
+	rh := n.RowHeight
+	numRows := int((n.Area.Height() + 1e-9) / rh)
+	rows := make([][]segment, numRows)
+	for r := 0; r < numRows; r++ {
+		y0 := n.Area.Ylo + float64(r)*rh
+		rowRect := geom.Rect{Xlo: n.Area.Xlo, Ylo: y0, Xhi: n.Area.Xhi, Yhi: y0 + rh}
+		var free []geom.Rect
+		for _, a := range allowed {
+			ir := a.Intersect(rowRect)
+			if !ir.Empty() && ir.Yhi-ir.Ylo >= rh-1e-9 {
+				free = append(free, ir)
+			}
+		}
+		for _, b := range blockages {
+			if !b.Overlaps(rowRect) {
+				continue
+			}
+			var next []geom.Rect
+			for _, f := range free {
+				for _, piece := range f.Subtract(b) {
+					if piece.Yhi-piece.Ylo >= rh-1e-9 {
+						next = append(next, piece)
+					}
+				}
+			}
+			free = next
+		}
+		sort.Slice(free, func(i, j int) bool { return free[i].Xlo < free[j].Xlo })
+		for _, f := range free {
+			rows[r] = append(rows[r], segment{rowY: y0, x0: f.Xlo, x1: f.Xhi})
+		}
+	}
+	return rows
+}
+
+func clampStart(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// trialInsert simulates appending a cell with the given width and desired
+// start position into the segment, returning the final start position of
+// the cell. It does not modify the segment.
+func (s *segment) trialInsert(width, desiredStart float64) (float64, bool) {
+	if s.used+width > s.x1-s.x0+1e-9 {
+		return 0, false
+	}
+	vq := clampStart(desiredStart, s.x0, s.x1-width)
+	vweight, vw := 1.0, width
+	xc := clampStart(vq/vweight, s.x0, s.x1-vw)
+	for i := len(s.clusters) - 1; i >= 0; i-- {
+		c := &s.clusters[i]
+		if c.xc+c.w <= xc+1e-12 {
+			break
+		}
+		// Merge predecessor cluster c with the virtual cluster.
+		vq = c.q + (vq - vweight*c.w)
+		vweight += c.weight
+		vw += c.w
+		xc = clampStart(vq/vweight, s.x0, s.x1-vw)
+	}
+	return xc + vw - width, true
+}
+
+// insert commits the append of one cell (same math as trialInsert).
+func (s *segment) insert(id netlist.CellID, width, desiredStart float64) {
+	s.used += width
+	nc := cluster{
+		xc:     clampStart(desiredStart, s.x0, s.x1-width),
+		w:      width,
+		weight: 1,
+		q:      clampStart(desiredStart, s.x0, s.x1-width),
+		cells:  []netlist.CellID{id},
+	}
+	s.clusters = append(s.clusters, nc)
+	// Collapse while the last cluster overlaps its predecessor.
+	for len(s.clusters) >= 2 {
+		last := &s.clusters[len(s.clusters)-1]
+		last.xc = clampStart(last.q/last.weight, s.x0, s.x1-last.w)
+		prev := &s.clusters[len(s.clusters)-2]
+		if prev.xc+prev.w <= last.xc+1e-12 {
+			break
+		}
+		prev.q += last.q - last.weight*prev.w
+		prev.weight += last.weight
+		prev.w += last.w
+		prev.cells = append(prev.cells, last.cells...)
+		s.clusters = s.clusters[:len(s.clusters)-1]
+	}
+	last := &s.clusters[len(s.clusters)-1]
+	last.xc = clampStart(last.q/last.weight, s.x0, s.x1-last.w)
+}
+
+// Packer incrementally legalizes cells into one allowed area (a region or
+// the whole chip): Abacus insertions commit immediately, final coordinates
+// are materialized once by Finalize. Keeping the packer alive lets the
+// movebound-aware legalization spill cells that do not fit one region into
+// another region's remaining space without re-packing anything.
+type Packer struct {
+	n         *netlist.Netlist
+	rows      [][]segment
+	desired   map[netlist.CellID]geom.Point
+	maxSearch int
+	usable    bool
+}
+
+// NewPacker prepares the row segments of the allowed area.
+func NewPacker(n *netlist.Netlist, allowed geom.RectSet, blockages geom.RectSet, opt Options) *Packer {
+	p := &Packer{
+		n:         n,
+		rows:      buildSegments(n, allowed, blockages),
+		desired:   map[netlist.CellID]geom.Point{},
+		maxSearch: opt.MaxRowSearch,
+	}
+	if p.maxSearch <= 0 {
+		p.maxSearch = len(p.rows)
+	}
+	for _, segs := range p.rows {
+		if len(segs) > 0 {
+			p.usable = true
+			break
+		}
+	}
+	return p
+}
+
+// Usable reports whether the area contains any usable row segment.
+func (p *Packer) Usable() bool { return p.usable }
+
+// findBest locates the cheapest insertion point for the cell.
+func (p *Packer) findBest(id netlist.CellID) (*segment, float64) {
+	n := p.n
+	c := &n.Cells[id]
+	rh := n.RowHeight
+	want := n.Pos(id)
+	wantRow := int((want.Y - rh/2 - n.Area.Ylo) / rh)
+	bestCost := math.Inf(1)
+	var bestSeg *segment
+	for dr := 0; dr <= p.maxSearch; dr++ {
+		tryRows := []int{wantRow - dr}
+		if dr > 0 {
+			tryRows = append(tryRows, wantRow+dr)
+		}
+		anyRow := false
+		for _, r := range tryRows {
+			if r < 0 || r >= len(p.rows) {
+				continue
+			}
+			anyRow = true
+			rowCost := math.Abs(float64(r)*rh + n.Area.Ylo + rh/2 - want.Y)
+			if rowCost >= bestCost {
+				continue
+			}
+			for si := range p.rows[r] {
+				seg := &p.rows[r][si]
+				x, ok := seg.trialInsert(c.Width, want.X-c.Width/2)
+				if !ok {
+					continue
+				}
+				cost := rowCost + math.Abs(x+c.Width/2-want.X)
+				if cost < bestCost {
+					bestCost = cost
+					bestSeg = seg
+				}
+			}
+		}
+		if !anyRow && dr > 0 && wantRow-dr < 0 && wantRow+dr >= len(p.rows) {
+			break
+		}
+		if bestSeg != nil && float64(dr)*rh > bestCost {
+			break
+		}
+	}
+	return bestSeg, bestCost
+}
+
+// TrialCost returns the movement cost of inserting the cell, without
+// committing.
+func (p *Packer) TrialCost(id netlist.CellID) (float64, bool) {
+	seg, cost := p.findBest(id)
+	return cost, seg != nil
+}
+
+// Insert commits the cell into its best position; it reports false when
+// the cell fits nowhere in the area.
+func (p *Packer) Insert(id netlist.CellID) bool {
+	seg, _ := p.findBest(id)
+	if seg == nil {
+		return false
+	}
+	want := p.n.Pos(id)
+	p.desired[id] = want
+	seg.insert(id, p.n.Cells[id].Width, want.X-p.n.Cells[id].Width/2)
+	return true
+}
+
+// Finalize materializes the cluster structures into cell coordinates and
+// accumulates movement statistics.
+func (p *Packer) Finalize(res *Result) {
+	n := p.n
+	rh := n.RowHeight
+	for r := range p.rows {
+		for si := range p.rows[r] {
+			seg := &p.rows[r][si]
+			for ci := range seg.clusters {
+				cl := &seg.clusters[ci]
+				x := cl.xc
+				for _, id := range cl.cells {
+					w := n.Cells[id].Width
+					// Clamp against float accumulation drift past the
+					// segment end (hairline movebound violations).
+					if x+w > seg.x1 {
+						x = seg.x1 - w
+					}
+					pos := geom.Point{X: x + w/2, Y: seg.rowY + rh/2}
+					move := pos.DistL1(p.desired[id])
+					res.Moved += move
+					if move > res.MaxMove {
+						res.MaxMove = move
+					}
+					n.SetPos(id, pos)
+					x += w
+				}
+			}
+		}
+	}
+}
+
+// sortByX orders cells left-to-right by desired position (Abacus order).
+func sortByX(n *netlist.Netlist, cells []netlist.CellID) []netlist.CellID {
+	order := append([]netlist.CellID(nil), cells...)
+	sort.Slice(order, func(i, j int) bool {
+		if n.X[order[i]] != n.X[order[j]] {
+			return n.X[order[i]] < n.X[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	return order
+}
+
+func checkHeights(n *netlist.Netlist, cells []netlist.CellID) error {
+	for _, id := range cells {
+		if c := &n.Cells[id]; c.Height > n.RowHeight+1e-9 {
+			return fmt.Errorf("legalize: cell %d (%s) taller than a row (%g > %g)", id, c.Name, c.Height, n.RowHeight)
+		}
+	}
+	return nil
+}
+
+// Legalize snaps all movable cells of the netlist into rows across the
+// whole chip, avoiding the fixed cells.
+func Legalize(n *netlist.Netlist, opt Options) (Result, error) {
+	return LegalizeArea(n, n.MovableIDs(), geom.RectSet{n.Area}, n.FixedRects(), opt)
+}
+
+// LegalizeArea legalizes the given cells inside the allowed area, treating
+// blockages (and everything outside the allowed set) as forbidden. Other
+// cells of the netlist are ignored — callers partition cells into disjoint
+// areas first.
+func LegalizeArea(n *netlist.Netlist, cells []netlist.CellID, allowed geom.RectSet, blockages geom.RectSet, opt Options) (Result, error) {
+	res := Result{}
+	if len(cells) == 0 {
+		return res, nil
+	}
+	if err := checkHeights(n, cells); err != nil {
+		return res, err
+	}
+	p := NewPacker(n, allowed, blockages, opt)
+	if !p.Usable() {
+		return Result{Failed: len(cells)}, fmt.Errorf("legalize: no usable rows in allowed area")
+	}
+	for _, id := range sortByX(n, cells) {
+		if !p.Insert(id) {
+			res.Failed++
+			res.FailedCells = append(res.FailedCells, id)
+		}
+	}
+	p.Finalize(&res)
+	if res.Failed > 0 {
+		return res, fmt.Errorf("legalize: %d cells could not be placed", res.Failed)
+	}
+	return res, nil
+}
+
+// PackableCapacities returns, per region of the decomposition, the cell
+// area that row-based legalization can realistically pack: the free row
+// segments minus a per-segment end-waste allowance of 0.6 average cell
+// widths. Narrow slivers (common with overlapping movebounds) contribute
+// much less than their geometric area; instance generators and the
+// movebound-aware legalization both budget against this measure.
+func PackableCapacities(n *netlist.Netlist, d *region.Decomposition, blockages geom.RectSet) []float64 {
+	movable := n.MovableIDs()
+	avgW := 0.0
+	for _, id := range movable {
+		avgW += n.Cells[id].Width
+	}
+	if len(movable) > 0 {
+		avgW /= float64(len(movable))
+	}
+	caps := make([]float64, len(d.Regions))
+	for ri := range d.Regions {
+		for _, segs := range buildSegments(n, d.Regions[ri].Rects, blockages) {
+			for _, s := range segs {
+				if w := s.x1 - s.x0 - 0.6*avgW; w > 0 {
+					caps[ri] += w * n.RowHeight
+				}
+			}
+		}
+	}
+	return caps
+}
+
+// LegalizeWithMovebounds implements §III: partition all movable cells onto
+// the region decomposition with the movebound-aware transportation, then
+// legalize each region's cells inside the region area. Cells of different
+// movebounds sharing a region are handled simultaneously; cells that do
+// not fit their region (sliver fragmentation) spill into the remaining
+// space of other admissible regions.
+func LegalizeWithMovebounds(n *netlist.Netlist, d *region.Decomposition, opt Options) (Result, error) {
+	blockages := n.FixedRects()
+	movable := n.MovableIDs()
+	if len(movable) == 0 {
+		return Result{}, nil
+	}
+	if err := checkHeights(n, movable); err != nil {
+		return Result{}, err
+	}
+	// Partition on *packable* capacity (see PackableCapacities): narrow
+	// sliver regions contribute far less than their geometric area.
+	caps := PackableCapacities(n, d, blockages)
+	packers := make([]*Packer, len(d.Regions))
+	for ri := range d.Regions {
+		packers[ri] = NewPacker(n, d.Regions[ri].Rects, blockages, opt)
+	}
+	prob := &transport.Problem{
+		Supply:   make([]float64, len(movable)),
+		Capacity: caps,
+		Arcs:     make([][]transport.Arc, len(movable)),
+	}
+	for i, id := range movable {
+		prob.Supply[i] = n.Cells[id].Size()
+		pos := n.Pos(id)
+		for ri := range d.Regions {
+			if !d.Admissible(n.Cells[id].Movebound, ri) || caps[ri] <= 0 {
+				continue
+			}
+			best := math.Inf(1)
+			for _, rect := range d.Regions[ri].Rects {
+				if dd := rect.ClampPoint(pos).DistL1(pos); dd < best {
+					best = dd
+				}
+			}
+			prob.Arcs[i] = append(prob.Arcs[i], transport.Arc{Sink: ri, Cost: best})
+		}
+	}
+	sol, err := transport.Solve(prob)
+	if err != nil {
+		// Dense instances may genuinely need the full capacity: relax the
+		// headroom step by step before giving up. Overfilled regions shed
+		// their excess through the spill pass below.
+		for _, f := range []float64{1.1, 1.4, 2.5, 8} {
+			for ri := range prob.Capacity {
+				prob.Capacity[ri] = caps[ri] * f
+			}
+			if sol, err = transport.Solve(prob); err == nil {
+				break
+			}
+		}
+		if err != nil {
+			return Result{}, fmt.Errorf("legalize: region partitioning: %w", err)
+		}
+	}
+	rounded := sol.Rounded()
+	perRegion := make([][]netlist.CellID, len(d.Regions))
+	for i, id := range movable {
+		perRegion[rounded[i]] = append(perRegion[rounded[i]], id)
+	}
+	// Pack each region; cells that do not fit spill.
+	var spill []netlist.CellID
+	total := Result{}
+	for ri, cells := range perRegion {
+		if len(cells) == 0 {
+			continue
+		}
+		if !packers[ri].Usable() {
+			spill = append(spill, cells...)
+			continue
+		}
+		for _, id := range sortByX(n, cells) {
+			if !packers[ri].Insert(id) {
+				spill = append(spill, id)
+			}
+		}
+	}
+	// Spill pass: widest cells first, each into the cheapest admissible
+	// region that still has room.
+	sort.Slice(spill, func(a, b int) bool {
+		wa, wb := n.Cells[spill[a]].Width, n.Cells[spill[b]].Width
+		if wa != wb {
+			return wa > wb
+		}
+		return spill[a] < spill[b]
+	})
+	for _, id := range spill {
+		best := -1
+		bestCost := math.Inf(1)
+		for ri := range d.Regions {
+			if !d.Admissible(n.Cells[id].Movebound, ri) || !packers[ri].Usable() {
+				continue
+			}
+			if cost, ok := packers[ri].TrialCost(id); ok && cost < bestCost {
+				best, bestCost = ri, cost
+			}
+		}
+		if best < 0 {
+			total.Failed++
+			total.FailedCells = append(total.FailedCells, id)
+			continue
+		}
+		packers[best].Insert(id)
+	}
+	for ri := range packers {
+		packers[ri].Finalize(&total)
+	}
+	if total.Failed > 0 {
+		return total, fmt.Errorf("legalize: %d cells fit no admissible region", total.Failed)
+	}
+	return total, nil
+}
+
+// widestSegment returns the width of the widest free row segment of the
+// region.
+func widestSegment(n *netlist.Netlist, reg *region.Region, blockages geom.RectSet) float64 {
+	widest := 0.0
+	for _, segs := range buildSegments(n, reg.Rects, blockages) {
+		for _, s := range segs {
+			if w := s.x1 - s.x0; w > widest {
+				widest = w
+			}
+		}
+	}
+	return widest
+}
+
+// VerifyNoOverlaps checks that no two movable cells overlap and no movable
+// cell overlaps a fixed cell; it returns the number of overlapping pairs.
+// Used by integration tests and the experiment harness.
+func VerifyNoOverlaps(n *netlist.Netlist) int {
+	type box struct {
+		r     geom.Rect
+		fixed bool
+	}
+	boxes := make([]box, 0, n.NumCells())
+	for i := range n.Cells {
+		boxes = append(boxes, box{r: n.CellRect(netlist.CellID(i)), fixed: n.Cells[i].Fixed})
+	}
+	idx := make([]int, len(boxes))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return boxes[idx[a]].r.Xlo < boxes[idx[b]].r.Xlo })
+	overlaps := 0
+	for a := 0; a < len(idx); a++ {
+		ba := boxes[idx[a]]
+		for b := a + 1; b < len(idx); b++ {
+			bb := boxes[idx[b]]
+			if bb.r.Xlo >= ba.r.Xhi-1e-9 {
+				break
+			}
+			if ba.fixed && bb.fixed {
+				continue
+			}
+			ir := ba.r.Intersect(bb.r)
+			if !ir.Empty() && ir.Area() > 1e-6 {
+				overlaps++
+			}
+		}
+	}
+	return overlaps
+}

@@ -1,0 +1,72 @@
+// Package metrics implements the quality metrics of the paper's
+// experiment tables: HPWL (in netlist), the ISPD-2006 density penalty
+// ("DENS" and "H+D" of Table VII), and the contest CPU factor truncated at
+// +/-10% ("H+D+C").
+package metrics
+
+import (
+	"math"
+	"time"
+
+	"fbplace/internal/grid"
+	"fbplace/internal/netlist"
+)
+
+// DensityPenalty returns the ISPD-2006 style scaled density overflow as a
+// fraction (Table VII prints it as a percentage): the total bin usage
+// above the target density, divided by the total movable cell area.
+// binRows sets the bin edge length in row heights (the contest used 10).
+func DensityPenalty(n *netlist.Netlist, target float64, binRows int) float64 {
+	if binRows <= 0 {
+		binRows = 10
+	}
+	bin := float64(binRows) * n.RowHeight
+	nx := int(math.Ceil(n.Area.Width() / bin))
+	ny := int(math.Ceil(n.Area.Height() / bin))
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	dm := grid.NewDensityMap(n.Area, nx, ny, n.FixedRects(), target)
+	dm.Accumulate(n)
+	total := n.TotalMovableArea()
+	if total <= 0 {
+		return 0
+	}
+	return dm.Overflow() / total
+}
+
+// CPUFactor approximates the ISPD-2006 CPU bonus/penalty: negative for
+// runtimes faster than the reference, positive for slower, truncated at
+// +/-10% exactly as in the contest (the paper's Table VII notes the
+// truncation for nb1/nb4/nb5).
+func CPUFactor(t, reference time.Duration) float64 {
+	if t <= 0 || reference <= 0 {
+		return 0
+	}
+	f := 0.04 * math.Log2(float64(t)/float64(reference))
+	if f > 0.10 {
+		f = 0.10
+	}
+	if f < -0.10 {
+		f = -0.10
+	}
+	return f
+}
+
+// Score combines HPWL with the density penalty and CPU factor the way
+// Table VII reports them: H+D = H*(1+dens), H+D+C = H+D adjusted by the
+// CPU factor.
+type Score struct {
+	HPWL    float64
+	Density float64 // fraction
+	CPU     float64 // fraction, +/-0.10
+}
+
+// HD returns HPWL with the density penalty applied.
+func (s Score) HD() float64 { return s.HPWL * (1 + s.Density) }
+
+// HDC returns HPWL with density and CPU adjustments applied.
+func (s Score) HDC() float64 { return s.HD() * (1 + s.CPU) }

@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"fbplace/internal/geom"
+	"fbplace/internal/netlist"
+)
+
+func TestDensityPenaltyZeroWhenSpread(t *testing.T) {
+	n := netlist.New(geom.Rect{Xhi: 100, Yhi: 100}, 1)
+	for i := 0; i < 10; i++ {
+		id := n.AddCell(netlist.Cell{Width: 1, Height: 1})
+		n.SetPos(id, geom.Point{X: float64(i)*10 + 5, Y: 50})
+	}
+	if got := DensityPenalty(n, 0.5, 10); got != 0 {
+		t.Fatalf("penalty = %v, want 0", got)
+	}
+}
+
+func TestDensityPenaltyCrowded(t *testing.T) {
+	n := netlist.New(geom.Rect{Xhi: 100, Yhi: 100}, 1)
+	// 100 unit cells piled into one 10x10 bin at target 0.5: usage 100,
+	// capacity 50, overflow 50 -> penalty 0.5.
+	for i := 0; i < 100; i++ {
+		id := n.AddCell(netlist.Cell{Width: 1, Height: 1})
+		n.SetPos(id, geom.Point{X: 5, Y: 5})
+	}
+	got := DensityPenalty(n, 0.5, 10)
+	if math.Abs(got-0.5) > 0.05 {
+		t.Fatalf("penalty = %v, want ~0.5", got)
+	}
+}
+
+func TestCPUFactorTruncation(t *testing.T) {
+	ref := time.Minute
+	if got := CPUFactor(ref, ref); got != 0 {
+		t.Fatalf("equal runtimes: factor = %v", got)
+	}
+	if got := CPUFactor(time.Second, ref); got != -0.10 {
+		t.Fatalf("fast run: factor = %v, want -0.10 (truncated)", got)
+	}
+	if got := CPUFactor(100*time.Minute, ref); got != 0.10 {
+		t.Fatalf("slow run: factor = %v, want 0.10", got)
+	}
+	// Moderate speedup: 2x faster = -4%.
+	if got := CPUFactor(30*time.Second, ref); math.Abs(got+0.04) > 1e-9 {
+		t.Fatalf("2x speedup: factor = %v, want -0.04", got)
+	}
+	if got := CPUFactor(0, ref); got != 0 {
+		t.Fatalf("zero runtime: factor = %v", got)
+	}
+}
+
+// Reproduce the Table VII arithmetic for adaptec5: H=430.43, DENS=1.81%,
+// C=-9.52% must give H+D=438.22 and H+D+C=396.50.
+func TestScoreMatchesTableVIIRow(t *testing.T) {
+	s := Score{HPWL: 430.43, Density: 0.0181, CPU: -0.0952}
+	if math.Abs(s.HD()-438.22) > 0.01 {
+		t.Fatalf("HD = %v, want 438.22", s.HD())
+	}
+	if math.Abs(s.HDC()-396.50) > 0.35 {
+		t.Fatalf("HDC = %v, want ~396.50", s.HDC())
+	}
+}

@@ -1,0 +1,382 @@
+// Package placer drives global placement: a loop of quadratic netlength
+// minimization and partitioning on successively finer window grids
+// (paper §III/§IV), followed by legalization. Two partitioning engines are
+// provided: the paper's flow-based partitioning (fbp) and the classical
+// recursive window-by-window quadrisection it improves upon ([5],[17],[27]
+// — the ablation baseline), which lacks the global view and may have to
+// relax capacities locally.
+package placer
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"fbplace/internal/cluster"
+	"fbplace/internal/detail"
+	"fbplace/internal/fbp"
+	"fbplace/internal/geom"
+	"fbplace/internal/grid"
+	"fbplace/internal/legalize"
+	"fbplace/internal/netlist"
+	"fbplace/internal/qp"
+	"fbplace/internal/region"
+	"fbplace/internal/transport"
+)
+
+// Mode selects the partitioning engine.
+type Mode int
+
+const (
+	// ModeFBP is the paper's flow-based partitioning.
+	ModeFBP Mode = iota
+	// ModeRecursive is the classical local recursive partitioning
+	// baseline (no global MinCostFlow; windows partitioned one by one).
+	ModeRecursive
+)
+
+// Config tunes the placer.
+type Config struct {
+	// Mode selects FBP or the recursive baseline.
+	Mode Mode
+	// TargetDensity scales region capacities (paper experiments: 0.97).
+	TargetDensity float64
+	// Movebounds are the raw movebounds; they are normalized internally.
+	Movebounds []region.Movebound
+	// ClusterRatio enables BestChoice clustering when > 1.
+	ClusterRatio float64
+	// MaxLevels caps grid refinement; 0 = automatic.
+	MaxLevels int
+	// AnchorWeight is the base weight of the per-level anchors tying the
+	// QP to the partitioning result. Default 0.05.
+	AnchorWeight float64
+	// Workers bounds realization parallelism (0 = GOMAXPROCS).
+	Workers int
+	// LocalQP toggles the realization-local QP (default on).
+	NoLocalQP bool
+	// SkipLegalization stops after global placement.
+	SkipLegalization bool
+	// KeepPlacement starts from the current cell positions instead of a
+	// fresh quadratic solve (incremental placement, §IV motivation).
+	KeepPlacement bool
+	// DetailPasses runs legality-preserving detailed placement after
+	// legalization (0 = off).
+	DetailPasses int
+	// QP are the quadratic solver options.
+	QP qp.Options
+	// Legalize are the legalization options.
+	Legalize legalize.Options
+}
+
+func (c *Config) fill() {
+	if c.TargetDensity == 0 {
+		c.TargetDensity = 0.97
+	}
+	if c.AnchorWeight == 0 {
+		c.AnchorWeight = 0.05
+	}
+}
+
+// Report summarizes a placement run.
+type Report struct {
+	// HPWL is the final half-perimeter wirelength.
+	HPWL float64
+	// GlobalTime and LegalTime split the wall-clock (paper Table VI).
+	GlobalTime, LegalTime time.Duration
+	// Levels is the number of partitioning levels executed.
+	Levels int
+	// Violations counts cells violating movebounds after legalization.
+	Violations int
+	// Overlaps counts overlapping cell pairs (0 for successful runs).
+	Overlaps int
+	// FBPStats holds per-level flow statistics (FBP mode).
+	FBPStats []fbp.Stats
+	// Relaxations counts capacity relaxations of the recursive baseline.
+	Relaxations int
+	// LegalizeResult carries movement statistics.
+	LegalizeResult legalize.Result
+	// DetailResult carries detailed-placement statistics (when enabled).
+	DetailResult detail.Result
+}
+
+// Place runs global placement and legalization on the netlist in place.
+func Place(n *netlist.Netlist, cfg Config) (*Report, error) {
+	cfg.fill()
+	mbs, err := region.Normalize(n.Area, cfg.Movebounds)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.Validate(len(mbs)); err != nil {
+		return nil, err
+	}
+	decomp := region.Decompose(n.Area, mbs)
+	blockages := n.FixedRects()
+	caps := decomp.Capacities(blockages, cfg.TargetDensity)
+	if rep := region.CheckFeasibility(n, decomp, caps); !rep.Feasible {
+		return nil, fmt.Errorf("placer: instance infeasible (Theorem 2): %.1f cell area vs %.1f routable capacity",
+			rep.TotalSize, rep.Routed)
+	}
+
+	report := &Report{}
+	start := time.Now()
+
+	levels := levelsFor(n, cfg)
+	report.Levels = levels
+	startLevel := 1
+	if cfg.KeepPlacement {
+		// Incremental placement (§IV motivation): the existing placement
+		// is already spread, so only the finest partitioning level runs —
+		// FBP guarantees a feasible partitioning from any starting
+		// placement, which is exactly what recursive approaches lack.
+		startLevel = levels
+		report.Levels = 1
+	}
+	if cfg.ClusterRatio > 1 && !cfg.KeepPlacement {
+		// Multilevel flow as in the paper's experiments: BestChoice
+		// clusters carry the coarse partitioning levels, then the
+		// clustering is dissolved and the finest levels run on the flat
+		// netlist so intra-cluster detail is recovered by FBP itself.
+		cl := cluster.BestChoice(n, cluster.Options{Ratio: cfg.ClusterRatio})
+		coarseEnd := levels - 2
+		if coarseEnd < 1 {
+			coarseEnd = 1
+		}
+		if err := globalLoop(cl.Clustered, decomp, blockages, cfg, report, 1, coarseEnd, true); err != nil {
+			return nil, err
+		}
+		cl.Project()
+		fineStart := coarseEnd + 1
+		if fineStart > levels {
+			fineStart = levels
+		}
+		if err := globalLoop(n, decomp, blockages, cfg, report, fineStart, levels, false); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := globalLoop(n, decomp, blockages, cfg, report, startLevel, levels, !cfg.KeepPlacement); err != nil {
+			return nil, err
+		}
+	}
+	report.GlobalTime = time.Since(start)
+
+	if !cfg.SkipLegalization {
+		lstart := time.Now()
+		var lr legalize.Result
+		var lerr error
+		if len(mbs) > 0 {
+			lr, lerr = legalize.LegalizeWithMovebounds(n, decomp, cfg.Legalize)
+		} else {
+			lr, lerr = legalize.Legalize(n, cfg.Legalize)
+		}
+		report.LegalTime = time.Since(lstart)
+		report.LegalizeResult = lr
+		if lerr != nil {
+			return report, fmt.Errorf("placer: %w", lerr)
+		}
+		report.Overlaps = legalize.VerifyNoOverlaps(n)
+		if cfg.DetailPasses > 0 {
+			dres, derr := detail.Optimize(n, mbs, detail.Options{Passes: cfg.DetailPasses})
+			if derr != nil {
+				return report, fmt.Errorf("placer: detail: %w", derr)
+			}
+			report.DetailResult = dres
+			report.Overlaps = legalize.VerifyNoOverlaps(n)
+		}
+	}
+	report.HPWL = n.HPWL()
+	report.Violations = region.CheckLegal(n, mbs)
+	return report, nil
+}
+
+// levelsFor picks the number of refinement levels: windows shrink until
+// they are a few rows tall or hold only a handful of cells.
+func levelsFor(n *netlist.Netlist, cfg Config) int {
+	if cfg.MaxLevels > 0 {
+		return cfg.MaxLevels
+	}
+	movable := len(n.MovableIDs())
+	maxByCells := int(math.Ceil(math.Log2(math.Sqrt(float64(movable)/4)))) + 1
+	dim := math.Min(n.Area.Width(), n.Area.Height())
+	maxByDim := int(math.Floor(math.Log2(dim / (4 * n.RowHeight))))
+	lv := maxByCells
+	if maxByDim < lv {
+		lv = maxByDim
+	}
+	if lv < 1 {
+		lv = 1
+	}
+	if lv > 9 {
+		lv = 9
+	}
+	return lv
+}
+
+// globalLoop runs QP + partitioning over grids of level startLevel
+// through endLevel (2^lv x 2^lv windows). When freshQP is set, the loop
+// starts from an unconstrained quadratic solve; otherwise it continues
+// from the current placement.
+func globalLoop(n *netlist.Netlist, decomp *region.Decomposition, blockages geom.RectSet, cfg Config, report *Report, startLevel, endLevel int, freshQP bool) error {
+	if freshQP {
+		if err := qp.Solve(n, nil, cfg.QP); err != nil {
+			return fmt.Errorf("placer: initial QP: %w", err)
+		}
+	}
+	movable := n.MovableIDs()
+	anchors := make([]qp.Anchor, len(movable))
+	for lv := startLevel; lv <= endLevel; lv++ {
+		k := 1 << lv
+		g := grid.New(n.Area, k, k)
+		wr := grid.BuildWindowRegions(g, decomp, blockages, cfg.TargetDensity)
+		switch cfg.Mode {
+		case ModeRecursive:
+			relax, err := recursivePartition(n, wr)
+			report.Relaxations += relax
+			if err != nil {
+				return fmt.Errorf("placer: recursive partition level %d: %w", lv, err)
+			}
+		default:
+			fcfg := fbp.Config{LocalQP: !cfg.NoLocalQP, QP: cfg.QP, Workers: cfg.Workers}
+			res, err := fbp.Partition(n, wr, fcfg)
+			if err != nil {
+				return fmt.Errorf("placer: FBP level %d: %w", lv, err)
+			}
+			report.FBPStats = append(report.FBPStats, res.Stats)
+		}
+		// Anchored QP: connectivity pulls within the assigned regions.
+		// Clique/star springs here — bound-to-bound weights (~1/distance)
+		// would overpower the partition anchors and undo the spreading.
+		w := cfg.AnchorWeight * float64(int(1)<<lv) / math.Max(n.Area.Width(), n.Area.Height()) * 64
+		for i, id := range movable {
+			anchors[i] = qp.Anchor{Cell: id, Target: n.Pos(id), Weight: w}
+		}
+		if err := qp.Solve(n, anchors, cfg.QP); err != nil {
+			return fmt.Errorf("placer: level %d QP: %w", lv, err)
+		}
+	}
+	return nil
+}
+
+// recursivePartition is the ablation baseline: each window partitions its
+// own cells among its regions independently, with no global flow. When a
+// window is overloaded the capacities are relaxed locally (returned count),
+// which is exactly the drawback §IV attributes to recursive approaches.
+func recursivePartition(n *netlist.Netlist, wr *grid.WindowRegions) (int, error) {
+	g := wr.Grid
+	assign := g.AssignCells(n)
+	relaxations := 0
+	// Escape pass: a cell whose movebound covers no region of its window
+	// cannot be partitioned locally — the inherent blind spot of
+	// recursive approaches (§IV). Teleport it to the nearest admissible
+	// region anywhere on the chip and count the repair.
+	for i := range n.Cells {
+		if assign[i] < 0 {
+			continue
+		}
+		mb := n.Cells[i].Movebound
+		ok := false
+		for k := range wr.PerWin[assign[i]] {
+			reg := &wr.PerWin[assign[i]][k]
+			if reg.Capacity > 0 && wr.Decomp.Admissible(mb, reg.Region) {
+				ok = true
+				break
+			}
+		}
+		if ok {
+			continue
+		}
+		relaxations++
+		pos := n.Pos(netlist.CellID(i))
+		best := pos
+		bestD := math.Inf(1)
+		for w := 0; w < g.NumWindows(); w++ {
+			for k := range wr.PerWin[w] {
+				reg := &wr.PerWin[w][k]
+				if reg.Capacity <= 0 || !wr.Decomp.Admissible(mb, reg.Region) {
+					continue
+				}
+				for _, rect := range reg.Rects {
+					q := rect.ClampPoint(pos)
+					if d := q.DistL1(pos); d < bestD {
+						best, bestD = q, d
+					}
+				}
+			}
+		}
+		n.SetPos(netlist.CellID(i), best)
+		assign[i] = g.LocateIndex(best)
+	}
+	cellsIn := make([][]netlist.CellID, g.NumWindows())
+	for i := range n.Cells {
+		if assign[i] >= 0 {
+			cellsIn[assign[i]] = append(cellsIn[assign[i]], netlist.CellID(i))
+		}
+	}
+	for w := 0; w < g.NumWindows(); w++ {
+		cells := cellsIn[w]
+		if len(cells) == 0 {
+			continue
+		}
+		regs := wr.PerWin[w]
+		prob := &transport.Problem{
+			Supply:   make([]float64, len(cells)),
+			Capacity: make([]float64, len(regs)),
+			Arcs:     make([][]transport.Arc, len(cells)),
+		}
+		for k := range regs {
+			prob.Capacity[k] = regs[k].Capacity
+		}
+		for i, id := range cells {
+			prob.Supply[i] = n.Cells[id].Size()
+			pos := n.Pos(id)
+			for k := range regs {
+				if !wr.Decomp.Admissible(n.Cells[id].Movebound, regs[k].Region) || regs[k].Capacity <= 0 {
+					continue
+				}
+				best := math.Inf(1)
+				for _, rect := range regs[k].Rects {
+					if d := rect.ClampPoint(pos).DistL1(pos); d < best {
+						best = d
+					}
+				}
+				prob.Arcs[i] = append(prob.Arcs[i], transport.Arc{Sink: k, Cost: best})
+			}
+		}
+		sol, err := transport.Solve(prob)
+		if err != nil {
+			// Local relaxation: inflate capacities until it fits. This is
+			// the failure mode of recursive partitioning the paper fixes.
+			relaxed := false
+			for _, f := range []float64{1.5, 4, 64, 1e9} {
+				for k := range regs {
+					prob.Capacity[k] = math.Max(regs[k].Capacity, 1e-9) * f
+				}
+				if sol, err = transport.Solve(prob); err == nil {
+					relaxed = true
+					break
+				}
+			}
+			if !relaxed {
+				return relaxations, fmt.Errorf("window %d: %w", w, err)
+			}
+			relaxations++
+		}
+		rounded := sol.Rounded()
+		for i, id := range cells {
+			k := rounded[i]
+			if k < 0 {
+				continue
+			}
+			pos := n.Pos(id)
+			best := pos
+			bestD := math.Inf(1)
+			for _, rect := range regs[k].Rects {
+				q := rect.ClampPoint(pos)
+				if d := q.DistL1(pos); d < bestD {
+					best, bestD = q, d
+				}
+			}
+			n.SetPos(id, best)
+		}
+	}
+	return relaxations, nil
+}

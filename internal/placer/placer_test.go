@@ -1,0 +1,239 @@
+package placer
+
+import (
+	"strings"
+	"testing"
+
+	"fbplace/internal/gen"
+	"fbplace/internal/geom"
+	"fbplace/internal/legalize"
+	"fbplace/internal/netlist"
+	"fbplace/internal/region"
+)
+
+func smallChip(t *testing.T, cells int, seed int64, mbs []gen.MoveboundSpec) *gen.Instance {
+	t.Helper()
+	inst, err := gen.Chip(gen.ChipSpec{
+		Name: "test", NumCells: cells, Seed: seed, Movebounds: mbs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestPlaceProducesLegalPlacement(t *testing.T) {
+	inst := smallChip(t, 2000, 1, nil)
+	rep, err := Place(inst.N, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Overlaps != 0 {
+		t.Fatalf("overlaps = %d", rep.Overlaps)
+	}
+	if rep.HPWL <= 0 {
+		t.Fatalf("HPWL = %g", rep.HPWL)
+	}
+	for i := range inst.N.Cells {
+		if !inst.N.Area.ContainsRect(inst.N.CellRect(netlist.CellID(i))) {
+			t.Fatalf("cell %d outside chip", i)
+		}
+	}
+}
+
+func TestPlaceBeatsRandomPlacementHPWL(t *testing.T) {
+	// Two baselines: a random lattice (must beat it by far) and the
+	// generator's own locality lattice, which is close to the intended
+	// optimum (must at least match it).
+	inst := smallChip(t, 2000, 2, nil)
+	lattice := func(perm func(int) int) float64 {
+		m := inst.N.Clone()
+		k := 0
+		nx := 45
+		for i := range m.Cells {
+			if m.Cells[i].Fixed {
+				continue
+			}
+			p := perm(k)
+			m.SetPos(netlist.CellID(i), geom.Point{
+				X: m.Area.Xlo + (float64(p%nx)+0.5)/float64(nx)*m.Area.Width(),
+				Y: m.Area.Ylo + (float64(p/nx)+0.5)/float64(nx)*m.Area.Height(),
+			})
+			k++
+		}
+		return m.HPWL()
+	}
+	ideal := lattice(func(k int) int { return k })
+	shuffled := lattice(func(k int) int { return (k * 997) % 2000 })
+	rep, err := Place(inst.N, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HPWL > 0.35*shuffled {
+		t.Fatalf("placer HPWL %.0f not clearly better than random lattice %.0f", rep.HPWL, shuffled)
+	}
+	if rep.HPWL > 1.05*ideal {
+		t.Fatalf("placer HPWL %.0f much worse than the generator's locality lattice %.0f", rep.HPWL, ideal)
+	}
+}
+
+func TestPlaceWithMovebounds(t *testing.T) {
+	inst := smallChip(t, 2500, 3, []gen.MoveboundSpec{
+		{Kind: region.Inclusive, CellFraction: 0.15, Density: 0.7, NestedIn: -1},
+		{Kind: region.Inclusive, CellFraction: 0.10, Density: 0.7, NestedIn: 0},
+		{Kind: region.Inclusive, CellFraction: 0.10, Density: 0.7, NestedIn: -1, Overlap: true},
+	})
+	rep, err := Place(inst.N, Config{Movebounds: inst.Movebounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("movebound violations = %d (FBP must produce legal placements)", rep.Violations)
+	}
+	if rep.Overlaps != 0 {
+		t.Fatalf("overlaps = %d", rep.Overlaps)
+	}
+	if len(rep.FBPStats) != rep.Levels {
+		t.Fatalf("FBPStats = %d, levels = %d", len(rep.FBPStats), rep.Levels)
+	}
+}
+
+func TestPlaceExclusiveMovebounds(t *testing.T) {
+	inst := smallChip(t, 2500, 4, []gen.MoveboundSpec{
+		{Kind: region.Exclusive, CellFraction: 0.12, Density: 0.7, NestedIn: -1},
+		{Kind: region.Exclusive, CellFraction: 0.08, Density: 0.7, NestedIn: -1},
+	})
+	rep, err := Place(inst.N, Config{Movebounds: inst.Movebounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("violations = %d", rep.Violations)
+	}
+}
+
+func TestPlaceInfeasibleRejected(t *testing.T) {
+	inst := smallChip(t, 2000, 5, nil)
+	// A movebound far too small for a third of the cells.
+	mbs := []region.Movebound{{
+		Name: "tiny", Kind: region.Inclusive,
+		Area: geom.RectSet{{Xlo: 0, Ylo: 0, Xhi: 5, Yhi: 5}},
+	}}
+	for i := 0; i < 600; i++ {
+		inst.N.Cells[i].Movebound = 0
+	}
+	_, err := Place(inst.N, Config{Movebounds: mbs})
+	if err == nil || !strings.Contains(err.Error(), "infeasible") {
+		t.Fatalf("err = %v, want infeasibility report", err)
+	}
+}
+
+func TestPlaceRecursiveBaseline(t *testing.T) {
+	inst := smallChip(t, 2000, 6, nil)
+	rep, err := Place(inst.N, Config{Mode: ModeRecursive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Overlaps != 0 {
+		t.Fatalf("overlaps = %d", rep.Overlaps)
+	}
+	if len(rep.FBPStats) != 0 {
+		t.Fatal("recursive mode must not record FBP stats")
+	}
+}
+
+func TestPlaceWithClustering(t *testing.T) {
+	inst := smallChip(t, 3000, 7, nil)
+	rep, err := Place(inst.N, Config{ClusterRatio: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Overlaps != 0 {
+		t.Fatalf("overlaps = %d", rep.Overlaps)
+	}
+	if got := legalize.VerifyNoOverlaps(inst.N); got != 0 {
+		t.Fatalf("verify overlaps = %d", got)
+	}
+}
+
+func TestPlaceSkipLegalization(t *testing.T) {
+	inst := smallChip(t, 1500, 8, nil)
+	rep, err := Place(inst.N, Config{SkipLegalization: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LegalTime != 0 {
+		t.Fatal("legalization ran despite SkipLegalization")
+	}
+	if rep.HPWL <= 0 {
+		t.Fatal("no HPWL")
+	}
+}
+
+func TestPlaceIncremental(t *testing.T) {
+	// Place, perturb a small subset, re-place with KeepPlacement: the
+	// incremental run must not blow up the wirelength.
+	inst := smallChip(t, 2000, 9, nil)
+	rep1, err := Place(inst.N, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb 5% of the cells to the chip center.
+	for i := 0; i < 100; i++ {
+		inst.N.SetPos(netlist.CellID(i*17%2000), inst.N.Area.Center())
+	}
+	rep2, err := Place(inst.N, Config{KeepPlacement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Overlaps != 0 {
+		t.Fatalf("incremental overlaps = %d", rep2.Overlaps)
+	}
+	if rep2.HPWL > 1.5*rep1.HPWL {
+		t.Fatalf("incremental HPWL %.0f vs original %.0f", rep2.HPWL, rep1.HPWL)
+	}
+}
+
+func TestPlaceRuntimeSplitRecorded(t *testing.T) {
+	inst := smallChip(t, 1500, 10, nil)
+	rep, err := Place(inst.N, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GlobalTime <= 0 || rep.LegalTime <= 0 {
+		t.Fatalf("times not recorded: %v / %v", rep.GlobalTime, rep.LegalTime)
+	}
+}
+
+func TestLevelsForBounds(t *testing.T) {
+	inst := smallChip(t, 2000, 11, nil)
+	lv := levelsFor(inst.N, Config{})
+	if lv < 2 || lv > 9 {
+		t.Fatalf("levels = %d", lv)
+	}
+	if got := levelsFor(inst.N, Config{MaxLevels: 3}); got != 3 {
+		t.Fatalf("MaxLevels override = %d", got)
+	}
+}
+
+func TestPlaceWithDetailPasses(t *testing.T) {
+	inst := smallChip(t, 2000, 12, nil)
+	base := inst.N.Clone()
+	rep1, err := Place(base, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Place(inst.N, Config{DetailPasses: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Overlaps != 0 {
+		t.Fatalf("overlaps after detail = %d", rep2.Overlaps)
+	}
+	if rep2.HPWL > rep1.HPWL {
+		t.Fatalf("detail passes worsened HPWL: %.0f vs %.0f", rep2.HPWL, rep1.HPWL)
+	}
+	if rep2.DetailResult.Reorders+rep2.DetailResult.Swaps == 0 {
+		t.Fatal("detail pass reported no moves")
+	}
+}

@@ -1,0 +1,384 @@
+// Package qp implements quadratic netlength minimization (paper §III),
+// the analytic engine of the placer: nets become springs (clique model for
+// small nets, star model for large ones), fixed pins and pads enter the
+// right-hand side, and optional anchors pull cells toward targets (window
+// centers during partitioning, spread positions in the RQL baseline).
+// The x and y systems are independent and solved with preconditioned CG.
+//
+// SolveSubset supports the local QP of the realization step (§IV.B):
+// only the given cells are variables, everything else is fixed at its
+// current position.
+package qp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fbplace/internal/geom"
+	"fbplace/internal/netlist"
+	"fbplace/internal/sparse"
+)
+
+// NetModel selects how multi-pin nets become springs.
+type NetModel int
+
+const (
+	// ModelCliqueStar uses a clique for small nets and a star for large
+	// ones (position-independent; the default).
+	ModelCliqueStar NetModel = iota
+	// ModelB2B is the bound-to-bound model of Kraftwerk2 [21]: per axis,
+	// the two boundary pins connect to each other and to every inner pin
+	// with weights 2/((p-1)*distance), which makes the quadratic optimum
+	// approximate the HPWL optimum. Weights depend on the current
+	// placement, so B2B is used on re-solves within the placement loop.
+	ModelB2B
+)
+
+// Anchor is a spring from a cell to a fixed target point.
+type Anchor struct {
+	Cell   netlist.CellID
+	Target geom.Point
+	Weight float64
+}
+
+// Options tunes the quadratic solve.
+type Options struct {
+	// CliqueThreshold is the largest pin count modeled as a clique; nets
+	// above it use the star model. Default 6.
+	CliqueThreshold int
+	// Tol is the CG relative residual target. Default 1e-6.
+	Tol float64
+	// MaxIter bounds CG iterations. Default per sparse.SolveCG.
+	MaxIter int
+	// Regularization is a tiny spring from every variable cell to the
+	// chip center that keeps components without fixed connections
+	// non-singular. Default 1e-8.
+	Regularization float64
+	// ClampToArea clamps the solution into the chip rectangle. Default
+	// true (set via the zero value; see Solve).
+	NoClamp bool
+	// ReadX, ReadY, when non-nil, override the positions of non-variable
+	// cells (length NumCells). Parallel realization passes a snapshot
+	// taken at wave start so that concurrent local QPs on disjoint window
+	// blocks are race-free and deterministic.
+	ReadX, ReadY []float64
+	// BestEffort accepts the CG iterate even when the iteration budget is
+	// exhausted before the tolerance is met. The realization-local QP
+	// only steers transportation costs, so an approximate solution is
+	// fine there.
+	BestEffort bool
+	// NetModel selects clique/star (default) or bound-to-bound springs.
+	NetModel NetModel
+	// B2BMinDist floors the pin distances in B2B weights (default 1.0,
+	// one row height) to keep the weights bounded for coincident pins.
+	B2BMinDist float64
+}
+
+func (o *Options) fill() {
+	if o.CliqueThreshold == 0 {
+		o.CliqueThreshold = 6
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-6
+	}
+	if o.Regularization == 0 {
+		o.Regularization = 1e-8
+	}
+	if o.B2BMinDist == 0 {
+		o.B2BMinDist = 1
+	}
+}
+
+// Solve minimizes the quadratic netlength over all movable cells and
+// writes the optimal positions into the netlist.
+func Solve(n *netlist.Netlist, anchors []Anchor, opt Options) error {
+	return SolveSubset(n, n.MovableIDs(), anchors, opt)
+}
+
+// SolveSubset minimizes the quadratic netlength over the given cells only;
+// all other cells are treated as fixed at their current positions.
+// Anchors referencing cells outside the subset are ignored.
+func SolveSubset(n *netlist.Netlist, subset []netlist.CellID, anchors []Anchor, opt Options) error {
+	opt.fill()
+	if len(subset) == 0 {
+		return nil
+	}
+	// Variable index per cell; -1 = fixed.
+	varOf := make([]int32, n.NumCells())
+	for i := range varOf {
+		varOf[i] = -1
+	}
+	for vi, id := range subset {
+		if n.Cells[id].Fixed {
+			return fmt.Errorf("qp: subset contains fixed cell %d (%s)", id, n.Cells[id].Name)
+		}
+		varOf[id] = int32(vi)
+	}
+	nv := len(subset)
+
+	// Count star nets to size the systems: nets with > CliqueThreshold
+	// pins and at least one variable cell get a star variable.
+	type netPin struct {
+		varIdx int32      // variable index or -1
+		pos    geom.Point // absolute position if fixed, offset if variable
+		cur    geom.Point // current absolute position (B2B weights/bounds)
+	}
+	starOf := make([]int32, n.NumNets())
+	numStars := 0
+	pins := make([][]netPin, n.NumNets())
+	for ni := range n.Nets {
+		starOf[ni] = -1
+		net := &n.Nets[ni]
+		if len(net.Pins) < 2 {
+			continue
+		}
+		hasVar := false
+		ps := make([]netPin, 0, len(net.Pins))
+		for _, p := range net.Pins {
+			if !p.IsPad() && varOf[p.Cell] >= 0 {
+				hasVar = true
+				cur := geom.Point{X: n.X[p.Cell] + p.Offset.X, Y: n.Y[p.Cell] + p.Offset.Y}
+				ps = append(ps, netPin{varIdx: varOf[p.Cell], pos: p.Offset, cur: cur})
+			} else {
+				pos := n.PinPos(p)
+				if opt.ReadX != nil && !p.IsPad() {
+					pos = geom.Point{X: opt.ReadX[p.Cell] + p.Offset.X, Y: opt.ReadY[p.Cell] + p.Offset.Y}
+				}
+				ps = append(ps, netPin{varIdx: -1, pos: pos, cur: pos})
+			}
+		}
+		if !hasVar {
+			continue
+		}
+		pins[ni] = ps
+		if opt.NetModel == ModelCliqueStar && len(ps) > opt.CliqueThreshold {
+			starOf[ni] = int32(nv + numStars)
+			numStars++
+		}
+	}
+	dim := nv + numStars
+
+	bx := sparse.NewBuilder(dim)
+	by := sparse.NewBuilder(dim)
+	rhsX := make([]float64, dim)
+	rhsY := make([]float64, dim)
+
+	// addSpring connects two pins (variable or fixed) with weight w.
+	addSpring := func(a, b netPin, w float64) {
+		switch {
+		case a.varIdx >= 0 && b.varIdx >= 0:
+			if a.varIdx == b.varIdx {
+				return // two pins on the same cell: rigid, no term
+			}
+			bx.AddSym(int(a.varIdx), int(b.varIdx), w)
+			by.AddSym(int(a.varIdx), int(b.varIdx), w)
+			// Offset difference moves the equilibrium.
+			dx := a.pos.X - b.pos.X
+			dy := a.pos.Y - b.pos.Y
+			rhsX[a.varIdx] -= w * dx
+			rhsX[b.varIdx] += w * dx
+			rhsY[a.varIdx] -= w * dy
+			rhsY[b.varIdx] += w * dy
+		case a.varIdx >= 0:
+			bx.AddDiag(int(a.varIdx), w)
+			by.AddDiag(int(a.varIdx), w)
+			rhsX[a.varIdx] += w * (b.pos.X - a.pos.X)
+			rhsY[a.varIdx] += w * (b.pos.Y - a.pos.Y)
+		case b.varIdx >= 0:
+			bx.AddDiag(int(b.varIdx), w)
+			by.AddDiag(int(b.varIdx), w)
+			rhsX[b.varIdx] += w * (a.pos.X - b.pos.X)
+			rhsY[b.varIdx] += w * (a.pos.Y - b.pos.Y)
+		}
+	}
+
+	// addSpringAxis is the single-axis variant used by the B2B model;
+	// axis 0 = x, 1 = y.
+	addSpringAxis := func(a, b netPin, w float64, axis int) {
+		bld, rhs := bx, rhsX
+		ca, cb := a.pos.X, b.pos.X
+		if axis == 1 {
+			bld, rhs = by, rhsY
+			ca, cb = a.pos.Y, b.pos.Y
+		}
+		switch {
+		case a.varIdx >= 0 && b.varIdx >= 0:
+			if a.varIdx == b.varIdx {
+				return
+			}
+			bld.AddSym(int(a.varIdx), int(b.varIdx), w)
+			d := ca - cb
+			rhs[a.varIdx] -= w * d
+			rhs[b.varIdx] += w * d
+		case a.varIdx >= 0:
+			bld.AddDiag(int(a.varIdx), w)
+			rhs[a.varIdx] += w * (cb - ca)
+		case b.varIdx >= 0:
+			bld.AddDiag(int(b.varIdx), w)
+			rhs[b.varIdx] += w * (ca - cb)
+		}
+	}
+	// b2bAxis adds the bound-to-bound springs of one net on one axis.
+	b2bAxis := func(ps []netPin, netWeight float64, axis int) {
+		p := len(ps)
+		coord := func(i int) float64 {
+			if axis == 1 {
+				return ps[i].cur.Y
+			}
+			return ps[i].cur.X
+		}
+		lo, hi := 0, 0
+		for i := 1; i < p; i++ {
+			if coord(i) < coord(lo) {
+				lo = i
+			}
+			if coord(i) > coord(hi) {
+				hi = i
+			}
+		}
+		if lo == hi {
+			hi = (lo + 1) % p // coincident pins: pick any partner
+		}
+		scale := 2 * netWeight / float64(p-1)
+		weight := func(i, j int) float64 {
+			d := math.Abs(coord(i) - coord(j))
+			if d < opt.B2BMinDist {
+				d = opt.B2BMinDist
+			}
+			return scale / d
+		}
+		addSpringAxis(ps[lo], ps[hi], weight(lo, hi), axis)
+		for i := 0; i < p; i++ {
+			if i == lo || i == hi {
+				continue
+			}
+			addSpringAxis(ps[i], ps[lo], weight(i, lo), axis)
+			addSpringAxis(ps[i], ps[hi], weight(i, hi), axis)
+		}
+	}
+
+	for ni := range n.Nets {
+		ps := pins[ni]
+		if ps == nil {
+			continue
+		}
+		w := n.Nets[ni].Weight
+		p := len(ps)
+		if opt.NetModel == ModelB2B && p > 2 {
+			b2bAxis(ps, w, 0)
+			b2bAxis(ps, w, 1)
+		} else if starOf[ni] < 0 {
+			// Clique model with the standard 1/(p-1) scaling.
+			cw := w / float64(p-1)
+			for i := 0; i < p; i++ {
+				for j := i + 1; j < p; j++ {
+					addSpring(ps[i], ps[j], cw)
+				}
+			}
+		} else {
+			// Star model: every pin to the star node; weight p/(p-1)
+			// makes 2-pin behavior consistent in expectation.
+			sw := w * float64(p) / float64(p-1)
+			star := netPin{varIdx: starOf[ni]}
+			for i := 0; i < p; i++ {
+				addSpring(ps[i], star, sw)
+			}
+		}
+	}
+
+	// Anchors.
+	for _, a := range anchors {
+		vi := varOf[a.Cell]
+		if vi < 0 || a.Weight <= 0 {
+			continue
+		}
+		bx.AddDiag(int(vi), a.Weight)
+		by.AddDiag(int(vi), a.Weight)
+		rhsX[vi] += a.Weight * a.Target.X
+		rhsY[vi] += a.Weight * a.Target.Y
+	}
+
+	// Regularization toward the chip center keeps disconnected cells and
+	// star nodes well-defined.
+	ctr := n.Area.Center()
+	for i := 0; i < dim; i++ {
+		bx.AddDiag(i, opt.Regularization)
+		by.AddDiag(i, opt.Regularization)
+		rhsX[i] += opt.Regularization * ctr.X
+		rhsY[i] += opt.Regularization * ctr.Y
+	}
+
+	mx, my := bx.Build(), by.Build()
+	x := make([]float64, dim)
+	y := make([]float64, dim)
+	for vi, id := range subset {
+		x[vi], y[vi] = n.X[id], n.Y[id] // warm start
+	}
+	for s := nv; s < dim; s++ {
+		x[s], y[s] = ctr.X, ctr.Y
+	}
+	cg := sparse.CGOptions{Tol: opt.Tol, MaxIter: opt.MaxIter}
+	tolerable := func(err error) bool {
+		return err == nil || (opt.BestEffort && errors.Is(err, sparse.ErrNotConverged))
+	}
+	if _, err := sparse.SolveCG(mx, x, rhsX, cg); !tolerable(err) {
+		return fmt.Errorf("qp: x solve: %w", err)
+	}
+	if _, err := sparse.SolveCG(my, y, rhsY, cg); !tolerable(err) {
+		return fmt.Errorf("qp: y solve: %w", err)
+	}
+	for vi, id := range subset {
+		p := geom.Point{X: x[vi], Y: y[vi]}
+		if !opt.NoClamp {
+			p = n.Area.ClampPoint(p)
+		}
+		n.SetPos(id, p)
+	}
+	return nil
+}
+
+// Netlength returns the quadratic objective value of the current placement
+// (sum over net springs of w * squared distance, same models as Solve).
+// Used by tests and convergence diagnostics.
+func Netlength(n *netlist.Netlist, cliqueThreshold int) float64 {
+	if cliqueThreshold == 0 {
+		cliqueThreshold = 6
+	}
+	total := 0.0
+	for ni := range n.Nets {
+		net := &n.Nets[ni]
+		p := len(net.Pins)
+		if p < 2 {
+			continue
+		}
+		if p <= cliqueThreshold {
+			cw := net.Weight / float64(p-1)
+			for i := 0; i < p; i++ {
+				pi := n.PinPos(net.Pins[i])
+				for j := i + 1; j < p; j++ {
+					pj := n.PinPos(net.Pins[j])
+					total += cw * (sq(pi.X-pj.X) + sq(pi.Y-pj.Y))
+				}
+			}
+		} else {
+			// Star at the centroid (the optimal star position).
+			var cx, cy float64
+			for i := 0; i < p; i++ {
+				pos := n.PinPos(net.Pins[i])
+				cx += pos.X
+				cy += pos.Y
+			}
+			cx /= float64(p)
+			cy /= float64(p)
+			sw := net.Weight * float64(p) / float64(p-1)
+			for i := 0; i < p; i++ {
+				pos := n.PinPos(net.Pins[i])
+				total += sw * (sq(pos.X-cx) + sq(pos.Y-cy))
+			}
+		}
+	}
+	return total
+}
+
+func sq(v float64) float64 { return v * v }

@@ -1,0 +1,352 @@
+package qp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fbplace/internal/geom"
+	"fbplace/internal/netlist"
+)
+
+var chip = geom.Rect{Xlo: 0, Ylo: 0, Xhi: 10, Yhi: 10}
+
+func TestSolveSingleCellBetweenPads(t *testing.T) {
+	n := netlist.New(chip, 1)
+	a := n.AddCell(netlist.Cell{Width: 1, Height: 1, Movebound: netlist.NoMovebound})
+	n.AddNet(netlist.Net{Pins: []netlist.Pin{
+		{Cell: a},
+		{Cell: -1, Offset: geom.Point{X: 2, Y: 2}},
+	}})
+	n.AddNet(netlist.Net{Pins: []netlist.Pin{
+		{Cell: a},
+		{Cell: -1, Offset: geom.Point{X: 8, Y: 4}},
+	}})
+	if err := Solve(n, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Equal weights: optimum at the midpoint.
+	if n.Pos(a).DistL1(geom.Point{X: 5, Y: 3}) > 1e-4 {
+		t.Fatalf("pos = %v, want (5,3)", n.Pos(a))
+	}
+}
+
+func TestSolveWeightedPull(t *testing.T) {
+	n := netlist.New(chip, 1)
+	a := n.AddCell(netlist.Cell{Width: 1, Height: 1})
+	n.AddNet(netlist.Net{Weight: 3, Pins: []netlist.Pin{
+		{Cell: a}, {Cell: -1, Offset: geom.Point{X: 0, Y: 5}},
+	}})
+	n.AddNet(netlist.Net{Weight: 1, Pins: []netlist.Pin{
+		{Cell: a}, {Cell: -1, Offset: geom.Point{X: 8, Y: 5}},
+	}})
+	if err := Solve(n, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Weighted average: (3*0 + 1*8)/4 = 2.
+	if math.Abs(n.X[a]-2) > 1e-4 {
+		t.Fatalf("x = %v, want 2", n.X[a])
+	}
+}
+
+func TestSolveChainOfCells(t *testing.T) {
+	n := netlist.New(chip, 1)
+	a := n.AddCell(netlist.Cell{Width: 1, Height: 1})
+	b := n.AddCell(netlist.Cell{Width: 1, Height: 1})
+	pad := func(x float64) netlist.Pin { return netlist.Pin{Cell: -1, Offset: geom.Point{X: x, Y: 5}} }
+	n.AddNet(netlist.Net{Pins: []netlist.Pin{pad(0), {Cell: a}}})
+	n.AddNet(netlist.Net{Pins: []netlist.Pin{{Cell: a}, {Cell: b}}})
+	n.AddNet(netlist.Net{Pins: []netlist.Pin{{Cell: b}, pad(9)}})
+	if err := Solve(n, nil, Options{Tol: 1e-10}); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(n.X[a]-3) > 1e-4 || math.Abs(n.X[b]-6) > 1e-4 {
+		t.Fatalf("chain positions = %v, %v; want 3, 6", n.X[a], n.X[b])
+	}
+}
+
+func TestSolveRespectsPinOffsets(t *testing.T) {
+	n := netlist.New(chip, 1)
+	a := n.AddCell(netlist.Cell{Width: 2, Height: 1})
+	// Pin at the right edge of the cell connects to a pad at x=6: the
+	// cell center should sit at 5.
+	n.AddNet(netlist.Net{Pins: []netlist.Pin{
+		{Cell: a, Offset: geom.Point{X: 1, Y: 0}},
+		{Cell: -1, Offset: geom.Point{X: 6, Y: 5}},
+	}})
+	if err := Solve(n, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(n.X[a]-5) > 1e-4 {
+		t.Fatalf("x = %v, want 5", n.X[a])
+	}
+}
+
+func TestSolveFixedCellActsAsPad(t *testing.T) {
+	n := netlist.New(chip, 1)
+	f := n.AddCell(netlist.Cell{Width: 1, Height: 1, Fixed: true})
+	n.SetPos(f, geom.Point{X: 8, Y: 8})
+	a := n.AddCell(netlist.Cell{Width: 1, Height: 1})
+	n.AddNet(netlist.Net{Pins: []netlist.Pin{{Cell: a}, {Cell: f}}})
+	n.AddNet(netlist.Net{Pins: []netlist.Pin{{Cell: a}, {Cell: -1, Offset: geom.Point{X: 2, Y: 2}}}})
+	if err := Solve(n, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if n.Pos(a).DistL1(geom.Point{X: 5, Y: 5}) > 1e-4 {
+		t.Fatalf("pos = %v, want (5,5)", n.Pos(a))
+	}
+	// The fixed cell must not move.
+	if n.Pos(f) != (geom.Point{X: 8, Y: 8}) {
+		t.Fatalf("fixed cell moved to %v", n.Pos(f))
+	}
+}
+
+func TestSolveAnchors(t *testing.T) {
+	n := netlist.New(chip, 1)
+	a := n.AddCell(netlist.Cell{Width: 1, Height: 1})
+	n.AddNet(netlist.Net{Pins: []netlist.Pin{{Cell: a}, {Cell: -1, Offset: geom.Point{X: 0, Y: 0}}}})
+	anchors := []Anchor{{Cell: a, Target: geom.Point{X: 10, Y: 10}, Weight: 1}}
+	if err := Solve(n, anchors, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Equal pulls: midpoint.
+	if n.Pos(a).DistL1(geom.Point{X: 5, Y: 5}) > 1e-4 {
+		t.Fatalf("pos = %v", n.Pos(a))
+	}
+	// Stronger anchor wins.
+	anchors[0].Weight = 1e6
+	if err := Solve(n, anchors, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if n.Pos(a).DistL1(geom.Point{X: 10, Y: 10}) > 1e-2 {
+		t.Fatalf("pos = %v, want near (10,10)", n.Pos(a))
+	}
+}
+
+func TestSolveSubsetFixesOthers(t *testing.T) {
+	n := netlist.New(chip, 1)
+	a := n.AddCell(netlist.Cell{Width: 1, Height: 1})
+	b := n.AddCell(netlist.Cell{Width: 1, Height: 1})
+	n.SetPos(b, geom.Point{X: 9, Y: 9})
+	n.AddNet(netlist.Net{Pins: []netlist.Pin{{Cell: a}, {Cell: b}}})
+	n.AddNet(netlist.Net{Pins: []netlist.Pin{{Cell: a}, {Cell: -1, Offset: geom.Point{X: 1, Y: 1}}}})
+	if err := SolveSubset(n, []netlist.CellID{a}, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if n.Pos(b) != (geom.Point{X: 9, Y: 9}) {
+		t.Fatalf("non-subset cell moved: %v", n.Pos(b))
+	}
+	if n.Pos(a).DistL1(geom.Point{X: 5, Y: 5}) > 1e-4 {
+		t.Fatalf("pos a = %v, want (5,5)", n.Pos(a))
+	}
+}
+
+func TestSolveSubsetRejectsFixed(t *testing.T) {
+	n := netlist.New(chip, 1)
+	f := n.AddCell(netlist.Cell{Width: 1, Height: 1, Fixed: true})
+	if err := SolveSubset(n, []netlist.CellID{f}, nil, Options{}); err == nil {
+		t.Fatal("fixed cell in subset accepted")
+	}
+}
+
+func TestSolveStarModelLargeNet(t *testing.T) {
+	n := netlist.New(chip, 1)
+	var cells []netlist.CellID
+	var pinList []netlist.Pin
+	for i := 0; i < 12; i++ {
+		c := n.AddCell(netlist.Cell{Width: 1, Height: 1})
+		cells = append(cells, c)
+		pinList = append(pinList, netlist.Pin{Cell: c})
+	}
+	pinList = append(pinList,
+		netlist.Pin{Cell: -1, Offset: geom.Point{X: 2, Y: 2}},
+		netlist.Pin{Cell: -1, Offset: geom.Point{X: 8, Y: 8}})
+	n.AddNet(netlist.Net{Pins: pinList})
+	if err := Solve(n, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// All cells collapse to the pad midpoint through the star node.
+	for _, c := range cells {
+		if n.Pos(c).DistL1(geom.Point{X: 5, Y: 5}) > 1e-3 {
+			t.Fatalf("cell %d at %v, want (5,5)", c, n.Pos(c))
+		}
+	}
+}
+
+func TestSolveClampsToArea(t *testing.T) {
+	n := netlist.New(chip, 1)
+	a := n.AddCell(netlist.Cell{Width: 1, Height: 1})
+	// Anchor far outside the chip.
+	anchors := []Anchor{{Cell: a, Target: geom.Point{X: 100, Y: -50}, Weight: 1}}
+	if err := Solve(n, anchors, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	p := n.Pos(a)
+	if !chip.Contains(p) {
+		t.Fatalf("pos %v outside chip", p)
+	}
+	// With NoClamp, the solution follows the anchor out.
+	if err := Solve(n, anchors, Options{NoClamp: true}); err != nil {
+		t.Fatal(err)
+	}
+	if n.X[a] < 50 {
+		t.Fatalf("NoClamp x = %v", n.X[a])
+	}
+}
+
+func TestSolveDisconnectedCellGoesToCenter(t *testing.T) {
+	n := netlist.New(chip, 1)
+	a := n.AddCell(netlist.Cell{Width: 1, Height: 1})
+	n.SetPos(a, geom.Point{X: 1, Y: 1})
+	if err := Solve(n, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if n.Pos(a).DistL1(chip.Center()) > 1e-3 {
+		t.Fatalf("disconnected cell at %v", n.Pos(a))
+	}
+}
+
+// Property: the solver reaches (up to tolerance) a stationary point —
+// perturbing any single cell does not decrease the quadratic objective.
+func TestSolveIsLocalOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		n := netlist.New(chip, 1)
+		nc := 4 + rng.Intn(10)
+		var ids []netlist.CellID
+		for i := 0; i < nc; i++ {
+			ids = append(ids, n.AddCell(netlist.Cell{Width: 1, Height: 1}))
+		}
+		// Random 2- and 3-pin nets plus two boundary pads.
+		n.AddNet(netlist.Net{Pins: []netlist.Pin{{Cell: ids[0]}, {Cell: -1, Offset: geom.Point{X: 0, Y: 0}}}})
+		n.AddNet(netlist.Net{Pins: []netlist.Pin{{Cell: ids[nc-1]}, {Cell: -1, Offset: geom.Point{X: 10, Y: 10}}}})
+		for e := 0; e < 2*nc; e++ {
+			i, j := rng.Intn(nc), rng.Intn(nc)
+			if i == j {
+				continue
+			}
+			n.AddNet(netlist.Net{Pins: []netlist.Pin{{Cell: ids[i]}, {Cell: ids[j]}}})
+		}
+		if err := Solve(n, nil, Options{Tol: 1e-10, NoClamp: true}); err != nil {
+			t.Fatal(err)
+		}
+		base := Netlength(n, 6)
+		for _, id := range ids {
+			orig := n.Pos(id)
+			for _, d := range []geom.Point{{X: 0.01}, {X: -0.01}, {Y: 0.01}, {Y: -0.01}} {
+				n.SetPos(id, orig.Add(d))
+				if got := Netlength(n, 6); got < base-1e-6 {
+					t.Fatalf("trial %d: perturbing cell %d improved %g -> %g", trial, id, base, got)
+				}
+			}
+			n.SetPos(id, orig)
+		}
+	}
+}
+
+func TestNetlengthDecreasesAfterSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := netlist.New(chip, 1)
+	var ids []netlist.CellID
+	for i := 0; i < 20; i++ {
+		id := n.AddCell(netlist.Cell{Width: 1, Height: 1})
+		n.SetPos(id, geom.Point{X: rng.Float64() * 10, Y: rng.Float64() * 10})
+		ids = append(ids, id)
+	}
+	for e := 0; e < 40; e++ {
+		i, j := rng.Intn(20), rng.Intn(20)
+		if i != j {
+			n.AddNet(netlist.Net{Pins: []netlist.Pin{{Cell: ids[i]}, {Cell: ids[j]}}})
+		}
+	}
+	n.AddNet(netlist.Net{Pins: []netlist.Pin{{Cell: ids[0]}, {Cell: -1, Offset: geom.Point{X: 0, Y: 5}}}})
+	before := Netlength(n, 6)
+	if err := Solve(n, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	after := Netlength(n, 6)
+	if after > before {
+		t.Fatalf("netlength increased: %g -> %g", before, after)
+	}
+}
+
+func TestB2BTwoPinMatchesClique(t *testing.T) {
+	build := func(model NetModel) *netlist.Netlist {
+		n := netlist.New(chip, 1)
+		a := n.AddCell(netlist.Cell{Width: 1, Height: 1})
+		n.AddNet(netlist.Net{Pins: []netlist.Pin{
+			{Cell: a}, {Cell: -1, Offset: geom.Point{X: 2, Y: 8}},
+		}})
+		n.AddNet(netlist.Net{Pins: []netlist.Pin{
+			{Cell: a}, {Cell: -1, Offset: geom.Point{X: 8, Y: 2}},
+		}})
+		if err := Solve(n, nil, Options{NetModel: model}); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	c := build(ModelCliqueStar)
+	b := build(ModelB2B)
+	if c.Pos(0).DistL1(b.Pos(0)) > 1e-6 {
+		t.Fatalf("2-pin nets must agree: %v vs %v", c.Pos(0), b.Pos(0))
+	}
+}
+
+func TestB2BApproximatesHPWLBetter(t *testing.T) {
+	// A 4-pin net with three fixed pins and one movable cell: the HPWL
+	// optimum puts the cell anywhere inside the bounding box of the other
+	// pins; the clique optimum pulls it to the centroid. B2B (iterated)
+	// should land at least as good an HPWL as the clique model.
+	rng := rand.New(rand.NewSource(4))
+	worse := 0
+	for trial := 0; trial < 20; trial++ {
+		build := func(model NetModel) float64 {
+			n := netlist.New(chip, 1)
+			a := n.AddCell(netlist.Cell{Width: 1, Height: 1})
+			pins := []netlist.Pin{{Cell: a}}
+			for k := 0; k < 3; k++ {
+				pins = append(pins, netlist.Pin{Cell: -1, Offset: geom.Point{
+					X: rng.Float64() * 10, Y: rng.Float64() * 10,
+				}})
+			}
+			n.AddNet(netlist.Net{Pins: pins})
+			// An extra 2-pin net tugging the cell off-center.
+			n.AddNet(netlist.Net{Pins: []netlist.Pin{{Cell: a}, {Cell: -1, Offset: geom.Point{X: 0, Y: 0}}}})
+			for iter := 0; iter < 3; iter++ {
+				if err := Solve(n, nil, Options{NetModel: model}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return n.HPWL()
+		}
+		rngState := *rng
+		clique := build(ModelCliqueStar)
+		*rng = rngState
+		b2b := build(ModelB2B)
+		if b2b > clique+1e-9 {
+			worse++
+		}
+	}
+	if worse > 6 {
+		t.Fatalf("B2B worse than clique in %d/20 trials", worse)
+	}
+}
+
+func TestB2BCoincidentPinsStable(t *testing.T) {
+	n := netlist.New(chip, 1)
+	a := n.AddCell(netlist.Cell{Width: 1, Height: 1})
+	b := n.AddCell(netlist.Cell{Width: 1, Height: 1})
+	c := n.AddCell(netlist.Cell{Width: 1, Height: 1})
+	// All cells start at the chip center: every pin coincides.
+	n.AddNet(netlist.Net{Pins: []netlist.Pin{{Cell: a}, {Cell: b}, {Cell: c}}})
+	n.AddNet(netlist.Net{Pins: []netlist.Pin{{Cell: a}, {Cell: -1, Offset: geom.Point{X: 1, Y: 1}}}})
+	if err := Solve(n, nil, Options{NetModel: ModelB2B}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		p := n.Pos(netlist.CellID(i))
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+			t.Fatalf("cell %d at NaN", i)
+		}
+	}
+}

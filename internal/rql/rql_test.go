@@ -1,0 +1,185 @@
+package rql
+
+import (
+	"math/rand"
+	"testing"
+
+	"fbplace/internal/geom"
+	"fbplace/internal/grid"
+	"fbplace/internal/netlist"
+	"fbplace/internal/region"
+)
+
+var chip = geom.Rect{Xlo: 0, Ylo: 0, Xhi: 32, Yhi: 32}
+
+// randomNetlist builds a connected random circuit with boundary pads.
+func randomNetlist(t *testing.T, cells int, seed int64) *netlist.Netlist {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := netlist.New(chip, 1)
+	for i := 0; i < cells; i++ {
+		n.AddCell(netlist.Cell{Width: 1, Height: 1, Movebound: netlist.NoMovebound})
+	}
+	for i := 1; i < cells; i++ {
+		j := rng.Intn(i)
+		n.AddNet(netlist.Net{Pins: []netlist.Pin{{Cell: netlist.CellID(i)}, {Cell: netlist.CellID(j)}}})
+	}
+	for k := 0; k < 8; k++ {
+		c := netlist.CellID(rng.Intn(cells))
+		side := rng.Intn(4)
+		var p geom.Point
+		switch side {
+		case 0:
+			p = geom.Point{X: rng.Float64() * 32, Y: 0}
+		case 1:
+			p = geom.Point{X: rng.Float64() * 32, Y: 32}
+		case 2:
+			p = geom.Point{X: 0, Y: rng.Float64() * 32}
+		default:
+			p = geom.Point{X: 32, Y: rng.Float64() * 32}
+		}
+		n.AddNet(netlist.Net{Pins: []netlist.Pin{{Cell: c}, {Cell: -1, Offset: p}}})
+	}
+	return n
+}
+
+func overflowRatio(n *netlist.Netlist, bins int, density float64) float64 {
+	dm := grid.NewDensityMap(n.Area, bins, bins, n.FixedRects(), density)
+	dm.Accumulate(n)
+	return dm.Overflow() / n.TotalMovableArea()
+}
+
+func TestPlaceReducesOverflow(t *testing.T) {
+	n := randomNetlist(t, 300, 1)
+	before := overflowRatio(n, 8, 0.97) // everything at center: huge overflow
+	rep, err := Place(n, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := overflowRatio(n, 8, 0.97)
+	if after >= before {
+		t.Fatalf("overflow did not drop: %g -> %g", before, after)
+	}
+	if rep.FinalOverflow > 0.4 {
+		t.Fatalf("final overflow ratio %g too high", rep.FinalOverflow)
+	}
+	// All cells inside the chip.
+	for i := range n.Cells {
+		if !chip.Contains(n.Pos(netlist.CellID(i))) {
+			t.Fatalf("cell %d at %v outside chip", i, n.Pos(netlist.CellID(i)))
+		}
+	}
+}
+
+func TestPlaceKraftwerkStyle(t *testing.T) {
+	n := randomNetlist(t, 300, 2)
+	rep, err := Place(n, Config{Style: StyleKraftwerk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FinalOverflow > 0.5 {
+		t.Fatalf("kraftwerk-style final overflow %g", rep.FinalOverflow)
+	}
+}
+
+func TestPlaceEmptyNetlist(t *testing.T) {
+	n := netlist.New(chip, 1)
+	rep, err := Place(n, Config{})
+	if err != nil || rep.Iters != 0 {
+		t.Fatalf("rep=%+v err=%v", rep, err)
+	}
+}
+
+func TestPlaceRespectsBlockages(t *testing.T) {
+	n := randomNetlist(t, 200, 3)
+	m := n.AddCell(netlist.Cell{Width: 16, Height: 16, Fixed: true})
+	n.SetPos(m, geom.Point{X: 16, Y: 16})
+	if _, err := Place(n, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	// Blocked bins have zero capacity, so the density map must show most
+	// cell area outside the macro; spreading is soft, so just check the
+	// macro's core is not the densest spot.
+	dm := grid.NewDensityMap(n.Area, 8, 8, n.FixedRects(), 0.97)
+	dm.Accumulate(n)
+	core := dm.Usage[dm.Grid.LocateIndex(geom.Point{X: 16, Y: 16})]
+	corner := dm.Usage[dm.Grid.LocateIndex(geom.Point{X: 2, Y: 2})]
+	if core > 4*corner {
+		t.Fatalf("macro core still crowded: core=%g corner=%g", core, corner)
+	}
+}
+
+func TestPlaceNaiveMoveboundsPullCells(t *testing.T) {
+	n := randomNetlist(t, 120, 4)
+	// Put a third of the cells into a movebound on the right edge.
+	mbs := []region.Movebound{{
+		Name: "M", Kind: region.Inclusive,
+		Area: geom.RectSet{{Xlo: 24, Ylo: 0, Xhi: 32, Yhi: 32}},
+	}}
+	for i := 0; i < 40; i++ {
+		n.Cells[i].Movebound = 0
+	}
+	if _, err := Place(n, Config{Movebounds: mbs}); err != nil {
+		t.Fatal(err)
+	}
+	inside := 0
+	for i := 0; i < 40; i++ {
+		if n.X[i] >= 23 { // near or in the movebound
+			inside++
+		}
+	}
+	if inside < 20 {
+		t.Fatalf("only %d/40 movebound cells pulled toward the area", inside)
+	}
+	// The naive scheme gives no guarantee: with strong connectivity to
+	// the left, violations are expected on hard instances — the paper's
+	// Tables IV/V report exactly that for RQL.
+}
+
+func TestPlaceDeterministic(t *testing.T) {
+	a := randomNetlist(t, 150, 5)
+	b := a.Clone()
+	if _, err := Place(a, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Place(b, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Cells {
+		if a.X[i] != b.X[i] || a.Y[i] != b.Y[i] {
+			t.Fatalf("cell %d position differs between runs", i)
+		}
+	}
+}
+
+func TestStretchedBoundariesMonotone(t *testing.T) {
+	dm := grid.NewDensityMap(chip, 4, 4, nil, 1.0)
+	// Heavy load in column 0 of row 0.
+	dm.AddRect(geom.Rect{Xlo: 0, Ylo: 0, Xhi: 8, Yhi: 8})
+	dm.AddRect(geom.Rect{Xlo: 0, Ylo: 0, Xhi: 8, Yhi: 8})
+	nb := stretchedBoundaries(dm, 1, true)
+	for row := range nb {
+		for i := 1; i < len(nb[row]); i++ {
+			if nb[row][i] < nb[row][i-1] {
+				t.Fatalf("row %d boundaries not monotone: %v", row, nb[row])
+			}
+		}
+		if nb[row][0] != 0 || nb[row][4] != 32 {
+			t.Fatalf("row %d outer boundaries moved: %v", row, nb[row])
+		}
+	}
+	// In row 0 the first boundary must shift right (away from the full bin).
+	if nb[0][1] <= 8 {
+		t.Fatalf("boundary did not stretch away from overfull bin: %v", nb[0])
+	}
+}
+
+func TestProjectInto(t *testing.T) {
+	rs := geom.RectSet{{Xlo: 0, Ylo: 0, Xhi: 2, Yhi: 2}, {Xlo: 10, Ylo: 10, Xhi: 12, Yhi: 12}}
+	if got := projectInto(rs, geom.Point{X: 1, Y: 1}); got != (geom.Point{X: 1, Y: 1}) {
+		t.Fatalf("inside point moved: %v", got)
+	}
+	if got := projectInto(rs, geom.Point{X: 9, Y: 9}); got != (geom.Point{X: 10, Y: 10}) {
+		t.Fatalf("projection = %v, want (10,10)", got)
+	}
+}

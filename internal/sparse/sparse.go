@@ -1,0 +1,238 @@
+// Package sparse implements the sparse linear-algebra substrate of the
+// quadratic placer: coordinate-format assembly of symmetric positive
+// definite systems and a Jacobi-preconditioned conjugate-gradient solver.
+//
+// Quadratic netlength minimization (paper §III) reduces to one SPD system
+// per coordinate axis; the matrices are graph Laplacians of the net model
+// plus positive diagonal terms from fixed pins and anchors, so CG with a
+// diagonal preconditioner converges quickly and needs no factorization.
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Builder accumulates matrix entries in coordinate (triplet) form.
+// Duplicate (row, col) entries are summed on Build, which matches the
+// natural assembly of clique and star net models.
+type Builder struct {
+	n       int
+	rows    []int32
+	cols    []int32
+	vals    []float64
+	diagAdd []float64
+}
+
+// NewBuilder returns a builder for an n x n matrix.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, diagAdd: make([]float64, n)}
+}
+
+// N returns the matrix dimension.
+func (b *Builder) N() int { return b.n }
+
+// Add accumulates v into entry (i, j). For off-diagonal entries the caller
+// is responsible for also adding the symmetric entry (j, i); AddSym does
+// both plus the diagonal, which is the common pattern for spring terms.
+func (b *Builder) Add(i, j int, v float64) {
+	if i == j {
+		b.diagAdd[i] += v
+		return
+	}
+	b.rows = append(b.rows, int32(i))
+	b.cols = append(b.cols, int32(j))
+	b.vals = append(b.vals, v)
+}
+
+// AddSym adds a spring of weight w between variables i and j:
+// +w on both diagonals, -w on both off-diagonals. This is the quadratic
+// form w*(x_i - x_j)^2 differentiated.
+func (b *Builder) AddSym(i, j int, w float64) {
+	b.diagAdd[i] += w
+	b.diagAdd[j] += w
+	b.rows = append(b.rows, int32(i), int32(j))
+	b.cols = append(b.cols, int32(j), int32(i))
+	b.vals = append(b.vals, -w, -w)
+}
+
+// AddDiag adds w to the diagonal entry of variable i (a spring to a fixed
+// location; the location itself contributes w*pos to the right-hand side).
+func (b *Builder) AddDiag(i int, w float64) { b.diagAdd[i] += w }
+
+// Build assembles the accumulated entries into a CSR matrix. Entries with
+// equal coordinates are summed; explicit zeros are kept (they are rare and
+// harmless).
+func (b *Builder) Build() *CSR {
+	type key struct{ r, c int32 }
+	// Count entries per row after dedup. Use sort over a permutation.
+	idx := make([]int, len(b.rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(p, q int) bool {
+		ip, iq := idx[p], idx[q]
+		if b.rows[ip] != b.rows[iq] {
+			return b.rows[ip] < b.rows[iq]
+		}
+		return b.cols[ip] < b.cols[iq]
+	})
+	m := &CSR{
+		N:    b.n,
+		Ptr:  make([]int32, b.n+1),
+		Diag: append([]float64(nil), b.diagAdd...),
+	}
+	var last key
+	haveLast := false
+	for _, p := range idx {
+		k := key{b.rows[p], b.cols[p]}
+		if haveLast && k == last {
+			m.Val[len(m.Val)-1] += b.vals[p]
+			continue
+		}
+		m.Col = append(m.Col, k.c)
+		m.Val = append(m.Val, b.vals[p])
+		m.Ptr[k.r+1]++
+		last, haveLast = k, true
+	}
+	for i := 0; i < b.n; i++ {
+		m.Ptr[i+1] += m.Ptr[i]
+	}
+	return m
+}
+
+// CSR is a compressed-sparse-row matrix with the diagonal stored
+// separately (every row of a placement Laplacian has a diagonal entry, and
+// keeping it apart makes the Jacobi preconditioner free).
+type CSR struct {
+	N    int
+	Ptr  []int32 // row pointers into Col/Val, length N+1
+	Col  []int32
+	Val  []float64
+	Diag []float64
+}
+
+// NNZ returns the number of stored off-diagonal entries plus diagonal.
+func (m *CSR) NNZ() int { return len(m.Val) + m.N }
+
+// MulVec computes dst = M*x. dst and x must have length N and must not
+// alias.
+func (m *CSR) MulVec(dst, x []float64) {
+	for i := 0; i < m.N; i++ {
+		s := m.Diag[i] * x[i]
+		for p := m.Ptr[i]; p < m.Ptr[i+1]; p++ {
+			s += m.Val[p] * x[m.Col[p]]
+		}
+		dst[i] = s
+	}
+}
+
+// ErrNotConverged is returned when CG exhausts its iteration budget before
+// reaching the requested tolerance. The best iterate found is still
+// written to x, so callers may choose to continue with it.
+var ErrNotConverged = errors.New("sparse: CG did not converge")
+
+// CGOptions controls the conjugate-gradient solve.
+type CGOptions struct {
+	// Tol is the relative residual target ||r|| <= Tol*||b||. Default 1e-6.
+	Tol float64
+	// MaxIter bounds the iterations. Default 10*N (placement Laplacians
+	// typically converge in far fewer).
+	MaxIter int
+}
+
+// SolveCG solves M*x = rhs for symmetric positive definite M using
+// Jacobi-preconditioned conjugate gradients, starting from the initial
+// guess already in x (warm starts matter: each placement level starts from
+// the previous level's solution). It returns the number of iterations.
+func SolveCG(m *CSR, x, rhs []float64, opt CGOptions) (int, error) {
+	if opt.Tol == 0 {
+		opt.Tol = 1e-6
+	}
+	if opt.MaxIter == 0 {
+		opt.MaxIter = 10 * m.N
+		if opt.MaxIter < 100 {
+			opt.MaxIter = 100
+		}
+	}
+	n := m.N
+	if len(x) != n || len(rhs) != n {
+		return 0, fmt.Errorf("sparse: dimension mismatch: matrix %d, x %d, rhs %d", n, len(x), len(rhs))
+	}
+	inv := make([]float64, n)
+	for i, d := range m.Diag {
+		if d <= 0 {
+			return 0, fmt.Errorf("sparse: non-positive diagonal %g at row %d (matrix not SPD)", d, i)
+		}
+		inv[i] = 1 / d
+	}
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	m.MulVec(r, x)
+	bnorm := 0.0
+	rnorm0 := 0.0
+	for i := range r {
+		r[i] = rhs[i] - r[i]
+		rnorm0 += r[i] * r[i]
+		bnorm += rhs[i] * rhs[i]
+	}
+	bnorm = math.Sqrt(bnorm)
+	if bnorm == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		return 0, nil
+	}
+	if math.Sqrt(rnorm0) <= opt.Tol*bnorm {
+		return 0, nil // warm start already converged
+	}
+	rz := 0.0
+	for i := range r {
+		z[i] = inv[i] * r[i]
+		p[i] = z[i]
+		rz += r[i] * z[i]
+	}
+	target := opt.Tol * bnorm
+	for iter := 1; iter <= opt.MaxIter; iter++ {
+		m.MulVec(ap, p)
+		pap := dot(p, ap)
+		if pap <= 0 {
+			// Numerical breakdown; the current iterate is the best we have.
+			return iter, fmt.Errorf("sparse: CG breakdown, p^T A p = %g: %w", pap, ErrNotConverged)
+		}
+		alpha := rz / pap
+		rnorm := 0.0
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+			rnorm += r[i] * r[i]
+		}
+		if math.Sqrt(rnorm) <= target {
+			return iter, nil
+		}
+		rzNew := 0.0
+		for i := range z {
+			z[i] = inv[i] * r[i]
+			rzNew += r[i] * z[i]
+		}
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return opt.MaxIter, ErrNotConverged
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,301 @@
+package sparse
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderSumsDuplicates(t *testing.T) {
+	b := NewBuilder(3)
+	b.Add(0, 1, 2)
+	b.Add(0, 1, 3)
+	b.Add(1, 0, 5)
+	b.AddDiag(0, 7)
+	b.Add(2, 2, 1) // diagonal via Add
+	m := b.Build()
+	if m.Diag[0] != 7 || m.Diag[2] != 1 {
+		t.Fatalf("diag = %v", m.Diag)
+	}
+	// Row 0 has one stored entry with value 5.
+	if m.Ptr[1]-m.Ptr[0] != 1 || m.Val[m.Ptr[0]] != 5 || m.Col[m.Ptr[0]] != 1 {
+		t.Fatalf("row 0 wrong: ptr=%v col=%v val=%v", m.Ptr, m.Col, m.Val)
+	}
+	if m.Ptr[2]-m.Ptr[1] != 1 || m.Val[m.Ptr[1]] != 5 {
+		t.Fatalf("row 1 wrong")
+	}
+}
+
+func TestAddSymBuildsLaplacian(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddSym(0, 1, 4)
+	b.AddDiag(0, 1) // anchor to make it SPD
+	m := b.Build()
+	// M = [[5,-4],[-4,4]]
+	x := []float64{1, 2}
+	y := make([]float64, 2)
+	m.MulVec(y, x)
+	if y[0] != 5-8 || y[1] != -4+8 {
+		t.Fatalf("MulVec = %v", y)
+	}
+}
+
+func TestMulVecKnown(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddDiag(0, 2)
+	b.AddDiag(1, 3)
+	b.AddDiag(2, 4)
+	b.Add(0, 2, -1)
+	b.Add(2, 0, -1)
+	m := b.Build()
+	x := []float64{1, 1, 1}
+	y := make([]float64, 3)
+	m.MulVec(y, x)
+	want := []float64{1, 3, 3}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("MulVec = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestSolveCGIdentity(t *testing.T) {
+	b := NewBuilder(4)
+	for i := 0; i < 4; i++ {
+		b.AddDiag(i, 1)
+	}
+	m := b.Build()
+	rhs := []float64{1, -2, 3, 0.5}
+	x := make([]float64, 4)
+	if _, err := SolveCG(m, x, rhs, CGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range rhs {
+		if math.Abs(x[i]-rhs[i]) > 1e-9 {
+			t.Fatalf("x = %v", x)
+		}
+	}
+}
+
+func TestSolveCGZeroRHS(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddSym(0, 1, 1)
+	b.AddDiag(0, 1)
+	m := b.Build()
+	x := []float64{5, -3}
+	it, err := SolveCG(m, x, []float64{0, 0}, CGOptions{})
+	if err != nil || it != 0 {
+		t.Fatalf("it=%d err=%v", it, err)
+	}
+	if x[0] != 0 || x[1] != 0 {
+		t.Fatalf("x = %v, want zeros", x)
+	}
+}
+
+// Build a random SPD system (Laplacian of a random connected graph plus
+// random positive diagonal), solve, and verify the residual.
+func TestSolveCGRandomSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(60)
+		b := NewBuilder(n)
+		for i := 1; i < n; i++ {
+			j := rng.Intn(i)
+			b.AddSym(i, j, 0.1+rng.Float64())
+		}
+		for e := 0; e < 2*n; e++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i != j {
+				b.AddSym(i, j, 0.1+rng.Float64())
+			}
+		}
+		for i := 0; i < n; i++ {
+			if rng.Intn(4) == 0 || i == 0 {
+				b.AddDiag(i, 0.5+rng.Float64())
+			}
+		}
+		m := b.Build()
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64() * 10
+		}
+		rhs := make([]float64, n)
+		m.MulVec(rhs, want)
+		x := make([]float64, n)
+		if _, err := SolveCG(m, x, rhs, CGOptions{Tol: 1e-10}); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		res := make([]float64, n)
+		m.MulVec(res, x)
+		for i := range res {
+			if math.Abs(res[i]-rhs[i]) > 1e-6*(1+math.Abs(rhs[i])) {
+				t.Fatalf("trial %d: residual %g at %d", trial, res[i]-rhs[i], i)
+			}
+		}
+	}
+}
+
+func TestSolveCGWarmStart(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddSym(0, 1, 1)
+	b.AddSym(1, 2, 1)
+	b.AddDiag(0, 2)
+	m := b.Build()
+	rhs := []float64{2, 0, 1}
+	cold := make([]float64, 3)
+	it1, err := SolveCG(m, cold, rhs, CGOptions{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm start from the exact solution must converge immediately-ish.
+	warm := append([]float64(nil), cold...)
+	it2, err := SolveCG(m, warm, rhs, CGOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it2 > it1 {
+		t.Fatalf("warm start took %d iters, cold %d", it2, it1)
+	}
+}
+
+func TestSolveCGRejectsNonPositiveDiag(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddDiag(0, 1)
+	// Row 1 diagonal left at 0.
+	m := b.Build()
+	x := make([]float64, 2)
+	if _, err := SolveCG(m, x, []float64{1, 1}, CGOptions{}); err == nil {
+		t.Fatal("expected error for zero diagonal")
+	}
+}
+
+func TestSolveCGDimensionMismatch(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddDiag(0, 1)
+	b.AddDiag(1, 1)
+	m := b.Build()
+	if _, err := SolveCG(m, make([]float64, 3), []float64{1, 1}, CGOptions{}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestSolveCGMaxIter(t *testing.T) {
+	// A chain Laplacian with a tiny anchor is ill-conditioned; 1 iteration
+	// will not reach 1e-14.
+	n := 50
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddSym(i-1, i, 1)
+	}
+	b.AddDiag(0, 1e-6)
+	m := b.Build()
+	rhs := make([]float64, n)
+	rhs[n-1] = 1
+	x := make([]float64, n)
+	_, err := SolveCG(m, x, rhs, CGOptions{Tol: 1e-14, MaxIter: 1})
+	if !errors.Is(err, ErrNotConverged) {
+		t.Fatalf("err = %v, want ErrNotConverged", err)
+	}
+}
+
+// Property: for random small SPD systems, CG's solution matches dense
+// Gaussian elimination.
+func TestSolveCGMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		b := NewBuilder(n)
+		dense := make([][]float64, n)
+		for i := range dense {
+			dense[i] = make([]float64, n)
+		}
+		for i := 1; i < n; i++ {
+			j := rng.Intn(i)
+			w := 0.5 + rng.Float64()
+			b.AddSym(i, j, w)
+			dense[i][i] += w
+			dense[j][j] += w
+			dense[i][j] -= w
+			dense[j][i] -= w
+		}
+		for i := 0; i < n; i++ {
+			w := 0.5 + rng.Float64()
+			b.AddDiag(i, w)
+			dense[i][i] += w
+		}
+		m := b.Build()
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = rng.NormFloat64()
+		}
+		x := make([]float64, n)
+		if _, err := SolveCG(m, x, rhs, CGOptions{Tol: 1e-12}); err != nil {
+			return false
+		}
+		ref := gaussSolve(dense, append([]float64(nil), rhs...))
+		for i := range x {
+			if math.Abs(x[i]-ref[i]) > 1e-6*(1+math.Abs(ref[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// gaussSolve solves a dense system with partial pivoting (test reference).
+func gaussSolve(a [][]float64, b []float64) []float64 {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * x[c]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x
+}
+
+func BenchmarkMulVec(b *testing.B) {
+	n := 10000
+	bl := NewBuilder(n)
+	rng := rand.New(rand.NewSource(1))
+	for i := 1; i < n; i++ {
+		bl.AddSym(i, rng.Intn(i), 1)
+	}
+	for i := 0; i < n; i++ {
+		bl.AddDiag(i, 1)
+	}
+	m := bl.Build()
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVec(y, x)
+	}
+}

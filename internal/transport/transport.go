@@ -1,0 +1,571 @@
+// Package transport solves the (unbalanced) Hitchcock transportation
+// problems arising in partitioning (paper §III): ship cell area from
+// sources (cells) to sinks (regions and temporary transit regions) at
+// minimum total cost, where inadmissible pairs (movebound does not cover
+// the region) are simply absent from the arc lists.
+//
+// Two engines are provided:
+//
+//   - Reference: successive shortest paths on the full bipartite network
+//     (flow.MinCostFlow). Exact, simple, used for small instances and as
+//     the test oracle.
+//   - Condensed: the production engine. It starts from the optimal
+//     pseudoflow that sends every source to its cheapest admissible sink
+//     and then cancels sink overloads along shortest paths in a condensed
+//     graph whose nodes are the sinks only. Each condensed arc a->b is the
+//     cheapest reassignment of any source currently in a to b. This keeps
+//     shortest-path computations at O(k^2) for k sinks regardless of the
+//     number of cells, mirroring the role of Brenner's fast transportation
+//     algorithm [4] in BonnPlace.
+//
+// Solutions are fractional in general but almost integral: at most k-1
+// sources are split (a vertex of the transportation polytope). Rounded()
+// maps every split source to its majority sink.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"fbplace/internal/flow"
+)
+
+// Arc is an admissible (source, sink) pair with its movement cost.
+type Arc struct {
+	Sink int
+	Cost float64
+}
+
+// Problem is a transportation instance. Sources ship their full Supply;
+// sinks accept at most Capacity. Total supply must not exceed the total
+// capacity reachable by each subset of sources (otherwise Solve returns
+// ErrInfeasible).
+type Problem struct {
+	Supply   []float64 // per source, > 0
+	Capacity []float64 // per sink, >= 0
+	Arcs     [][]Arc   // Arcs[i] lists admissible sinks of source i
+}
+
+// NumSources returns the number of sources.
+func (p *Problem) NumSources() int { return len(p.Supply) }
+
+// NumSinks returns the number of sinks.
+func (p *Problem) NumSinks() int { return len(p.Capacity) }
+
+// Portion is a fractional assignment of a source to a sink.
+type Portion struct {
+	Sink   int
+	Amount float64
+}
+
+// Solution holds a fractional transportation plan.
+type Solution struct {
+	// Assign[i] lists the portions of source i, largest first.
+	Assign [][]Portion
+	// Cost is the total cost of the plan.
+	Cost float64
+}
+
+// ErrInfeasible reports that some supply cannot reach any sink with
+// remaining capacity.
+var ErrInfeasible = errors.New("transport: infeasible instance")
+
+// Rounded returns, per source, the sink receiving the largest portion.
+// Sources with no assignment (impossible for feasible instances) map to -1.
+func (s *Solution) Rounded() []int {
+	out := make([]int, len(s.Assign))
+	for i, ps := range s.Assign {
+		if len(ps) == 0 {
+			out[i] = -1
+			continue
+		}
+		out[i] = ps[0].Sink
+	}
+	return out
+}
+
+// NumSplit returns the number of sources assigned to more than one sink —
+// by almost-integrality this is at most (number of sinks - 1).
+func (s *Solution) NumSplit() int {
+	n := 0
+	for _, ps := range s.Assign {
+		if len(ps) > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// SolveReference solves the instance exactly with the generic min-cost
+// flow solver. Intended for tests and small instances.
+func SolveReference(p *Problem) (*Solution, error) {
+	n, k := p.NumSources(), p.NumSinks()
+	g := flow.NewMinCostFlow(n + k)
+	for i, s := range p.Supply {
+		if s <= 0 {
+			return nil, fmt.Errorf("transport: source %d has non-positive supply %g", i, s)
+		}
+		g.SetSupply(i, s)
+	}
+	for j, c := range p.Capacity {
+		g.SetSupply(n+j, -c)
+	}
+	ids := make([][]flow.ArcID, n)
+	for i, arcs := range p.Arcs {
+		ids[i] = make([]flow.ArcID, len(arcs))
+		for t, a := range arcs {
+			ids[i][t] = g.AddArc(i, n+a.Sink, flow.Inf, a.Cost)
+		}
+	}
+	cost, err := g.Solve()
+	if err != nil {
+		var inf *flow.ErrInfeasible
+		if errors.As(err, &inf) {
+			return nil, fmt.Errorf("%w: %g unrouted", ErrInfeasible, inf.Unrouted)
+		}
+		return nil, err
+	}
+	sol := &Solution{Assign: make([][]Portion, n), Cost: cost}
+	for i, arcs := range p.Arcs {
+		for t, a := range arcs {
+			f := g.Flow(ids[i][t])
+			if f > flow.Eps {
+				sol.Assign[i] = append(sol.Assign[i], Portion{Sink: a.Sink, Amount: f})
+			}
+		}
+		sortPortions(sol.Assign[i])
+	}
+	return sol, nil
+}
+
+func sortPortions(ps []Portion) {
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a].Amount != ps[b].Amount {
+			return ps[a].Amount > ps[b].Amount
+		}
+		return ps[a].Sink < ps[b].Sink
+	})
+}
+
+// Solve solves the instance with the condensed-sink engine. The solution
+// is an optimal fractional plan (same cost as SolveReference up to
+// numerical tolerance).
+func Solve(p *Problem) (*Solution, error) {
+	return solveCondensed(p)
+}
+
+// presence tracks how much of source i currently sits at sink j, together
+// with the source's cost at that sink (cached to keep the hot path free of
+// map lookups).
+type presence struct {
+	source int
+	amount float64
+	cost   float64
+}
+
+// condEdge is one condensed-graph edge candidate: reassigning `source`
+// from the owning sink to the target sink costs w.
+type condEdge struct {
+	w      float64
+	source int // -1 = absent
+}
+
+// pairState caches the best and second-best candidates for one (from, to)
+// sink pair, maintained incrementally as presences change. `stale` forces
+// a full recompute of the pair on next access.
+type pairState struct {
+	best, second condEdge
+	stale        bool
+}
+
+// condensed holds the solver state: presences per sink and a (k x k)
+// matrix of candidate edges maintained incrementally, so an augmentation
+// costs O(path * (k + recomputed pairs)) instead of O(n * k).
+type condensed struct {
+	k      int
+	arcsOf [][]Arc
+	// costOf is a dense n x k matrix of arc costs (+Inf = inadmissible);
+	// dense storage keeps the hot recompute loops free of map lookups.
+	costOf []float64
+	at     [][]presence
+	load   []float64
+	pairs  [][]pairState // pairs[a][b]
+}
+
+func better(x, y condEdge) bool {
+	if y.source < 0 {
+		return x.source >= 0
+	}
+	if x.source < 0 {
+		return false
+	}
+	if x.w != y.w {
+		return x.w < y.w
+	}
+	return x.source < y.source
+}
+
+// offer inserts a candidate into the pair's best/second slots.
+func (p *pairState) offer(e condEdge) {
+	if p.best.source == e.source {
+		// Same source re-offered (cost unchanged); nothing to do.
+		return
+	}
+	if better(e, p.best) {
+		p.second = p.best
+		p.best = e
+	} else if p.second.source != e.source && better(e, p.second) {
+		p.second = e
+	}
+}
+
+// onAdd records a new presence of src at sink a.
+func (c *condensed) onAdd(a, src int, costA float64) {
+	for _, arc := range c.arcsOf[src] {
+		if arc.Sink == a {
+			continue
+		}
+		c.pairs[a][arc.Sink].offer(condEdge{w: arc.Cost - costA, source: src})
+	}
+}
+
+// onRemove records the full removal of src from sink a.
+func (c *condensed) onRemove(a, src int) {
+	for _, arc := range c.arcsOf[src] {
+		if arc.Sink == a {
+			continue
+		}
+		p := &c.pairs[a][arc.Sink]
+		switch src {
+		case p.best.source:
+			if p.second.source >= 0 && !p.stale {
+				p.best = p.second
+				p.second = condEdge{source: -1}
+				p.stale = true // second slot now unknown
+			} else {
+				p.best = condEdge{source: -1}
+				p.stale = true
+			}
+		case p.second.source:
+			p.second = condEdge{source: -1}
+			p.stale = true
+		}
+	}
+}
+
+// edge returns the current best candidate for the pair (a, b), recomputing
+// the pair from the presence list when stale. A stale pair whose best slot
+// is still valid only needs its second slot refreshed lazily — but only
+// when the best is removed, so we recompute fully here for simplicity.
+func (c *condensed) edge(a, b int) condEdge {
+	p := &c.pairs[a][b]
+	if !p.stale {
+		return p.best
+	}
+	if p.best.source >= 0 {
+		// Best is valid; the unknown second slot only matters on the next
+		// removal of best. Treat as fresh for reading.
+		return p.best
+	}
+	// Full recompute of this pair.
+	best, second := condEdge{source: -1}, condEdge{source: -1}
+	for _, pr := range c.at[a] {
+		if pr.amount <= flow.Eps {
+			continue
+		}
+		cb := c.costOf[pr.source*c.k+b]
+		if math.IsInf(cb, 1) {
+			continue
+		}
+		e := condEdge{w: cb - pr.cost, source: pr.source}
+		if better(e, best) {
+			second = best
+			best = e
+		} else if better(e, second) {
+			second = e
+		}
+	}
+	p.best, p.second, p.stale = best, second, false
+	return p.best
+}
+
+func solveCondensed(p *Problem) (*Solution, error) {
+	n, k := p.NumSources(), p.NumSinks()
+	// Per source: arcs deduplicated (cheapest per sink) and sorted by sink
+	// so that all iteration below is deterministic, plus a map for O(1)
+	// cost lookups.
+	costOf := make([]float64, n*k)
+	for i := range costOf {
+		costOf[i] = math.Inf(1)
+	}
+	arcsOf := make([][]Arc, n)
+	for i, arcs := range p.Arcs {
+		for _, a := range arcs {
+			if a.Cost < costOf[i*k+a.Sink] {
+				costOf[i*k+a.Sink] = a.Cost
+			}
+		}
+		arcsOf[i] = make([]Arc, 0, len(arcs))
+		for sink := 0; sink < k; sink++ {
+			if !math.IsInf(costOf[i*k+sink], 1) {
+				arcsOf[i] = append(arcsOf[i], Arc{Sink: sink, Cost: costOf[i*k+sink]})
+			}
+		}
+	}
+	c := &condensed{
+		k:      k,
+		arcsOf: arcsOf,
+		costOf: costOf,
+		at:     make([][]presence, k),
+		load:   make([]float64, k),
+		pairs:  make([][]pairState, k),
+	}
+	for a := 0; a < k; a++ {
+		c.pairs[a] = make([]pairState, k)
+		for b := 0; b < k; b++ {
+			c.pairs[a][b] = pairState{best: condEdge{source: -1}, second: condEdge{source: -1}}
+		}
+	}
+	// Initial optimal pseudoflow: each source at its cheapest sink.
+	for i := 0; i < n; i++ {
+		if p.Supply[i] <= 0 {
+			return nil, fmt.Errorf("transport: source %d has non-positive supply %g", i, p.Supply[i])
+		}
+		best, bestC := -1, math.Inf(1)
+		for _, a := range arcsOf[i] {
+			if a.Cost < bestC {
+				best, bestC = a.Sink, a.Cost
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("%w: source %d has no admissible sink", ErrInfeasible, i)
+		}
+		c.at[best] = append(c.at[best], presence{source: i, amount: p.Supply[i], cost: bestC})
+		c.load[best] += p.Supply[i]
+		c.onAdd(best, i, bestC)
+	}
+	// Cancel overloads: shortest path from an overloaded sink to a sink
+	// with slack in the condensed graph (Bellman-Ford; reassignment costs
+	// can be negative relative to the current plan).
+	for {
+		over := -1
+		for j := 0; j < k; j++ {
+			if c.load[j] > p.Capacity[j]+flow.Eps {
+				over = j
+				break
+			}
+		}
+		if over < 0 {
+			break
+		}
+		dist, via, ok := c.shortestPaths(over)
+		if !ok {
+			return nil, fmt.Errorf("transport: %w", ErrInfeasible)
+		}
+		// Best reachable sink with slack.
+		target := -1
+		bestD := math.Inf(1)
+		for j := 0; j < k; j++ {
+			if j == over || c.load[j] >= p.Capacity[j]-flow.Eps {
+				continue
+			}
+			if dist[j] < bestD {
+				target, bestD = j, dist[j]
+			}
+		}
+		if target < 0 {
+			return nil, fmt.Errorf("transport: %w", ErrInfeasible)
+		}
+		// Reconstruct path.
+		var path []int // sink sequence from over to target
+		for j := target; j != over; j = via[j].from {
+			path = append(path, j)
+			if len(path) > k {
+				return nil, fmt.Errorf("transport: predecessor cycle (internal error)")
+			}
+		}
+		path = append(path, over)
+		reverse(path)
+		// Batch augmentation: along each path edge, all presences whose
+		// reassignment cost ties the best candidate *exactly* lie on
+		// shortest paths too, so the whole tied group can move in one
+		// augmentation (a blocking-flow-style step). This collapses the
+		// thousands of unit-sized augmentations that arise when many
+		// cells share a position (initial pile-ups). Ties must be exact:
+		// batching epsilon-near candidates would leave the pseudoflow
+		// slightly suboptimal and later Bellman-Ford runs could chase
+		// tiny negative cycles.
+		want := c.load[over] - p.Capacity[over]
+		if slack := p.Capacity[target] - c.load[target]; slack < want {
+			want = slack
+		}
+		type tiedGroup struct {
+			sources []int
+			amounts []float64
+			total   float64
+		}
+		groups := make([]tiedGroup, len(path)-1)
+		move := want
+		for t := 0; t+1 < len(path); t++ {
+			a, b := path[t], path[t+1]
+			bestW := costOf[via[b].source*k+b] - costOf[via[b].source*k+a]
+			g := &groups[t]
+			for _, pr := range c.at[a] {
+				if pr.amount <= flow.Eps {
+					continue
+				}
+				cb := costOf[pr.source*k+b]
+				if math.IsInf(cb, 1) {
+					continue
+				}
+				if cb-pr.cost <= bestW {
+					g.sources = append(g.sources, pr.source)
+					g.amounts = append(g.amounts, pr.amount)
+					g.total += pr.amount
+				}
+			}
+			if g.total < move {
+				move = g.total
+			}
+		}
+		if move <= flow.Eps {
+			return nil, fmt.Errorf("transport: degenerate augmentation (move %g)", move)
+		}
+		for t := 0; t+1 < len(path); t++ {
+			a, b := path[t], path[t+1]
+			g := &groups[t]
+			remaining := move
+			for gi := 0; gi < len(g.sources) && remaining > flow.Eps; gi++ {
+				src := g.sources[gi]
+				amt := g.amounts[gi]
+				if amt > remaining {
+					amt = remaining
+				}
+				if removePresence(&c.at[a], src, amt) {
+					c.onRemove(a, src)
+				}
+				if addPresence(&c.at[b], src, amt, costOf[src*k+b]) {
+					c.onAdd(b, src, costOf[src*k+b])
+				}
+				remaining -= amt
+			}
+			c.load[a] -= move
+			c.load[b] += move
+		}
+	}
+	// Extract solution.
+	sol := &Solution{Assign: make([][]Portion, n)}
+	for j := 0; j < k; j++ {
+		for _, pr := range c.at[j] {
+			if pr.amount > flow.Eps {
+				sol.Assign[pr.source] = append(sol.Assign[pr.source], Portion{Sink: j, Amount: pr.amount})
+				sol.Cost += pr.amount * pr.cost
+			}
+		}
+	}
+	for i := range sol.Assign {
+		sortPortions(sol.Assign[i])
+	}
+	return sol, nil
+}
+
+type viaEdge struct {
+	from   int // predecessor sink
+	source int // source reassigned from 'from' to this sink
+}
+
+// shortestPaths runs Bellman-Ford over the k-sink condensed graph from the
+// start sink. Edge a->b has weight min over sources present at a and
+// admissible at b of (cost(s,b) - cost(s,a)). Iteration is over sorted arc
+// slices so tie-breaking (and thus the whole solver) is deterministic.
+func (c *condensed) shortestPaths(start int) ([]float64, []viaEdge, bool) {
+	k := c.k
+	dist := make([]float64, k)
+	via := make([]viaEdge, k)
+	for j := range dist {
+		dist[j] = math.Inf(1)
+		via[j] = viaEdge{from: -1, source: -1}
+	}
+	dist[start] = 0
+	for round := 0; round < k; round++ {
+		improved := false
+		for a := 0; a < k; a++ {
+			if math.IsInf(dist[a], 1) {
+				continue
+			}
+			for b := 0; b < k; b++ {
+				if b == a {
+					continue
+				}
+				e := c.edge(a, b)
+				if e.source < 0 {
+					continue
+				}
+				if nd := dist[a] + e.w; nd+flow.Eps < dist[b] {
+					dist[b] = nd
+					via[b] = viaEdge{from: a, source: e.source}
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	reachable := false
+	for j := 0; j < k; j++ {
+		if !math.IsInf(dist[j], 1) {
+			reachable = true
+			break
+		}
+	}
+	return dist, via, reachable
+}
+
+func presenceAmount(ps []presence, source int) float64 {
+	for _, pr := range ps {
+		if pr.source == source {
+			return pr.amount
+		}
+	}
+	return 0
+}
+
+// removePresence reduces source's amount at the sink; it reports whether
+// the presence disappeared entirely (candidate edges must be retired).
+func removePresence(ps *[]presence, source int, amt float64) bool {
+	for i := range *ps {
+		if (*ps)[i].source == source {
+			(*ps)[i].amount -= amt
+			if (*ps)[i].amount <= flow.Eps {
+				last := len(*ps) - 1
+				(*ps)[i] = (*ps)[last]
+				*ps = (*ps)[:last]
+				return true
+			}
+			return false
+		}
+	}
+	return false
+}
+
+// addPresence adds amount of source at the sink; it reports whether the
+// presence is new (candidate edges must be offered).
+func addPresence(ps *[]presence, source int, amt, cost float64) bool {
+	for i := range *ps {
+		if (*ps)[i].source == source {
+			(*ps)[i].amount += amt
+			return false
+		}
+	}
+	*ps = append(*ps, presence{source: source, amount: amt, cost: cost})
+	return true
+}
+
+func reverse(v []int) {
+	for i, j := 0, len(v)-1; i < j; i, j = i+1, j-1 {
+		v[i], v[j] = v[j], v[i]
+	}
+}

@@ -1,0 +1,289 @@
+package transport
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveSingleSourceSingleSink(t *testing.T) {
+	p := &Problem{
+		Supply:   []float64{3},
+		Capacity: []float64{5},
+		Arcs:     [][]Arc{{{Sink: 0, Cost: 2}}},
+	}
+	for name, solve := range engines() {
+		sol, err := solve(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if math.Abs(sol.Cost-6) > 1e-9 {
+			t.Fatalf("%s: cost = %v, want 6", name, sol.Cost)
+		}
+		if got := sol.Rounded(); got[0] != 0 {
+			t.Fatalf("%s: rounded = %v", name, got)
+		}
+	}
+}
+
+func engines() map[string]func(*Problem) (*Solution, error) {
+	return map[string]func(*Problem) (*Solution, error){
+		"reference": SolveReference,
+		"condensed": Solve,
+	}
+}
+
+func TestSolveOverflowMovesCheapestSource(t *testing.T) {
+	// Both sources prefer sink 0 (cap 1); source 1 is cheaper to move away.
+	p := &Problem{
+		Supply:   []float64{1, 1},
+		Capacity: []float64{1, 1},
+		Arcs: [][]Arc{
+			{{Sink: 0, Cost: 0}, {Sink: 1, Cost: 10}},
+			{{Sink: 0, Cost: 0}, {Sink: 1, Cost: 1}},
+		},
+	}
+	for name, solve := range engines() {
+		sol, err := solve(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if math.Abs(sol.Cost-1) > 1e-9 {
+			t.Fatalf("%s: cost = %v, want 1", name, sol.Cost)
+		}
+		r := sol.Rounded()
+		if r[0] != 0 || r[1] != 1 {
+			t.Fatalf("%s: rounded = %v", name, r)
+		}
+	}
+}
+
+func TestSolveRespectsAdmissibility(t *testing.T) {
+	// Source 0 may only use sink 1 even though sink 0 is free.
+	p := &Problem{
+		Supply:   []float64{2},
+		Capacity: []float64{10, 2},
+		Arcs:     [][]Arc{{{Sink: 1, Cost: 7}}},
+	}
+	for name, solve := range engines() {
+		sol, err := solve(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r := sol.Rounded(); r[0] != 1 {
+			t.Fatalf("%s: rounded = %v", name, r)
+		}
+	}
+}
+
+func TestSolveInfeasibleDetected(t *testing.T) {
+	p := &Problem{
+		Supply:   []float64{5},
+		Capacity: []float64{2, 100},
+		Arcs:     [][]Arc{{{Sink: 0, Cost: 1}}}, // big sink inadmissible
+	}
+	for name, solve := range engines() {
+		if _, err := solve(p); !errors.Is(err, ErrInfeasible) {
+			t.Fatalf("%s: err = %v, want ErrInfeasible", name, err)
+		}
+	}
+}
+
+func TestSolveNoAdmissibleSink(t *testing.T) {
+	p := &Problem{
+		Supply:   []float64{1},
+		Capacity: []float64{1},
+		Arcs:     [][]Arc{nil},
+	}
+	for name, solve := range engines() {
+		if _, err := solve(p); !errors.Is(err, ErrInfeasible) {
+			t.Fatalf("%s: err = %v, want ErrInfeasible", name, err)
+		}
+	}
+}
+
+func TestSolveSplitSource(t *testing.T) {
+	// One source of size 2 must split across two sinks of capacity 1.
+	p := &Problem{
+		Supply:   []float64{2},
+		Capacity: []float64{1, 1},
+		Arcs:     [][]Arc{{{Sink: 0, Cost: 1}, {Sink: 1, Cost: 3}}},
+	}
+	for name, solve := range engines() {
+		sol, err := solve(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if math.Abs(sol.Cost-4) > 1e-9 {
+			t.Fatalf("%s: cost = %v, want 4", name, sol.Cost)
+		}
+		if len(sol.Assign[0]) != 2 {
+			t.Fatalf("%s: assign = %v, want split", name, sol.Assign[0])
+		}
+		if sol.NumSplit() != 1 {
+			t.Fatalf("%s: NumSplit = %d", name, sol.NumSplit())
+		}
+	}
+}
+
+func TestSolveChainReassignment(t *testing.T) {
+	// Classic chain: overflow at sink 0 is resolved by a two-hop shuffle
+	// 0 -> 1 -> 2, which is cheaper than the direct move 0 -> 2.
+	p := &Problem{
+		Supply:   []float64{1, 1, 1},
+		Capacity: []float64{1, 1, 1},
+		Arcs: [][]Arc{
+			{{Sink: 0, Cost: 0}, {Sink: 1, Cost: 1}, {Sink: 2, Cost: 100}},
+			{{Sink: 0, Cost: 0}, {Sink: 1, Cost: 1}, {Sink: 2, Cost: 100}},
+			{{Sink: 0, Cost: 50}, {Sink: 1, Cost: 0}, {Sink: 2, Cost: 2}},
+		},
+	}
+	// Optimal: sources 0,1 at sinks 0,1; source 2 moves to sink 2: cost 0+1+2.
+	for name, solve := range engines() {
+		sol, err := solve(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if math.Abs(sol.Cost-3) > 1e-9 {
+			t.Fatalf("%s: cost = %v, want 3", name, sol.Cost)
+		}
+	}
+}
+
+// randomProblem builds a feasible random instance with float costs (to
+// avoid ties) and returns it.
+func randomProblem(rng *rand.Rand) *Problem {
+	n := 1 + rng.Intn(12)
+	k := 1 + rng.Intn(5)
+	p := &Problem{
+		Supply:   make([]float64, n),
+		Capacity: make([]float64, k),
+		Arcs:     make([][]Arc, n),
+	}
+	total := 0.0
+	for i := range p.Supply {
+		p.Supply[i] = 0.5 + rng.Float64()*3
+		total += p.Supply[i]
+	}
+	// Every source admissible to a random nonempty sink subset always
+	// including sink 0; sink 0 large enough to guarantee feasibility.
+	for i := range p.Arcs {
+		p.Arcs[i] = append(p.Arcs[i], Arc{Sink: 0, Cost: rng.Float64() * 10})
+		for j := 1; j < k; j++ {
+			if rng.Intn(2) == 0 {
+				p.Arcs[i] = append(p.Arcs[i], Arc{Sink: j, Cost: rng.Float64() * 10})
+			}
+		}
+	}
+	for j := 1; j < k; j++ {
+		p.Capacity[j] = rng.Float64() * total / float64(k)
+	}
+	p.Capacity[0] = total
+	return p
+}
+
+// Property: the condensed engine matches the reference engine's optimal
+// cost on random instances.
+func TestCondensedMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProblem(rng)
+		ref, err1 := SolveReference(p)
+		got, err2 := Solve(p)
+		if err1 != nil || err2 != nil {
+			return err1 != nil && err2 != nil // both must agree on feasibility
+		}
+		return math.Abs(ref.Cost-got.Cost) < 1e-6*(1+math.Abs(ref.Cost))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: solutions ship all supply, respect capacities, and split at
+// most k-1 sources (almost-integrality, paper §III / [4]).
+func TestSolutionInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProblem(rng)
+		sol, err := Solve(p)
+		if err != nil {
+			return true
+		}
+		loads := make([]float64, p.NumSinks())
+		for i, ps := range sol.Assign {
+			sum := 0.0
+			for _, pr := range ps {
+				if pr.Amount <= 0 {
+					return false
+				}
+				loads[pr.Sink] += pr.Amount
+				sum += pr.Amount
+				// Assigned sink must be admissible.
+				ok := false
+				for _, a := range p.Arcs[i] {
+					if a.Sink == pr.Sink {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					return false
+				}
+			}
+			if math.Abs(sum-p.Supply[i]) > 1e-6 {
+				return false
+			}
+		}
+		for j, l := range loads {
+			if l > p.Capacity[j]+1e-6 {
+				return false
+			}
+		}
+		return sol.NumSplit() <= p.NumSinks()-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundedMajority(t *testing.T) {
+	sol := &Solution{Assign: [][]Portion{
+		{{Sink: 2, Amount: 5}, {Sink: 1, Amount: 1}},
+		{{Sink: 0, Amount: 1}},
+		nil,
+	}}
+	got := sol.Rounded()
+	if got[0] != 2 || got[1] != 0 || got[2] != -1 {
+		t.Fatalf("Rounded = %v", got)
+	}
+}
+
+func BenchmarkCondensedLarge(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	n, k := 2000, 12
+	p := &Problem{
+		Supply:   make([]float64, n),
+		Capacity: make([]float64, k),
+		Arcs:     make([][]Arc, n),
+	}
+	total := 0.0
+	for i := range p.Supply {
+		p.Supply[i] = 0.5 + rng.Float64()
+		total += p.Supply[i]
+		for j := 0; j < k; j++ {
+			p.Arcs[i] = append(p.Arcs[i], Arc{Sink: j, Cost: rng.Float64() * 100})
+		}
+	}
+	for j := range p.Capacity {
+		p.Capacity[j] = 1.1 * total / float64(k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
