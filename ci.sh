@@ -1,0 +1,27 @@
+#!/bin/sh
+# Local CI: formatting, vet, build, and the full test suite under the race
+# detector. Referenced from README "Install & quick start".
+set -e
+
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+# The race detector slows the experiment harness ~10x past the default
+# 10-minute per-package timeout.
+go test -race -timeout 30m ./...
+
+echo "CI OK"

@@ -4,10 +4,15 @@
 //	fbpbench -table all            # everything (slow)
 //	fbpbench -table 2 -scale 0.002 # Table II at 0.2% of published sizes
 //	fbpbench -table speedup        # §IV.B parallel realization speedups
+//	fbpbench -table 1 -trace t.json -stats
 //
 // Tables: 1 (FBP sizes/runtimes), 2 (no movebounds), 3 (instance
 // characteristics), 4 (inclusive movebounds), 5 (exclusive movebounds),
 // 6 (runtime split), 7 (ISPD-2006-style), speedup, ablation, feasibility.
+//
+// Every run that produces HPWL numbers also writes a machine-readable
+// baseline (per-table HPWL and phase times) for regression diffing; see
+// -bench-out.
 package main
 
 import (
@@ -17,13 +22,35 @@ import (
 	"runtime"
 
 	"fbplace/internal/exp"
+	"fbplace/internal/obs"
 )
 
 func main() {
 	table := flag.String("table", "all", "which table to run: 1..7, speedup, ablation, feasibility, all")
 	scale := flag.Float64("scale", exp.DefaultScale, "fraction of the published cell counts to generate")
 	chips := flag.Int("chips", 0, "limit the number of chips for table 2 (0 = all 21)")
+	trace := flag.String("trace", "", "write a JSON-lines trace of the runs to this file")
+	stats := flag.Bool("stats", false, "print the phase summary tree and counters at the end")
+	benchOut := flag.String("bench-out", "BENCH_baseline.json", "write per-table HPWL/phase-time baseline JSON here (empty = off)")
 	flag.Parse()
+
+	var rec *obs.Recorder
+	var traceSink *obs.JSONSink
+	var traceFile *os.File
+	if *trace != "" || *stats {
+		if *trace != "" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				fatal(err)
+			}
+			traceFile = f
+			traceSink = obs.NewJSONSink(f)
+			rec = obs.New(traceSink)
+		} else {
+			rec = obs.New(nil)
+		}
+		exp.SetRecorder(rec)
+	}
 
 	run := func(name string) bool {
 		return *table == "all" || *table == name
@@ -34,24 +61,31 @@ func main() {
 		os.Exit(1)
 	}
 	ran := false
+	bench := exp.BenchRecord{Scale: *scale, Tables: map[string]exp.BenchTable{}}
 
 	if run("1") {
 		ran = true
+		sp := rec.StartSpan("table1")
 		spec, rows, err := exp.Table1(*scale)
+		sp.End()
 		if err != nil {
 			fail("1", err)
 		}
 		exp.PrintTable1(out, spec, rows)
 		fmt.Fprintln(out)
+		bench.Tables["1"] = exp.BenchFromTable1(spec, rows)
 	}
 	if run("2") {
 		ran = true
+		sp := rec.StartSpan("table2")
 		rows, err := exp.Table2(*scale, *chips)
+		sp.End()
 		if err != nil {
 			fail("2", err)
 		}
 		exp.PrintCompare(out, "TABLE II: Results without movebounds (RQL-style baseline vs BonnPlace FBP)", rows, false)
 		fmt.Fprintln(out)
+		bench.Tables["2"] = exp.BenchFromCompare(rows)
 	}
 	if run("3") {
 		ran = true
@@ -66,10 +100,13 @@ func main() {
 	if run("4") || run("6") {
 		ran = true
 		var err error
+		sp := rec.StartSpan("table4")
 		t4, err = exp.Table4(*scale)
+		sp.End()
 		if err != nil {
 			fail("4", err)
 		}
+		bench.Tables["4"] = exp.BenchFromCompare(t4)
 	}
 	if run("4") {
 		exp.PrintCompare(out, "TABLE IV: Results with inclusive movebounds", t4, true)
@@ -82,12 +119,15 @@ func main() {
 	}
 	if run("5") {
 		ran = true
+		sp := rec.StartSpan("table5")
 		rows, err := exp.Table5(*scale)
+		sp.End()
 		if err != nil {
 			fail("5", err)
 		}
 		exp.PrintCompare(out, "TABLE V: Results with exclusive movebounds", rows, true)
 		fmt.Fprintln(out)
+		bench.Tables["5"] = exp.BenchFromCompare(rows)
 	}
 	if run("6") {
 		exp.PrintTable6(out, t4)
@@ -95,16 +135,21 @@ func main() {
 	}
 	if run("7") {
 		ran = true
+		sp := rec.StartSpan("table7")
 		rows, err := exp.Table7(*scale)
+		sp.End()
 		if err != nil {
 			fail("7", err)
 		}
 		exp.PrintTable7(out, rows)
 		fmt.Fprintln(out)
+		bench.Tables["7"] = exp.BenchFromTable7(rows)
 	}
 	if run("speedup") {
 		ran = true
+		sp := rec.StartSpan("speedup")
 		rows, err := exp.Speedup(*scale, runtime.GOMAXPROCS(0))
+		sp.End()
 		if err != nil {
 			fail("speedup", err)
 		}
@@ -113,12 +158,15 @@ func main() {
 	}
 	if run("ablation") {
 		ran = true
+		sp := rec.StartSpan("ablation")
 		rows, err := exp.AblationRecursive(*scale)
 		if err != nil {
+			sp.End()
 			fail("ablation", err)
 		}
 		exp.PrintAblation(out, "Ablation A1: FBP vs recursive partitioning (movebounded chip)", rows, true)
 		rows, err = exp.AblationLocalQP(*scale)
+		sp.End()
 		if err != nil {
 			fail("ablation", err)
 		}
@@ -137,4 +185,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fbpbench: unknown table %q (want 1..7, speedup, ablation, feasibility, all)\n", *table)
 		os.Exit(2)
 	}
+
+	rec.Flush()
+	if *stats {
+		rec.WriteSummary(out)
+	}
+	if traceFile != nil {
+		if err := traceSink.Err(); err != nil {
+			fatal(fmt.Errorf("trace: %w", err))
+		}
+		if err := traceFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(out, "wrote %s\n", *trace)
+	}
+	if *benchOut != "" && len(bench.Tables) > 0 {
+		if err := exp.WriteBench(*benchOut, bench); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(out, "wrote %s\n", *benchOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fbpbench:", err)
+	os.Exit(1)
 }

@@ -33,7 +33,26 @@ func main() {
 	skipLegal := flag.Bool("skip-legalization", false, "stop after global placement")
 	svg := flag.String("svg", "", "write an SVG rendering of the final placement")
 	detail := flag.Int("detail", 0, "detailed-placement passes after legalization (0 = off)")
+	trace := flag.String("trace", "", "write a JSON-lines trace of the run to this file")
+	stats := flag.Bool("stats", false, "print the phase summary tree and counters after placement")
 	flag.Parse()
+
+	var rec *fbplace.Recorder
+	var traceSink *fbplace.JSONTraceSink
+	var traceFile *os.File
+	if *trace != "" || *stats {
+		if *trace != "" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				fatal(err)
+			}
+			traceFile = f
+			traceSink = fbplace.NewJSONTraceSink(f)
+			rec = fbplace.NewRecorder(traceSink)
+		} else {
+			rec = fbplace.NewRecorder(nil)
+		}
+	}
 
 	n, mbs, err := load(*in, *cells, *seed)
 	if err != nil {
@@ -69,6 +88,7 @@ func main() {
 			Mode: m, Movebounds: mbs, TargetDensity: *density,
 			ClusterRatio: *cluster, Workers: *workers,
 			SkipLegalization: *skipLegal, DetailPasses: *detail,
+			Obs: rec,
 		})
 		if err != nil {
 			fatal(err)
@@ -79,15 +99,19 @@ func main() {
 			rep.LegalTime.Round(time.Millisecond), rep.Levels)
 		fmt.Printf("HPWL %.0f, violations %d, overlaps %d\n", rep.HPWL, rep.Violations, rep.Overlaps)
 	case "rql":
+		sp := rec.StartSpan("rql.place")
 		if _, err := fbplace.PlaceBaseline(n, fbplace.BaselineConfig{
 			Movebounds: mbs, TargetDensity: *density,
 		}); err != nil {
 			fatal(err)
 		}
+		sp.End()
 		if !*skipLegal {
+			lsp := rec.StartSpan("legalize")
 			if _, err := fbplace.Legalize(n); err != nil {
 				fatal(err)
 			}
+			lsp.End()
 		}
 		viol := 0
 		if len(mbs) > 0 {
@@ -99,6 +123,20 @@ func main() {
 		fmt.Printf("HPWL %.0f, violations %d, overlaps %d\n", n.HPWL(), viol, fbplace.CountOverlaps(n))
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	rec.Flush()
+	if *stats {
+		rec.WriteSummary(os.Stdout)
+	}
+	if traceFile != nil {
+		if err := traceSink.Err(); err != nil {
+			fatal(fmt.Errorf("trace: %w", err))
+		}
+		if err := traceFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *trace)
 	}
 
 	if *out != "" {

@@ -1,0 +1,70 @@
+// Tracing places the quickstart chip with an observability recorder
+// attached and prints the phase summary tree: where the time goes
+// (QP, flow solve, realization waves, legalization), how much solver
+// effort each phase spent (CG iterations, network-simplex pivots,
+// transportation solves), and how busy the realization workers were.
+//
+// Pass a filename to additionally stream the JSON-lines trace there:
+//
+//	go run ./examples/tracing trace.json
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"fbplace"
+)
+
+func main() {
+	inst, err := fbplace.Generate(fbplace.ChipSpec{
+		Name: "tracing", NumCells: 5000, Seed: 1,
+		Movebounds: []fbplace.MoveboundSpec{
+			{Kind: fbplace.Inclusive, CellFraction: 0.2, Density: 0.7, NestedIn: -1},
+			{Kind: fbplace.Exclusive, CellFraction: 0.1, Density: 0.7, NestedIn: -1},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A recorder with a nil sink aggregates spans and counters in memory;
+	// give it a JSON sink to also stream a trace file.
+	var sink *fbplace.JSONTraceSink
+	var traceFile *os.File
+	rec := fbplace.NewRecorder(nil)
+	if len(os.Args) > 1 {
+		traceFile, err = os.Create(os.Args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		sink = fbplace.NewJSONTraceSink(traceFile)
+		rec = fbplace.NewRecorder(sink)
+	}
+
+	rep, err := fbplace.Place(inst.N, fbplace.Config{
+		Movebounds: inst.Movebounds,
+		Obs:        rec,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec.Flush()
+
+	fmt.Printf("placed %d cells: HPWL %.0f, %d violations, %d overlaps\n",
+		inst.N.NumCells(), rep.HPWL, rep.Violations, rep.Overlaps)
+	fmt.Printf("top-level QP effort: %d solves, %d CG iterations\n\n",
+		rep.QPSolves, rep.CGIters)
+	rec.WriteSummary(os.Stdout)
+
+	if traceFile != nil {
+		if err := sink.Err(); err != nil {
+			log.Fatal(err)
+		}
+		if err := traceFile.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", os.Args[1])
+	}
+}

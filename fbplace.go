@@ -35,6 +35,7 @@ import (
 	"fbplace/internal/grid"
 	"fbplace/internal/legalize"
 	"fbplace/internal/netlist"
+	"fbplace/internal/obs"
 	"fbplace/internal/placer"
 	"fbplace/internal/plot"
 	"fbplace/internal/region"
@@ -225,6 +226,31 @@ func FlowModel(n *Netlist, movebounds []Movebound, k int, targetDensity float64)
 	}
 	return model.Stats, out, nil
 }
+
+// Observability (see internal/obs). Set Config.Obs to a Recorder to
+// collect hierarchical phase spans, counters (CG iterations, network
+// simplex pivots, transport solves, ...) and gauges from a placement run.
+// A nil *Recorder disables recording at the cost of a nil check.
+type (
+	// Recorder collects spans, counters and gauges for one run.
+	Recorder = obs.Recorder
+	// TraceSink receives recorder events as they are produced.
+	TraceSink = obs.Sink
+	// TraceEvent is one exported trace event (span, counter or gauge).
+	TraceEvent = obs.Event
+	// JSONTraceSink writes one JSON trace event per line.
+	JSONTraceSink = obs.JSONSink
+)
+
+// NewRecorder returns a recorder streaming events to sink. A nil sink
+// aggregates in memory only (for WriteSummary / Counters).
+func NewRecorder(sink TraceSink) *Recorder { return obs.New(sink) }
+
+// NewJSONTraceSink returns a sink writing a JSON-lines trace to w.
+func NewJSONTraceSink(w io.Writer) *JSONTraceSink { return obs.NewJSONSink(w) }
+
+// ReadTrace parses a JSON-lines trace produced by a JSONTraceSink.
+func ReadTrace(r io.Reader) ([]TraceEvent, error) { return obs.ReadTrace(r) }
 
 // Baseline placers.
 type (

@@ -22,6 +22,7 @@ import (
 	"fbplace/internal/grid"
 	"fbplace/internal/legalize"
 	"fbplace/internal/netlist"
+	"fbplace/internal/obs"
 	"fbplace/internal/placer"
 	"fbplace/internal/region"
 	"fbplace/internal/rql"
@@ -31,6 +32,16 @@ import (
 // harness generates (the paper's chips reach 9.3M cells; the floor of
 // 2000 cells per instance keeps every run in the multi-level regime).
 const DefaultScale = 0.002
+
+// obsRec, when set, is threaded into every placer/FBP run the harness
+// starts. A package-level hook (rather than a parameter) keeps the table
+// function signatures stable for bench_test.go.
+var obsRec *obs.Recorder
+
+// SetRecorder threads rec through all subsequent harness runs. Pass nil to
+// disable recording again. Not safe to call concurrently with a running
+// table.
+func SetRecorder(rec *obs.Recorder) { obsRec = rec }
 
 // fmtDur renders a duration like the paper's h:mm:ss columns but with
 // sub-second resolution where it matters.
@@ -73,14 +84,21 @@ func Table1(scale float64) (gen.ChipSpec, []T1Row, error) {
 	}
 	var rows []T1Row
 	for _, k := range gen.GridLevels(spec.NumCells) {
+		sp := obsRec.StartSpan("table1.level")
+		sp.Attr("grid", float64(k))
 		n := base.Clone()
 		g := grid.New(n.Area, k, k)
 		wr := grid.BuildWindowRegions(g, d, blockages, 0.97)
 		model := fbp.BuildModel(n, wr, g.AssignCells(n))
+		model.Obs = obsRec
 		if err := model.Solve(); err != nil {
+			sp.End()
 			return spec, nil, fmt.Errorf("grid %dx%d: %w", k, k, err)
 		}
-		res, err := fbp.Realize(model, fbp.DefaultConfig())
+		rcfg := fbp.DefaultConfig()
+		rcfg.Obs = obsRec
+		res, err := fbp.Realize(model, rcfg)
+		sp.End()
 		if err != nil {
 			return spec, nil, fmt.Errorf("grid %dx%d realize: %w", k, k, err)
 		}
@@ -193,6 +211,7 @@ func runPair(inst *gen.Instance, withMB bool) (CompareRow, error) {
 	rep, err := placer.Place(fbpNet, placer.Config{
 		Movebounds:   mbs,
 		ClusterRatio: clusterRatioFor(len(fbpNet.MovableIDs())),
+		Obs:          obsRec,
 	})
 	if err != nil {
 		return row, fmt.Errorf("%s: FBP: %w", inst.Spec.Name, err)

@@ -17,6 +17,7 @@ import (
 	"fbplace/internal/geom"
 	"fbplace/internal/grid"
 	"fbplace/internal/netlist"
+	"fbplace/internal/obs"
 	"fbplace/internal/qp"
 )
 
@@ -45,6 +46,9 @@ type Config struct {
 	// Density is the target placement density used when capacities were
 	// built; kept for diagnostics only.
 	Density float64
+	// Obs, when non-nil, records phase spans (fbp.build / fbp.solve /
+	// fbp.realize with per-wave children) and solver counters.
+	Obs *obs.Recorder
 }
 
 // DefaultConfig returns the configuration used by the placer.
@@ -64,6 +68,12 @@ type Stats struct {
 	RealizeTime  time.Duration
 	// Waves is the number of parallel realization waves executed.
 	Waves int
+	// NSPivots is the network-simplex pivot count of the MCF solve.
+	NSPivots int
+	// LocalQPSolves and LocalCGIters aggregate the realization-local QP
+	// effort (total CG iterations over both axes).
+	LocalQPSolves int64
+	LocalCGIters  int64
 }
 
 // External is one pair of opposite zero-cost arcs between facing transit
@@ -85,6 +95,11 @@ type Model struct {
 	N       *netlist.Netlist
 	WR      *grid.WindowRegions
 	Classes int // number of movebounds + 1 (unbounded)
+
+	// Obs records spans and counters when non-nil (set by Partition from
+	// Config.Obs; callers driving BuildModel/Solve/Realize directly may
+	// set it themselves).
+	Obs *obs.Recorder
 
 	G *flow.MinCostFlow
 	// cellGroupNode[class*W + w] = node id or -1.
@@ -339,12 +354,17 @@ func (e *ErrInfeasible) Error() string {
 // Theorem 3 it returns *ErrInfeasible exactly when no fractional placement
 // with movebounds exists for the given capacities.
 func (m *Model) Solve() error {
+	sp := m.Obs.StartSpan("fbp.solve")
+	defer sp.End()
 	start := time.Now()
 	// Network simplex, as in the paper ("computed by a (sequential)
 	// NetworkSimplex algorithm"): the zero-cost transit mesh makes
 	// augmenting-path solvers churn, while tree pivots handle it well.
+	m.G.Obs = m.Obs
 	_, err := m.G.SolveNS()
 	m.Stats.SolveTime = time.Since(start)
+	m.Stats.NSPivots = m.G.Pivots
+	sp.Attr("pivots", float64(m.G.Pivots))
 	if err != nil {
 		if inf, ok := err.(*flow.ErrInfeasible); ok {
 			return &ErrInfeasible{Unrouted: inf.Unrouted}

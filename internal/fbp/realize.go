@@ -5,12 +5,14 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fbplace/internal/flow"
 	"fbplace/internal/geom"
 	"fbplace/internal/grid"
 	"fbplace/internal/netlist"
+	"fbplace/internal/obs"
 	"fbplace/internal/qp"
 	"fbplace/internal/transport"
 )
@@ -62,6 +64,13 @@ type realizer struct {
 	incoming [][]int32
 
 	waves int
+
+	// Observability: rec records wave spans and counters; qpStats
+	// aggregates the local QP effort (atomically, workers share it);
+	// busyNS accumulates per-unit busy time for worker occupancy.
+	rec     *obs.Recorder
+	qpStats qp.SolveStats
+	busyNS  int64
 }
 
 // unit is a realization step: one window together with the classes whose
@@ -103,8 +112,11 @@ type unit struct {
 // invariant by at most a cell per sink; the capacity-aware rounding, the
 // relaxation ladder and repairOverflow bound and then remove that drift.
 func Partition(n *netlist.Netlist, wr *grid.WindowRegions, cfg Config) (*Result, error) {
+	bsp := cfg.Obs.StartSpan("fbp.build")
 	assign := wr.Grid.AssignCells(n)
 	model := BuildModel(n, wr, assign)
+	model.Obs = cfg.Obs
+	bsp.End()
 	if err := model.Solve(); err != nil {
 		return nil, err
 	}
@@ -113,6 +125,12 @@ func Partition(n *netlist.Netlist, wr *grid.WindowRegions, cfg Config) (*Result,
 
 // Realize turns a solved model into a cell-to-region partitioning.
 func Realize(m *Model, cfg Config) (*Result, error) {
+	rec := cfg.Obs
+	if rec == nil {
+		rec = m.Obs
+	}
+	rsp := rec.StartSpan("fbp.realize")
+	defer rsp.End()
 	start := time.Now()
 	n := m.N
 	g := m.WR.Grid
@@ -121,6 +139,7 @@ func Realize(m *Model, cfg Config) (*Result, error) {
 		m:             m,
 		n:             n,
 		cfg:           cfg,
+		rec:           rec,
 		curWin:        make([]int32, n.NumCells()),
 		parked:        make([]bool, n.NumCells()),
 		cellRegion:    make([]RegionRef, n.NumCells()),
@@ -155,15 +174,23 @@ func Realize(m *Model, cfg Config) (*Result, error) {
 	}
 	// Final internal partitioning: every window maps its cells to its
 	// regions (no transit sinks remain).
+	fsp := rec.StartSpan("fbp.final")
 	if err := r.finalPass(); err != nil {
+		fsp.End()
 		return nil, err
 	}
+	fsp.End()
 	// Repair the residual overflow left by majority rounding across
 	// multi-hop realizations: move the smallest set of cells from
 	// overfull regions to the nearest admissible regions with headroom.
+	psp := rec.StartSpan("fbp.repair")
 	r.repairOverflow()
+	psp.End()
 	m.Stats.RealizeTime = time.Since(start)
 	m.Stats.Waves = r.waves
+	m.Stats.LocalQPSolves = r.qpStats.Solves
+	m.Stats.LocalCGIters = r.qpStats.CGIters
+	rec.Count("fbp.waves", float64(r.waves))
 
 	res := &Result{CellRegion: r.cellRegion, Stats: m.Stats}
 	res.RoundingOverflow = r.roundingOverflow()
@@ -349,14 +376,48 @@ func (r *realizer) runWave(wave []unit) error {
 	if workers > len(wave) {
 		workers = len(wave)
 	}
+	// Per-wave span with worker occupancy: busy time of all units over
+	// workers * wall-clock. Timing is gated on the recorder so disabled
+	// runs pay only nil checks.
+	var waveStart time.Time
+	var busyBefore int64
+	ws := r.rec.StartSpan("wave")
+	if r.rec != nil {
+		ws.Attr("units", float64(len(wave)))
+		ws.Attr("workers", float64(workers))
+		waveStart = time.Now()
+		busyBefore = atomic.LoadInt64(&r.busyNS)
+	}
+	defer func() {
+		if r.rec != nil {
+			wall := time.Since(waveStart)
+			busy := atomic.LoadInt64(&r.busyNS) - busyBefore
+			if wall > 0 && workers > 0 {
+				occ := float64(busy) / (float64(wall) * float64(workers))
+				ws.Attr("occupancy", occ)
+				r.rec.Gauge("fbp.occupancy", occ)
+			}
+			r.rec.Count("fbp.units", float64(len(wave)))
+		}
+		ws.End()
+	}()
 	var snapX, snapY []float64
 	if r.cfg.LocalQP {
 		snapX = append([]float64(nil), r.n.X...)
 		snapY = append([]float64(nil), r.n.Y...)
 	}
+	realize := func(u unit) error {
+		if r.rec == nil {
+			return r.realizeUnit(u, snapX, snapY)
+		}
+		t0 := time.Now()
+		err := r.realizeUnit(u, snapX, snapY)
+		atomic.AddInt64(&r.busyNS, int64(time.Since(t0)))
+		return err
+	}
 	if workers <= 1 {
 		for _, u := range wave {
-			if err := r.realizeUnit(u, snapX, snapY); err != nil {
+			if err := realize(u); err != nil {
 				return err
 			}
 		}
@@ -371,7 +432,7 @@ func (r *realizer) runWave(wave []unit) error {
 		go func(i int, u unit) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			errs[i] = r.realizeUnit(u, snapX, snapY)
+			errs[i] = realize(u)
 		}(i, u)
 	}
 	wg.Wait()
@@ -429,6 +490,10 @@ func (r *realizer) realizeUnit(un unit, snapX, snapY []float64) error {
 			opt.MaxIter = 60
 		}
 		opt.BestEffort = true
+		// Local QP effort is reported separately from the placer's
+		// top-level solves (Stats.LocalQPSolves/LocalCGIters).
+		opt.Obs = r.rec
+		opt.Stats = &r.qpStats
 		if err := qp.SolveSubset(r.n, subset, nil, opt); err != nil {
 			return fmt.Errorf("fbp: local QP in window %d: %w", u, err)
 		}
@@ -488,6 +553,7 @@ func (r *realizer) transportBlock(u int, block []int, cells []int32, allowTransi
 		Supply:   make([]float64, len(cells)),
 		Capacity: caps,
 		Arcs:     make([][]transport.Arc, len(cells)),
+		Obs:      r.rec,
 	}
 	for i, ci := range cells {
 		c := &r.n.Cells[ci]

@@ -9,7 +9,11 @@
 // as the saturation tolerance throughout.
 package flow
 
-import "math"
+import (
+	"math"
+
+	"fbplace/internal/obs"
+)
 
 // Eps is the tolerance below which residual capacities and imbalances are
 // treated as zero.
@@ -29,6 +33,12 @@ type MaxFlow struct {
 	adj   [][]maxArc
 	level []int32
 	iter  []int32
+
+	// Obs, when non-nil, records counters "dinic.phases" and
+	// "dinic.augments" per Solve run.
+	Obs *obs.Recorder
+	// Augments is the number of augmenting paths of the last Solve run.
+	Augments int
 }
 
 // NewMaxFlow returns a solver with n nodes and no arcs.
@@ -100,7 +110,10 @@ func (g *MaxFlow) dfs(u, t int32, f float64) float64 {
 // graph (capacities are consumed in place).
 func (g *MaxFlow) Solve(s, t int) float64 {
 	total := 0.0
+	g.Augments = 0
+	phases := 0
 	for g.bfs(s, t) {
+		phases++
 		for i := range g.iter {
 			g.iter[i] = 0
 		}
@@ -110,7 +123,10 @@ func (g *MaxFlow) Solve(s, t int) float64 {
 				break
 			}
 			total += f
+			g.Augments++
 		}
 	}
+	g.Obs.Count("dinic.phases", float64(phases))
+	g.Obs.Count("dinic.augments", float64(g.Augments))
 	return total
 }

@@ -4,6 +4,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"fbplace/internal/obs"
 )
 
 // ArcID identifies an arc of a MinCostFlow instance, as returned by AddArc.
@@ -30,6 +32,11 @@ type MinCostFlow struct {
 	supply  []float64
 	arcPos  [][2]int32 // ArcID -> (node, index) of the forward arc
 	maxCost float64
+
+	// Obs, when non-nil, records the counter "ns.pivots" per SolveNS run.
+	Obs *obs.Recorder
+	// Pivots is the number of simplex pivots of the last SolveNS run.
+	Pivots int
 }
 
 // NewMinCostFlow returns an instance with n nodes.

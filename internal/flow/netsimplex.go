@@ -65,7 +65,10 @@ func (g *MinCostFlow) SolveNS() (float64, error) {
 		a := &g.adj[p[0]][p[1]]
 		realArc[id] = ns.addArc(int(p[0]), int(a.to), a.cap, a.cost)
 	}
-	if err := ns.run(b, root, g.maxCost); err != nil {
+	err := ns.run(b, root, g.maxCost)
+	g.Pivots = ns.pivots
+	g.Obs.Count("ns.pivots", float64(ns.pivots))
+	if err != nil {
 		return 0, err
 	}
 	// Infeasibility: artificial root arcs still carrying flow, plus any
@@ -124,6 +127,7 @@ type netSimplex struct {
 
 	artificial []int // arc ids of the root arcs
 	numNodes   int
+	pivots     int // pivots performed by run
 }
 
 func (ns *netSimplex) init(numNodes int) {
@@ -226,6 +230,7 @@ func (ns *netSimplex) run(b []float64, root int, maxCost float64) error {
 			break // optimal
 		}
 		ns.pivot(enter, depth)
+		ns.pivots++
 		if nsDebugCheck != nil {
 			nsDebugCheck(ns, b, pivot)
 		}

@@ -17,6 +17,7 @@ import (
 
 	"fbplace/internal/geom"
 	"fbplace/internal/netlist"
+	"fbplace/internal/obs"
 	"fbplace/internal/region"
 	"fbplace/internal/transport"
 )
@@ -26,6 +27,10 @@ type Options struct {
 	// MaxRowSearch bounds how many rows above/below the desired row are
 	// tried per cell; 0 = all rows.
 	MaxRowSearch int
+	// Obs, when non-nil, records the partition/pack/spill phase spans and
+	// the counters "legalize.cells", "legalize.spilled" and
+	// "legalize.failed".
+	Obs *obs.Recorder
 }
 
 // Result reports movement statistics.
@@ -333,6 +338,8 @@ func LegalizeArea(n *netlist.Netlist, cells []netlist.CellID, allowed geom.RectS
 	if err := checkHeights(n, cells); err != nil {
 		return res, err
 	}
+	sp := opt.Obs.StartSpan("legalize.pack")
+	defer sp.End()
 	p := NewPacker(n, allowed, blockages, opt)
 	if !p.Usable() {
 		return Result{Failed: len(cells)}, fmt.Errorf("legalize: no usable rows in allowed area")
@@ -344,6 +351,8 @@ func LegalizeArea(n *netlist.Netlist, cells []netlist.CellID, allowed geom.RectS
 		}
 	}
 	p.Finalize(&res)
+	opt.Obs.Count("legalize.cells", float64(len(cells)))
+	opt.Obs.Count("legalize.failed", float64(res.Failed))
 	if res.Failed > 0 {
 		return res, fmt.Errorf("legalize: %d cells could not be placed", res.Failed)
 	}
@@ -393,6 +402,7 @@ func LegalizeWithMovebounds(n *netlist.Netlist, d *region.Decomposition, opt Opt
 	if err := checkHeights(n, movable); err != nil {
 		return Result{}, err
 	}
+	psp := opt.Obs.StartSpan("legalize.partition")
 	// Partition on *packable* capacity (see PackableCapacities): narrow
 	// sliver regions contribute far less than their geometric area.
 	caps := PackableCapacities(n, d, blockages)
@@ -404,6 +414,7 @@ func LegalizeWithMovebounds(n *netlist.Netlist, d *region.Decomposition, opt Opt
 		Supply:   make([]float64, len(movable)),
 		Capacity: caps,
 		Arcs:     make([][]transport.Arc, len(movable)),
+		Obs:      opt.Obs,
 	}
 	for i, id := range movable {
 		prob.Supply[i] = n.Cells[id].Size()
@@ -435,9 +446,13 @@ func LegalizeWithMovebounds(n *netlist.Netlist, d *region.Decomposition, opt Opt
 			}
 		}
 		if err != nil {
+			psp.End()
 			return Result{}, fmt.Errorf("legalize: region partitioning: %w", err)
 		}
 	}
+	psp.End()
+	ksp := opt.Obs.StartSpan("legalize.pack")
+	defer ksp.End()
 	rounded := sol.Rounded()
 	perRegion := make([][]netlist.CellID, len(d.Regions))
 	for i, id := range movable {
@@ -490,6 +505,9 @@ func LegalizeWithMovebounds(n *netlist.Netlist, d *region.Decomposition, opt Opt
 	for ri := range packers {
 		packers[ri].Finalize(&total)
 	}
+	opt.Obs.Count("legalize.cells", float64(len(movable)))
+	opt.Obs.Count("legalize.spilled", float64(len(spill)))
+	opt.Obs.Count("legalize.failed", float64(total.Failed))
 	if total.Failed > 0 {
 		return total, fmt.Errorf("legalize: %d cells fit no admissible region", total.Failed)
 	}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Event types emitted to sinks.
+const (
+	EventSpan    = "span"
+	EventCounter = "counter"
+	EventGauge   = "gauge"
+)
+
+// Event is one trace record. Spans carry ID/Parent/StartUS/DurUS; counters
+// and gauges carry Value. Times are microseconds since recorder creation.
+type Event struct {
+	Type    string             `json:"type"`
+	Name    string             `json:"name"`
+	ID      int64              `json:"id,omitempty"`
+	Parent  int64              `json:"parent,omitempty"`
+	StartUS int64              `json:"start_us,omitempty"`
+	DurUS   int64              `json:"dur_us,omitempty"`
+	Value   float64            `json:"value,omitempty"`
+	Attrs   map[string]float64 `json:"attrs,omitempty"`
+}
+
+// Sink receives trace events. Implementations must be safe for concurrent
+// Emit calls (span ends race during parallel realization).
+type Sink interface {
+	Emit(Event)
+}
+
+// JSONSink streams events as JSON lines (one event per line) to a writer —
+// the format consumed by ReadTrace and the bench harness. Errors are
+// sticky: the first write failure stops further output and is reported by
+// Err.
+type JSONSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONSink returns a sink writing JSON lines to w. The caller owns w
+// (close files after Recorder.Flush).
+func NewJSONSink(w io.Writer) *JSONSink {
+	return &JSONSink{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one event as a JSON line.
+func (s *JSONSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(e)
+}
+
+// Err returns the first write error, if any.
+func (s *JSONSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// ReadTrace parses a JSON-lines trace as written by JSONSink.
+func ReadTrace(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return events, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return events, fmt.Errorf("obs: reading trace: %w", err)
+	}
+	return events, nil
+}

@@ -19,6 +19,7 @@ import (
 	"fbplace/internal/grid"
 	"fbplace/internal/legalize"
 	"fbplace/internal/netlist"
+	"fbplace/internal/obs"
 	"fbplace/internal/qp"
 	"fbplace/internal/region"
 	"fbplace/internal/transport"
@@ -52,7 +53,10 @@ type Config struct {
 	AnchorWeight float64
 	// Workers bounds realization parallelism (0 = GOMAXPROCS).
 	Workers int
-	// LocalQP toggles the realization-local QP (default on).
+	// NoLocalQP disables the connectivity-aware local QP that normally
+	// runs before each realization transportation (paper §IV.B). The
+	// local QP is on by default; set NoLocalQP for the ablation or to
+	// trade quality for speed.
 	NoLocalQP bool
 	// SkipLegalization stops after global placement.
 	SkipLegalization bool
@@ -66,6 +70,10 @@ type Config struct {
 	QP qp.Options
 	// Legalize are the legalization options.
 	Legalize legalize.Options
+	// Obs, when non-nil, records phase spans, solver counters and gauges
+	// for the whole run (see internal/obs). A nil recorder disables
+	// observability at the cost of a nil check per call site.
+	Obs *obs.Recorder
 }
 
 func (c *Config) fill() {
@@ -89,8 +97,14 @@ type Report struct {
 	Violations int
 	// Overlaps counts overlapping cell pairs (0 for successful runs).
 	Overlaps int
-	// FBPStats holds per-level flow statistics (FBP mode).
+	// FBPStats holds per-level flow statistics (FBP mode), including the
+	// per-level network-simplex pivot counts and local-QP CG iterations.
 	FBPStats []fbp.Stats
+	// QPSolves and CGIters count the top-level quadratic solves (initial
+	// plus per-level anchored) and their total CG iterations over both
+	// axes. Realization-local QP effort is reported per level in
+	// FBPStats instead.
+	QPSolves, CGIters int64
 	// Relaxations counts capacity relaxations of the recursive baseline.
 	Relaxations int
 	// LegalizeResult carries movement statistics.
@@ -102,6 +116,14 @@ type Report struct {
 // Place runs global placement and legalization on the netlist in place.
 func Place(n *netlist.Netlist, cfg Config) (*Report, error) {
 	cfg.fill()
+	psp := cfg.Obs.StartSpan("place")
+	defer psp.End()
+	// Top-level QP effort feeds Report.QPSolves/CGIters; the realization
+	// overrides these options for its local solves, so the split stays
+	// clean.
+	var qpStats qp.SolveStats
+	cfg.QP.Obs = cfg.Obs
+	cfg.QP.Stats = &qpStats
 	mbs, err := region.Normalize(n.Area, cfg.Movebounds)
 	if err != nil {
 		return nil, err
@@ -118,6 +140,7 @@ func Place(n *netlist.Netlist, cfg Config) (*Report, error) {
 	}
 
 	report := &Report{}
+	gsp := cfg.Obs.StartSpan("global")
 	start := time.Now()
 
 	levels := levelsFor(n, cfg)
@@ -130,6 +153,12 @@ func Place(n *netlist.Netlist, cfg Config) (*Report, error) {
 		// placement, which is exactly what recursive approaches lack.
 		startLevel = levels
 		report.Levels = 1
+	}
+	finishGlobal := func() {
+		report.GlobalTime = time.Since(start)
+		report.QPSolves = qpStats.Solves
+		report.CGIters = qpStats.CGIters
+		gsp.End()
 	}
 	if cfg.ClusterRatio > 1 && !cfg.KeepPlacement {
 		// Multilevel flow as in the paper's experiments: BestChoice
@@ -157,25 +186,31 @@ func Place(n *netlist.Netlist, cfg Config) (*Report, error) {
 			return nil, err
 		}
 	}
-	report.GlobalTime = time.Since(start)
+	finishGlobal()
 
 	if !cfg.SkipLegalization {
+		lsp := cfg.Obs.StartSpan("legalize")
 		lstart := time.Now()
 		var lr legalize.Result
 		var lerr error
+		lopt := cfg.Legalize
+		lopt.Obs = cfg.Obs
 		if len(mbs) > 0 {
-			lr, lerr = legalize.LegalizeWithMovebounds(n, decomp, cfg.Legalize)
+			lr, lerr = legalize.LegalizeWithMovebounds(n, decomp, lopt)
 		} else {
-			lr, lerr = legalize.Legalize(n, cfg.Legalize)
+			lr, lerr = legalize.Legalize(n, lopt)
 		}
 		report.LegalTime = time.Since(lstart)
 		report.LegalizeResult = lr
+		lsp.End()
 		if lerr != nil {
 			return report, fmt.Errorf("placer: %w", lerr)
 		}
 		report.Overlaps = legalize.VerifyNoOverlaps(n)
 		if cfg.DetailPasses > 0 {
+			dsp := cfg.Obs.StartSpan("detail")
 			dres, derr := detail.Optimize(n, mbs, detail.Options{Passes: cfg.DetailPasses})
+			dsp.End()
 			if derr != nil {
 				return report, fmt.Errorf("placer: detail: %w", derr)
 			}
@@ -217,7 +252,10 @@ func levelsFor(n *netlist.Netlist, cfg Config) int {
 // from the current placement.
 func globalLoop(n *netlist.Netlist, decomp *region.Decomposition, blockages geom.RectSet, cfg Config, report *Report, startLevel, endLevel int, freshQP bool) error {
 	if freshQP {
-		if err := qp.Solve(n, nil, cfg.QP); err != nil {
+		qsp := cfg.Obs.StartSpan("qp.initial")
+		err := qp.Solve(n, nil, cfg.QP)
+		qsp.End()
+		if err != nil {
 			return fmt.Errorf("placer: initial QP: %w", err)
 		}
 	}
@@ -225,19 +263,23 @@ func globalLoop(n *netlist.Netlist, decomp *region.Decomposition, blockages geom
 	anchors := make([]qp.Anchor, len(movable))
 	for lv := startLevel; lv <= endLevel; lv++ {
 		k := 1 << lv
+		lsp := cfg.Obs.StartSpan("level")
+		lsp.Attr("grid", float64(k))
 		g := grid.New(n.Area, k, k)
 		wr := grid.BuildWindowRegions(g, decomp, blockages, cfg.TargetDensity)
 		switch cfg.Mode {
 		case ModeRecursive:
-			relax, err := recursivePartition(n, wr)
+			relax, err := recursivePartition(n, wr, cfg.Obs)
 			report.Relaxations += relax
 			if err != nil {
+				lsp.End()
 				return fmt.Errorf("placer: recursive partition level %d: %w", lv, err)
 			}
 		default:
-			fcfg := fbp.Config{LocalQP: !cfg.NoLocalQP, QP: cfg.QP, Workers: cfg.Workers}
+			fcfg := fbp.Config{LocalQP: !cfg.NoLocalQP, QP: cfg.QP, Workers: cfg.Workers, Obs: cfg.Obs}
 			res, err := fbp.Partition(n, wr, fcfg)
 			if err != nil {
+				lsp.End()
 				return fmt.Errorf("placer: FBP level %d: %w", lv, err)
 			}
 			report.FBPStats = append(report.FBPStats, res.Stats)
@@ -249,7 +291,11 @@ func globalLoop(n *netlist.Netlist, decomp *region.Decomposition, blockages geom
 		for i, id := range movable {
 			anchors[i] = qp.Anchor{Cell: id, Target: n.Pos(id), Weight: w}
 		}
-		if err := qp.Solve(n, anchors, cfg.QP); err != nil {
+		qsp := cfg.Obs.StartSpan("qp.anchored")
+		err := qp.Solve(n, anchors, cfg.QP)
+		qsp.End()
+		lsp.End()
+		if err != nil {
 			return fmt.Errorf("placer: level %d QP: %w", lv, err)
 		}
 	}
@@ -260,7 +306,7 @@ func globalLoop(n *netlist.Netlist, decomp *region.Decomposition, blockages geom
 // own cells among its regions independently, with no global flow. When a
 // window is overloaded the capacities are relaxed locally (returned count),
 // which is exactly the drawback §IV attributes to recursive approaches.
-func recursivePartition(n *netlist.Netlist, wr *grid.WindowRegions) (int, error) {
+func recursivePartition(n *netlist.Netlist, wr *grid.WindowRegions, rec *obs.Recorder) (int, error) {
 	g := wr.Grid
 	assign := g.AssignCells(n)
 	relaxations := 0
@@ -321,6 +367,7 @@ func recursivePartition(n *netlist.Netlist, wr *grid.WindowRegions) (int, error)
 			Supply:   make([]float64, len(cells)),
 			Capacity: make([]float64, len(regs)),
 			Arcs:     make([][]transport.Arc, len(cells)),
+			Obs:      rec,
 		}
 		for k := range regs {
 			prob.Capacity[k] = regs[k].Capacity

@@ -8,6 +8,7 @@ import (
 	"fbplace/internal/geom"
 	"fbplace/internal/legalize"
 	"fbplace/internal/netlist"
+	"fbplace/internal/obs"
 	"fbplace/internal/region"
 )
 
@@ -202,6 +203,71 @@ func TestPlaceRuntimeSplitRecorded(t *testing.T) {
 	}
 	if rep.GlobalTime <= 0 || rep.LegalTime <= 0 {
 		t.Fatalf("times not recorded: %v / %v", rep.GlobalTime, rep.LegalTime)
+	}
+}
+
+func TestPlaceDeterministicAcrossWorkers(t *testing.T) {
+	// §IV.B: unit realization is parallel but units are disjoint, so the
+	// result must not depend on the worker count. Run under -race to also
+	// exercise the wave scheduling for data races.
+	mbs := []gen.MoveboundSpec{
+		{Kind: region.Inclusive, CellFraction: 0.15, Density: 0.7, NestedIn: -1},
+		{Kind: region.Inclusive, CellFraction: 0.10, Density: 0.7, NestedIn: -1, Overlap: true},
+	}
+	run := func(workers int) (*Report, *netlist.Netlist) {
+		inst := smallChip(t, 2500, 42, mbs)
+		rep, err := Place(inst.N, Config{Movebounds: inst.Movebounds, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return rep, inst.N
+	}
+	rep1, n1 := run(1)
+	rep4, n4 := run(4)
+	if rep1.HPWL != rep4.HPWL {
+		t.Fatalf("HPWL differs across worker counts: 1 worker %.6f, 4 workers %.6f", rep1.HPWL, rep4.HPWL)
+	}
+	for i := range n1.Cells {
+		p1, p4 := n1.Pos(netlist.CellID(i)), n4.Pos(netlist.CellID(i))
+		if p1 != p4 {
+			t.Fatalf("cell %d position differs: %v vs %v", i, p1, p4)
+		}
+	}
+}
+
+func TestPlaceRecordsObservability(t *testing.T) {
+	inst := smallChip(t, 1500, 13, nil)
+	rec := obs.New(nil)
+	rep, err := Place(inst.N, Config{Obs: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Flush()
+	if rep.QPSolves == 0 || rep.CGIters == 0 {
+		t.Fatalf("QP effort not reported: solves=%d iters=%d", rep.QPSolves, rep.CGIters)
+	}
+	for _, c := range []string{"cg.iters", "ns.pivots", "transport.solves", "fbp.waves", "legalize.cells"} {
+		if rec.Counter(c) <= 0 {
+			t.Errorf("counter %q not recorded (got %g)", c, rec.Counter(c))
+		}
+	}
+	var sum strings.Builder
+	rec.WriteSummary(&sum)
+	for _, phase := range []string{"place", "global", "level", "legalize"} {
+		if !strings.Contains(sum.String(), phase) {
+			t.Errorf("summary tree missing phase %q:\n%s", phase, sum.String())
+		}
+	}
+	stats := rep.FBPStats
+	if len(stats) == 0 {
+		t.Fatal("no FBP stats")
+	}
+	pivots := 0
+	for _, s := range stats {
+		pivots += s.NSPivots
+	}
+	if pivots <= 0 {
+		t.Fatal("network simplex pivots not recorded in FBP stats")
 	}
 }
 

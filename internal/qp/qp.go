@@ -14,9 +14,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"fbplace/internal/geom"
 	"fbplace/internal/netlist"
+	"fbplace/internal/obs"
 	"fbplace/internal/sparse"
 )
 
@@ -73,6 +75,31 @@ type Options struct {
 	// B2BMinDist floors the pin distances in B2B weights (default 1.0,
 	// one row height) to keep the weights bounded for coincident pins.
 	B2BMinDist float64
+	// Obs, when non-nil, records QP solve counts and (via sparse) CG
+	// iteration counters and the final relative residual.
+	Obs *obs.Recorder
+	// Stats, when non-nil, accumulates solver effort across calls. Safe
+	// to share between concurrent solves (the realization-local QPs):
+	// fields are updated atomically.
+	Stats *SolveStats
+}
+
+// SolveStats accumulates quadratic-solver effort. Read the fields directly
+// once all solves sharing the struct have finished, or via atomic loads
+// while they run.
+type SolveStats struct {
+	// Solves counts completed Solve/SolveSubset calls.
+	Solves int64
+	// CGIters is the total conjugate-gradient iterations over both axes.
+	CGIters int64
+}
+
+func (s *SolveStats) add(iters int) {
+	if s == nil {
+		return
+	}
+	atomic.AddInt64(&s.Solves, 1)
+	atomic.AddInt64(&s.CGIters, int64(iters))
 }
 
 func (o *Options) fill() {
@@ -141,9 +168,14 @@ func SolveSubset(n *netlist.Netlist, subset []netlist.CellID, anchors []Anchor, 
 				cur := geom.Point{X: n.X[p.Cell] + p.Offset.X, Y: n.Y[p.Cell] + p.Offset.Y}
 				ps = append(ps, netPin{varIdx: varOf[p.Cell], pos: p.Offset, cur: cur})
 			} else {
-				pos := n.PinPos(p)
+				// With a snapshot, never touch the live position of a
+				// non-variable cell: another unit of the same wave may be
+				// writing it concurrently.
+				var pos geom.Point
 				if opt.ReadX != nil && !p.IsPad() {
 					pos = geom.Point{X: opt.ReadX[p.Cell] + p.Offset.X, Y: opt.ReadY[p.Cell] + p.Offset.Y}
+				} else {
+					pos = n.PinPos(p)
 				}
 				ps = append(ps, netPin{varIdx: -1, pos: pos, cur: pos})
 			}
@@ -318,16 +350,20 @@ func SolveSubset(n *netlist.Netlist, subset []netlist.CellID, anchors []Anchor, 
 	for s := nv; s < dim; s++ {
 		x[s], y[s] = ctr.X, ctr.Y
 	}
-	cg := sparse.CGOptions{Tol: opt.Tol, MaxIter: opt.MaxIter}
+	cg := sparse.CGOptions{Tol: opt.Tol, MaxIter: opt.MaxIter, Obs: opt.Obs}
 	tolerable := func(err error) bool {
 		return err == nil || (opt.BestEffort && errors.Is(err, sparse.ErrNotConverged))
 	}
-	if _, err := sparse.SolveCG(mx, x, rhsX, cg); !tolerable(err) {
+	itx, err := sparse.SolveCG(mx, x, rhsX, cg)
+	if !tolerable(err) {
 		return fmt.Errorf("qp: x solve: %w", err)
 	}
-	if _, err := sparse.SolveCG(my, y, rhsY, cg); !tolerable(err) {
+	ity, err := sparse.SolveCG(my, y, rhsY, cg)
+	if !tolerable(err) {
 		return fmt.Errorf("qp: y solve: %w", err)
 	}
+	opt.Stats.add(itx + ity)
+	opt.Obs.Count("qp.solves", 1)
 	for vi, id := range subset {
 		p := geom.Point{X: x[vi], Y: y[vi]}
 		if !opt.NoClamp {

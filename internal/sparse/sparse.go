@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"fbplace/internal/obs"
 )
 
 // Builder accumulates matrix entries in coordinate (triplet) form.
@@ -141,6 +143,9 @@ type CGOptions struct {
 	// MaxIter bounds the iterations. Default 10*N (placement Laplacians
 	// typically converge in far fewer).
 	MaxIter int
+	// Obs, when non-nil, records counters "cg.solves" and "cg.iters" and
+	// the gauge "cg.residual" (final relative residual) per solve.
+	Obs *obs.Recorder
 }
 
 // SolveCG solves M*x = rhs for symmetric positive definite M using
@@ -168,6 +173,13 @@ func SolveCG(m *CSR, x, rhs []float64, opt CGOptions) (int, error) {
 		}
 		inv[i] = 1 / d
 	}
+	record := func(iters int, relres float64) {
+		if opt.Obs != nil {
+			opt.Obs.Count("cg.solves", 1)
+			opt.Obs.Count("cg.iters", float64(iters))
+			opt.Obs.Gauge("cg.residual", relres)
+		}
+	}
 	r := make([]float64, n)
 	z := make([]float64, n)
 	p := make([]float64, n)
@@ -186,9 +198,11 @@ func SolveCG(m *CSR, x, rhs []float64, opt CGOptions) (int, error) {
 		for i := range x {
 			x[i] = 0
 		}
+		record(0, 0)
 		return 0, nil
 	}
 	if math.Sqrt(rnorm0) <= opt.Tol*bnorm {
+		record(0, math.Sqrt(rnorm0)/bnorm)
 		return 0, nil // warm start already converged
 	}
 	rz := 0.0
@@ -198,11 +212,13 @@ func SolveCG(m *CSR, x, rhs []float64, opt CGOptions) (int, error) {
 		rz += r[i] * z[i]
 	}
 	target := opt.Tol * bnorm
+	lastRel := math.Sqrt(rnorm0) / bnorm
 	for iter := 1; iter <= opt.MaxIter; iter++ {
 		m.MulVec(ap, p)
 		pap := dot(p, ap)
 		if pap <= 0 {
 			// Numerical breakdown; the current iterate is the best we have.
+			record(iter, lastRel)
 			return iter, fmt.Errorf("sparse: CG breakdown, p^T A p = %g: %w", pap, ErrNotConverged)
 		}
 		alpha := rz / pap
@@ -212,7 +228,9 @@ func SolveCG(m *CSR, x, rhs []float64, opt CGOptions) (int, error) {
 			r[i] -= alpha * ap[i]
 			rnorm += r[i] * r[i]
 		}
+		lastRel = math.Sqrt(rnorm) / bnorm
 		if math.Sqrt(rnorm) <= target {
+			record(iter, lastRel)
 			return iter, nil
 		}
 		rzNew := 0.0
@@ -226,6 +244,7 @@ func SolveCG(m *CSR, x, rhs []float64, opt CGOptions) (int, error) {
 			p[i] = z[i] + beta*p[i]
 		}
 	}
+	record(opt.MaxIter, lastRel)
 	return opt.MaxIter, ErrNotConverged
 }
 

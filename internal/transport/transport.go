@@ -30,6 +30,7 @@ import (
 	"sort"
 
 	"fbplace/internal/flow"
+	"fbplace/internal/obs"
 )
 
 // Arc is an admissible (source, sink) pair with its movement cost.
@@ -46,6 +47,9 @@ type Problem struct {
 	Supply   []float64 // per source, > 0
 	Capacity []float64 // per sink, >= 0
 	Arcs     [][]Arc   // Arcs[i] lists admissible sinks of source i
+	// Obs, when non-nil, records the counters "transport.solves",
+	// "transport.sources" and "transport.splits" per Solve call.
+	Obs *obs.Recorder
 }
 
 // NumSources returns the number of sources.
@@ -153,7 +157,15 @@ func sortPortions(ps []Portion) {
 // is an optimal fractional plan (same cost as SolveReference up to
 // numerical tolerance).
 func Solve(p *Problem) (*Solution, error) {
-	return solveCondensed(p)
+	sol, err := solveCondensed(p)
+	if p.Obs != nil {
+		p.Obs.Count("transport.solves", 1)
+		p.Obs.Count("transport.sources", float64(p.NumSources()))
+		if err == nil {
+			p.Obs.Count("transport.splits", float64(sol.NumSplit()))
+		}
+	}
+	return sol, err
 }
 
 // presence tracks how much of source i currently sits at sink j, together
