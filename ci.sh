@@ -1,9 +1,23 @@
 #!/bin/sh
-# Local CI: formatting, vet, build, and the full test suite under the race
-# detector. Referenced from README "Install & quick start".
+# Local CI: formatting, vet, the repo's own static-analysis suite
+# (cmd/fbpvet), build, and the test suite. By default the tests run under
+# the race detector (slow but the real gate); pass -quick to run them
+# without -race for fast tier-1 iteration. Referenced from README
+# "Install & quick start".
 set -e
 
 cd "$(dirname "$0")"
+
+quick=0
+for arg in "$@"; do
+	case "$arg" in
+	-quick) quick=1 ;;
+	*)
+		echo "usage: ./ci.sh [-quick]" >&2
+		exit 2
+		;;
+	esac
+done
 
 echo "== gofmt =="
 unformatted=$(gofmt -l .)
@@ -16,12 +30,23 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== fbpvet =="
+# Repo-specific invariants: map-order determinism in solver packages,
+# no float equality in numeric kernels, obs spans always ended, no
+# dropped errors, no global/time-seeded RNG. See README "Static analysis".
+go run ./cmd/fbpvet ./...
+
 echo "== go build =="
 go build ./...
 
-echo "== go test -race =="
-# The race detector slows the experiment harness ~10x past the default
-# 10-minute per-package timeout.
-go test -race -timeout 30m ./...
+if [ "$quick" = 1 ]; then
+	echo "== go test (quick, no -race) =="
+	go test ./...
+else
+	echo "== go test -race =="
+	# The race detector slows the experiment harness ~10x past the default
+	# 10-minute per-package timeout.
+	go test -race -timeout 30m ./...
+fi
 
 echo "CI OK"

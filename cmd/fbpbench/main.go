@@ -55,7 +55,6 @@ func main() {
 	run := func(name string) bool {
 		return *table == "all" || *table == name
 	}
-	out := os.Stdout
 	fail := func(name string, err error) {
 		fmt.Fprintf(os.Stderr, "fbpbench: table %s: %v\n", name, err)
 		os.Exit(1)
@@ -71,8 +70,8 @@ func main() {
 		if err != nil {
 			fail("1", err)
 		}
-		exp.PrintTable1(out, spec, rows)
-		fmt.Fprintln(out)
+		exp.PrintTable1(os.Stdout, spec, rows)
+		fmt.Fprintln(os.Stdout)
 		bench.Tables["1"] = exp.BenchFromTable1(spec, rows)
 	}
 	if run("2") {
@@ -83,8 +82,8 @@ func main() {
 		if err != nil {
 			fail("2", err)
 		}
-		exp.PrintCompare(out, "TABLE II: Results without movebounds (RQL-style baseline vs BonnPlace FBP)", rows, false)
-		fmt.Fprintln(out)
+		exp.PrintCompare(os.Stdout, "TABLE II: Results without movebounds (RQL-style baseline vs BonnPlace FBP)", rows, false)
+		fmt.Fprintln(os.Stdout)
 		bench.Tables["2"] = exp.BenchFromCompare(rows)
 	}
 	if run("3") {
@@ -93,8 +92,8 @@ func main() {
 		if err != nil {
 			fail("3", err)
 		}
-		exp.PrintTable3(out, rows)
-		fmt.Fprintln(out)
+		exp.PrintTable3(os.Stdout, rows)
+		fmt.Fprintln(os.Stdout)
 	}
 	var t4 []exp.CompareRow
 	if run("4") || run("6") {
@@ -109,12 +108,12 @@ func main() {
 		bench.Tables["4"] = exp.BenchFromCompare(t4)
 	}
 	if run("4") {
-		exp.PrintCompare(out, "TABLE IV: Results with inclusive movebounds", t4, true)
-		fmt.Fprintln(out)
+		exp.PrintCompare(os.Stdout, "TABLE IV: Results with inclusive movebounds", t4, true)
+		fmt.Fprintln(os.Stdout)
 		if *table == "4" {
 			// Table VI is the runtime split of the same runs.
-			exp.PrintTable6(out, t4)
-			fmt.Fprintln(out)
+			exp.PrintTable6(os.Stdout, t4)
+			fmt.Fprintln(os.Stdout)
 		}
 	}
 	if run("5") {
@@ -125,13 +124,13 @@ func main() {
 		if err != nil {
 			fail("5", err)
 		}
-		exp.PrintCompare(out, "TABLE V: Results with exclusive movebounds", rows, true)
-		fmt.Fprintln(out)
+		exp.PrintCompare(os.Stdout, "TABLE V: Results with exclusive movebounds", rows, true)
+		fmt.Fprintln(os.Stdout)
 		bench.Tables["5"] = exp.BenchFromCompare(rows)
 	}
 	if run("6") {
-		exp.PrintTable6(out, t4)
-		fmt.Fprintln(out)
+		exp.PrintTable6(os.Stdout, t4)
+		fmt.Fprintln(os.Stdout)
 	}
 	if run("7") {
 		ran = true
@@ -141,8 +140,8 @@ func main() {
 		if err != nil {
 			fail("7", err)
 		}
-		exp.PrintTable7(out, rows)
-		fmt.Fprintln(out)
+		exp.PrintTable7(os.Stdout, rows)
+		fmt.Fprintln(os.Stdout)
 		bench.Tables["7"] = exp.BenchFromTable7(rows)
 	}
 	if run("speedup") {
@@ -153,8 +152,8 @@ func main() {
 		if err != nil {
 			fail("speedup", err)
 		}
-		exp.PrintSpeedup(out, rows)
-		fmt.Fprintln(out)
+		exp.PrintSpeedup(os.Stdout, rows)
+		fmt.Fprintln(os.Stdout)
 	}
 	if run("ablation") {
 		ran = true
@@ -164,14 +163,14 @@ func main() {
 			sp.End()
 			fail("ablation", err)
 		}
-		exp.PrintAblation(out, "Ablation A1: FBP vs recursive partitioning (movebounded chip)", rows, true)
+		exp.PrintAblation(os.Stdout, "Ablation A1: FBP vs recursive partitioning (movebounded chip)", rows, true)
 		rows, err = exp.AblationLocalQP(*scale)
 		sp.End()
 		if err != nil {
 			fail("ablation", err)
 		}
-		exp.PrintAblation(out, "Ablation A2: realization with/without local QP", rows, false)
-		fmt.Fprintln(out)
+		exp.PrintAblation(os.Stdout, "Ablation A2: realization with/without local QP", rows, false)
+		fmt.Fprintln(os.Stdout)
 	}
 	if run("feasibility") {
 		ran = true
@@ -179,7 +178,7 @@ func main() {
 		if err != nil {
 			fail("feasibility", err)
 		}
-		fmt.Fprintf(out, "Theorem-2 feasibility check on the largest movebounded chip: %v (feasible=%v)\n\n", d, feasible)
+		fmt.Fprintf(os.Stdout, "Theorem-2 feasibility check on the largest movebounded chip: %v (feasible=%v)\n\n", d, feasible)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "fbpbench: unknown table %q (want 1..7, speedup, ablation, feasibility, all)\n", *table)
@@ -188,7 +187,7 @@ func main() {
 
 	rec.Flush()
 	if *stats {
-		rec.WriteSummary(out)
+		rec.WriteSummary(os.Stdout)
 	}
 	if traceFile != nil {
 		if err := traceSink.Err(); err != nil {
@@ -197,13 +196,13 @@ func main() {
 		if err := traceFile.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(out, "wrote %s\n", *trace)
+		fmt.Fprintf(os.Stdout, "wrote %s\n", *trace)
 	}
 	if *benchOut != "" && len(bench.Tables) > 0 {
 		if err := exp.WriteBench(*benchOut, bench); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(out, "wrote %s\n", *benchOut)
+		fmt.Fprintf(os.Stdout, "wrote %s\n", *benchOut)
 	}
 }
 

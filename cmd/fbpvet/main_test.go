@@ -1,0 +1,87 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// TestEndToEnd builds the fbpvet binary, runs it against a scratch module
+// with a known violation, and asserts the "file:line: analyzer: message"
+// diagnostic format and the exit codes (1 findings, 0 clean).
+func TestEndToEnd(t *testing.T) {
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "fbpvet")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building fbpvet: %v\n%s", err, out)
+	}
+
+	mod := filepath.Join(tmp, "scratch")
+	if err := os.MkdirAll(mod, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(mod, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratch\n\ngo 1.22\n")
+	write("main.go", `package main
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+func main() {
+	fmt.Println(rand.Intn(10))
+}
+`)
+
+	run := func() (string, int) {
+		t.Helper()
+		cmd := exec.Command(bin, "./...")
+		cmd.Dir = mod
+		out, err := cmd.Output()
+		if err == nil {
+			return string(out), 0
+		}
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("running fbpvet: %v", err)
+		}
+		return string(out), ee.ExitCode()
+	}
+
+	out, code := run()
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; output:\n%s", code, out)
+	}
+	// The violation is the rand.Intn call on line 9 of main.go.
+	want := regexp.MustCompile(`(?m)^main\.go:9: seededrand: call to global math/rand\.Intn`)
+	if !want.MatchString(out) {
+		t.Fatalf("diagnostic format mismatch; want match for %v, got:\n%s", want, out)
+	}
+
+	// Fix the violation; the driver must now exit 0 with no output.
+	write("main.go", `package main
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(1))
+	fmt.Println(rng.Intn(10))
+}
+`)
+	out, code = run()
+	if code != 0 || out != "" {
+		t.Fatalf("clean module: exit code = %d, output %q; want 0 and empty", code, out)
+	}
+}

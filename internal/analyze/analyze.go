@@ -1,0 +1,184 @@
+// Package analyze is a small static-analysis framework on the standard
+// library's go/ast, go/parser, go/types and go/importer — deliberately not
+// golang.org/x/tools — plus the repo-specific analyzers enforced by
+// cmd/fbpvet. It exists because `go vet` cannot see repository contracts:
+// "never range over a map in a solver package", "every obs span must be
+// ended", "no global RNG outside tests". Those invariants guard the
+// paper's central reproducibility claim — placements must be bit-identical
+// across runs and worker counts — so they are checked by machine, in CI,
+// not by code review.
+//
+// A diagnostic can be suppressed with a directive comment on the offending
+// line or the line directly above it:
+//
+//	//fbpvet:orderok reduction is commutative
+//	for k, v := range usage { total += v }
+//
+// Each analyzer owns one directive suffix (maporder → orderok, floatcmp →
+// floatok, spanend → spanok, errdrop → errok, seededrand → randok);
+// //fbpvet:ignore suppresses every analyzer on its line. Directives should
+// carry a reason after the tag, like nolint comments in production Go
+// services.
+package analyze
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the analyzer that produced it and
+// a human-readable message. cmd/fbpvet prints these as
+// "file:line: analyzer: message".
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic in the driver's output format.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check. Run inspects the package held by the Pass
+// and reports findings through Pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics ("maporder").
+	Name string
+	// Doc is a one-paragraph description shown by `fbpvet -list`.
+	Doc string
+	// Directive is the suppression suffix: a comment //fbpvet:<Directive>
+	// on the diagnostic's line (or the line above) silences the finding.
+	Directive string
+	// Run performs the analysis.
+	Run func(*Pass)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags    *[]Diagnostic
+	suppress map[suppressKey]bool
+}
+
+type suppressKey struct {
+	file      string
+	line      int
+	directive string
+}
+
+// TypeOf returns the type of e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+// Analyzers that only bind non-test code (errdrop, seededrand, spanend)
+// use this to exempt tests.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	name := p.Fset.Position(f.Package).Filename
+	return strings.HasSuffix(name, "_test.go")
+}
+
+// Reportf records a diagnostic at pos unless a suppression directive for
+// this analyzer covers the position.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppressed(position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *Pass) suppressed(pos token.Position) bool {
+	for _, dir := range []string{p.Analyzer.Directive, "ignore"} {
+		if dir == "" {
+			continue
+		}
+		// The directive covers its own line (end-of-line comment) and the
+		// line below it (comment above the statement).
+		if p.suppress[suppressKey{pos.Filename, pos.Line, dir}] ||
+			p.suppress[suppressKey{pos.Filename, pos.Line - 1, dir}] {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the analyzers over one loaded package and returns the
+// surviving diagnostics sorted by file, line and analyzer.
+func Run(pkg *Pkg, analyzers []*Analyzer) []Diagnostic {
+	suppress := directiveIndex(pkg.Fset, pkg.Files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+			suppress: suppress,
+		}
+		a.Run(pass)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// directiveIndex scans every comment for //fbpvet:<directive> tags and
+// records (file, line, directive) triples for suppression lookup.
+func directiveIndex(fset *token.FileSet, files []*ast.File) map[suppressKey]bool {
+	idx := map[suppressKey]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "//fbpvet:")
+				if i < 0 {
+					continue
+				}
+				tag := text[i+len("//fbpvet:"):]
+				// The directive is the first word; anything after is the
+				// human reason.
+				if j := strings.IndexAny(tag, " \t"); j >= 0 {
+					tag = tag[:j]
+				}
+				if tag == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				idx[suppressKey{pos.Filename, pos.Line, tag}] = true
+			}
+		}
+	}
+	return idx
+}
+
+// All returns every registered analyzer in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{MapOrder, FloatCmp, SpanEnd, ErrDrop, SeededRand}
+}

@@ -1,0 +1,141 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop flags call statements that silently discard an error return in
+// non-test code. A placer that swallows a transportation or I/O error
+// produces a wrong placement instead of a failure — in a batch pipeline
+// the wrong answer is far more expensive than the crash.
+//
+// Deliberate drops must be visible: assign to `_` (which this analyzer
+// accepts — the blank assignment is the annotation) or carry
+// //fbpvet:errok with a reason. Two classes of calls are exempt because
+// their errors are structurally unreachable or surfaced elsewhere:
+// fmt.Print/Println/Printf to stdout, fmt.Fprint* directly to os.Stdout /
+// os.Stderr (a process has nowhere better to report its own terminal
+// failing), and writes to in-memory or sticky-error writers
+// (*strings.Builder, *bytes.Buffer, *bufio.Writer, *tabwriter.Writer)
+// whose write errors are either impossible or reported by the final Flush.
+var ErrDrop = &Analyzer{
+	Name:      "errdrop",
+	Directive: "errok",
+	Doc: "flags statements that discard an error return value in non-test " +
+		"code; handle the error, assign it to _ explicitly, or annotate " +
+		"//fbpvet:errok <reason>",
+	Run: runErrDrop,
+}
+
+// safeWriters are io.Writer implementations whose Write cannot fail
+// meaningfully: in-memory buffers, plus bufio/tabwriter whose errors are
+// sticky and returned by Flush.
+var safeWriters = map[string]bool{
+	"*strings.Builder":       true,
+	"*bytes.Buffer":          true,
+	"*bufio.Writer":          true,
+	"*text/tabwriter.Writer": true,
+}
+
+func runErrDrop(p *Pass) {
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := st.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(p, call) || exemptErrDrop(p, call) {
+				return true
+			}
+			p.Reportf(call.Pos(), "error returned by %s is silently dropped; handle it or assign to _", types.ExprString(call.Fun))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether any result of the call has type error.
+func returnsError(p *Pass, call *ast.CallExpr) bool {
+	t := p.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if types.Identical(tup.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errType)
+}
+
+func exemptErrDrop(p *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return false
+	}
+	// Methods on safe writers (sb.WriteString, buf.WriteByte, ...).
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if safeWriters[sig.Recv().Type().String()] {
+			return true
+		}
+	}
+	if fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	switch fn.Name() {
+	case "Print", "Println", "Printf":
+		return true
+	case "Fprint", "Fprintln", "Fprintf":
+		if len(call.Args) > 0 {
+			if t := p.TypeOf(call.Args[0]); t != nil && safeWriters[t.String()] {
+				return true
+			}
+			if isStdStream(p, call.Args[0]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isStdStream reports whether e refers to the os.Stdout or os.Stderr
+// package variables.
+func isStdStream(p *Pass, e ast.Expr) bool {
+	var obj types.Object
+	switch v := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[v.Sel]
+	case *ast.Ident:
+		obj = p.Info.Uses[v]
+	}
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == "os" && (obj.Name() == "Stdout" || obj.Name() == "Stderr")
+}
+
+// calleeFunc resolves the called function or method, or nil.
+func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,78 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// numericPackages hold the numeric kernels: CG, network simplex,
+// transportation, geometry and the phases built on them. Exact equality
+// between two *computed* floats there is almost always a latent bug —
+// rounding makes it true on one code path and false on a mathematically
+// identical one.
+var numericPackages = map[string]bool{
+	"sparse":    true,
+	"qp":        true,
+	"flow":      true,
+	"transport": true,
+	"fbp":       true,
+	"legalize":  true,
+	"geom":      true,
+	"grid":      true,
+	"detail":    true,
+	"placer":    true,
+	"region":    true,
+}
+
+// FloatCmp flags == and != between floating-point operands in the numeric
+// kernel packages. Comparisons against a compile-time constant are exempt:
+// sentinel checks like `opt.Tol == 0` (detecting the unset default) and
+// exact-propagation checks against literals are deliberate and safe.
+// Intentional exact comparisons between computed values (convergence
+// short-circuits, sort tie-breaks on stored values) carry //fbpvet:floatok.
+var FloatCmp = &Analyzer{
+	Name:      "floatcmp",
+	Directive: "floatok",
+	Doc: "flags ==/!= between computed floating-point values in numeric kernels; " +
+		"compare with a tolerance (math.Abs(a-b) < eps) or annotate " +
+		"//fbpvet:floatok <reason>; comparisons against constants are exempt",
+	Run: runFloatCmp,
+}
+
+func runFloatCmp(p *Pass) {
+	if !numericPackages[p.Pkg.Name()] {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(p.TypeOf(be.X)) && !isFloat(p.TypeOf(be.Y)) {
+				return true
+			}
+			if p.isConst(be.X) || p.isConst(be.Y) {
+				return true
+			}
+			p.Reportf(be.OpPos, "floating-point %s between computed values %s and %s; use a tolerance or annotate //fbpvet:floatok",
+				be.Op, types.ExprString(be.X), types.ExprString(be.Y))
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isConst reports whether e has a compile-time constant value.
+func (p *Pass) isConst(e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && tv.Value != nil
+}

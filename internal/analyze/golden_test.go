@@ -1,0 +1,120 @@
+package analyze
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestAnalyzersGolden type-checks each testdata fixture package and
+// compares the analyzer's diagnostics against the package's expect.txt
+// golden file. Every fixture mixes violating, suppressed and clean code,
+// so the golden file proves the analyzer fires where it must and stays
+// silent where a directive (or scope rule) applies.
+//
+// Regenerate the golden files with:
+//
+//	FBPVET_UPDATE_GOLDEN=1 go test ./internal/analyze
+func TestAnalyzersGolden(t *testing.T) {
+	cases := []struct {
+		analyzer  *Analyzer
+		dir       string
+		wantEmpty bool // scope-exempt fixtures must produce nothing
+	}{
+		{MapOrder, "maporder", false},
+		{MapOrder, "maporder_nonsolver", true},
+		{FloatCmp, "floatcmp", false},
+		{SpanEnd, "spanend", false},
+		{ErrDrop, "errdrop", false},
+		{SeededRand, "seededrand", false},
+	}
+	l := NewLoader(".")
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			pkg := loadFixture(t, l, tc.dir)
+			diags := Run(pkg, []*Analyzer{tc.analyzer})
+			var got strings.Builder
+			for _, d := range diags {
+				fmt.Fprintf(&got, "%s:%d: %s: %s\n", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Analyzer, d.Message)
+			}
+			if tc.wantEmpty && got.Len() > 0 {
+				t.Fatalf("want no diagnostics from scope-exempt fixture, got:\n%s", got.String())
+			}
+			if !tc.wantEmpty && got.Len() == 0 {
+				t.Fatalf("analyzer %s produced no diagnostics on its violating fixture", tc.analyzer.Name)
+			}
+			golden := filepath.Join("testdata", tc.dir, "expect.txt")
+			if os.Getenv("FBPVET_UPDATE_GOLDEN") != "" {
+				if err := os.WriteFile(golden, []byte(got.String()), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.String() != string(want) {
+				t.Errorf("diagnostics mismatch\ngot:\n%swant:\n%s", got.String(), string(want))
+			}
+		})
+	}
+}
+
+// loadFixture parses and type-checks one testdata fixture directory as a
+// single package (the go tool ignores testdata, so the loader's
+// CheckFiles entry point is used directly).
+func loadFixture(t *testing.T, l *Loader, dir string) *Pkg {
+	t.Helper()
+	full := filepath.Join("testdata", dir)
+	entries, err := os.ReadDir(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(full, name), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	pkg, err := l.CheckFiles("fixture/"+dir, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// TestLoadRepoPackage smoke-tests the go-list-backed loader against a real
+// module package, including resolution of in-module imports.
+func TestLoadRepoPackage(t *testing.T) {
+	pkgs, err := Load(".", []string{"fbplace/internal/grid"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Name != "grid" || p.Types == nil || len(p.Files) == 0 {
+		t.Fatalf("unexpected package: name=%q types=%v files=%d", p.Name, p.Types, len(p.Files))
+	}
+	// grid imports fbplace/internal/geom and netlist; the loader must have
+	// type-checked them from source.
+	if p.Types.Scope().Lookup("BuildWindowRegions") == nil {
+		t.Fatal("grid.BuildWindowRegions not found in type-checked scope")
+	}
+}

@@ -1,0 +1,217 @@
+package analyze
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Pkg is one loaded, parsed and type-checked package ready for analysis.
+type Pkg struct {
+	Name       string
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listedPkg is the slice of `go list -json` output the loader needs.
+type listedPkg struct {
+	Name       string
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Loader resolves and type-checks packages. Module-internal packages are
+// located with `go list` and type-checked from source; standard-library
+// imports go through the stdlib source importer (go/importer "source") —
+// GOROOT archives are not assumed to exist. The loader caches by import
+// path, so shared dependencies are checked once.
+type Loader struct {
+	// Dir is the working directory for `go list` (module resolution).
+	Dir  string
+	Fset *token.FileSet
+
+	std     types.Importer
+	listed  map[string]*listedPkg
+	typed   map[string]*types.Package
+	checked map[string]*Pkg
+}
+
+// NewLoader returns a Loader rooted at dir ("." for the current module).
+func NewLoader(dir string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Dir:     dir,
+		Fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		listed:  map[string]*listedPkg{},
+		typed:   map[string]*types.Package{},
+		checked: map[string]*Pkg{},
+	}
+}
+
+// Load resolves the go-list patterns (e.g. "./...") and returns the
+// matched non-test packages parsed and type-checked. Pattern-matched
+// packages are returned; their in-module dependencies are loaded as needed
+// but not analyzed.
+func Load(dir string, patterns []string) ([]*Pkg, error) {
+	l := NewLoader(dir)
+	targets, err := l.goList(append([]string{"-deps"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	var out []*Pkg
+	for _, lp := range targets {
+		if lp.Standard || lp.DepOnly {
+			continue
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := l.check(lp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// goList runs `go list -json` with the given arguments, records every
+// returned package in the loader's index, and returns them in order.
+func (l *Loader) goList(args []string) ([]*listedPkg, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-json=Name,ImportPath,Dir,GoFiles,Standard,DepOnly,Error"}, args...)...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	outData, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v: %s", strings.Join(args, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(outData))
+	var pkgs []*listedPkg
+	for {
+		lp := &listedPkg{}
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list -json decode: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		l.listed[lp.ImportPath] = lp
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// check parses and type-checks one listed package (cached).
+func (l *Loader) check(lp *listedPkg) (*Pkg, error) {
+	if pkg, ok := l.checked[lp.ImportPath]; ok {
+		return pkg, nil
+	}
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return l.CheckFiles(lp.ImportPath, files)
+}
+
+// CheckFiles type-checks an explicit file set under the given import path.
+// Used by check for listed packages and by tests for testdata fixtures
+// (which the go tool refuses to list).
+func (l *Loader) CheckFiles(path string, files []*ast.File) (*Pkg, error) {
+	if len(files) == 0 {
+		return nil, fmt.Errorf("%s: no Go files", path)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	tp, _ := conf.Check(path, l.Fset, files, info)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("type checking %s: %v", path, errs[0])
+	}
+	l.typed[path] = tp
+	pkg := &Pkg{
+		Name:       files[0].Name.Name,
+		ImportPath: path,
+		Dir:        filepath.Dir(l.Fset.Position(files[0].Package).Filename),
+		Fset:       l.Fset,
+		Files:      files,
+		Types:      tp,
+		Info:       info,
+	}
+	l.checked[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer: standard-library paths go to the
+// stdlib source importer, module paths are type-checked from the sources
+// `go list` points at.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if tp, ok := l.typed[path]; ok {
+		return tp, nil
+	}
+	lp, ok := l.listed[path]
+	if !ok {
+		// Not seen yet: lazily resolve. Try stdlib first (covers fixture
+		// imports like "fmt" without a go list round-trip).
+		if tp, err := l.std.Import(path); err == nil {
+			return tp, nil
+		}
+		pkgs, err := l.goList([]string{"-deps", path})
+		if err != nil {
+			return nil, err
+		}
+		_ = pkgs
+		lp, ok = l.listed[path]
+		if !ok {
+			return nil, fmt.Errorf("cannot resolve import %q", path)
+		}
+	}
+	if lp.Standard {
+		return l.std.Import(path)
+	}
+	pkg, err := l.check(lp)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}

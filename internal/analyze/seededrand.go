@@ -1,0 +1,93 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SeededRand bans the global math/rand source and time-based seeds outside
+// _test.go files. The global RNG is shared process state: any library that
+// also draws from it shifts every subsequent value, so two runs of the
+// same placement stop being comparable; a time-based seed makes even
+// back-to-back runs diverge. Production code must thread an explicitly
+// seeded rand.New(rand.NewSource(seed)) — see internal/gen, whose
+// instances are reproducible from ChipSpec.Seed alone.
+var SeededRand = &Analyzer{
+	Name:      "seededrand",
+	Directive: "randok",
+	Doc: "bans global math/rand functions (rand.Intn, rand.Float64, rand.Seed, " +
+		"rand.Shuffle, ...) and time-based RNG seeds outside _test.go files; " +
+		"use rand.New(rand.NewSource(seed)) with a seed from config, or " +
+		"annotate //fbpvet:randok <reason>",
+	Run: runSeededRand,
+}
+
+// randConstructors create explicit sources/generators and are allowed —
+// they do not touch the global source.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"Int64N":     false, // v2 global funcs stay banned; listed for clarity
+}
+
+func runSeededRand(p *Pass) {
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		// Nested constructors (rand.New(rand.NewSource(...))) both walk
+		// the same argument tree; report each time.Now position once.
+		reported := map[token.Pos]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods on an explicit *rand.Rand are fine
+			}
+			if !randConstructors[fn.Name()] {
+				p.Reportf(call.Pos(), "call to global %s.%s: shared process-wide RNG breaks run reproducibility; use rand.New(rand.NewSource(seed))", path, fn.Name())
+				return true
+			}
+			// Constructor: still reject wall-clock seeds like
+			// rand.NewSource(time.Now().UnixNano()).
+			for _, arg := range call.Args {
+				if pos, found := findTimeNow(p, arg); found && !reported[pos] {
+					reported[pos] = true
+					p.Reportf(pos, "time-based RNG seed in %s.%s: makes runs irreproducible; take the seed from configuration", path, fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// findTimeNow reports a call to time.Now anywhere inside e.
+func findTimeNow(p *Pass, e ast.Expr) (pos token.Pos, found bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p, call)
+		if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+			pos, found = call.Pos(), true
+			return false
+		}
+		return true
+	})
+	return pos, found
+}

@@ -1,0 +1,36 @@
+// Fixture for the errdrop analyzer: dropped errors, explicit drops, the
+// exempt print/safe-writer forms.
+package driver
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func multi() (int, error) { return 0, nil }
+
+func noError() int { return 1 }
+
+func drops(buf *bytes.Buffer) {
+	mayFail()                        // violation: error dropped
+	multi()                          // violation: error in tuple dropped
+	noError()                        // clean: no error returned
+	fmt.Println("hello")             // clean: fmt print to stdout
+	fmt.Fprintf(os.Stderr, "oops\n") // clean: std stream
+	fmt.Fprintln(os.Stdout, "fine")  // clean: std stream
+	fmt.Fprintf(buf, "x=%d\n", 1)    // clean: in-memory writer
+	var sb strings.Builder
+	fmt.Fprint(&sb, "y") // clean: in-memory writer
+	sb.WriteString("z")  // clean: safe-writer method
+	_ = mayFail()        // clean: drop made explicit
+	//fbpvet:errok fixture: error is unreachable here
+	mayFail()
+	if err := mayFail(); err != nil { // clean: handled
+		fmt.Println(err)
+	}
+}

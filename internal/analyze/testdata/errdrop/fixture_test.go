@@ -1,0 +1,6 @@
+// Test-file fixture: errdrop exempts _test.go files.
+package driver
+
+func dropInTest() {
+	mayFail() // clean: test files are exempt
+}

@@ -1,0 +1,27 @@
+// Fixture for the floatcmp analyzer: package name "qp" puts it in the
+// numeric kernel set.
+package qp
+
+func compare(a, b float64) int {
+	if a == 0 { // clean: constant operand (sentinel check)
+		return 0
+	}
+	if b != 1.5 { // clean: constant operand
+		return 0
+	}
+	if a == b { // violation: computed vs computed
+		return 0
+	}
+	if a-1 != b+1 { // violation: computed vs computed
+		return 2
+	}
+	//fbpvet:floatok exact fixed-point short-circuit, intentional
+	if a*2 == b*2 {
+		return 3
+	}
+	return 1
+}
+
+func intsAndStrings(a, b int, s, t string) bool {
+	return a == b && s != t // clean: not floating point
+}

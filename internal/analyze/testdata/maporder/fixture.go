@@ -1,0 +1,49 @@
+// Fixture for the maporder analyzer: package name "fbp" puts it in the
+// solver set. Contains violating, suppressed and clean loops.
+package fbp
+
+import "sort"
+
+func sumUsage(usage map[int]float64) float64 {
+	total := 0.0
+	for _, v := range usage { // violation: float sum in map order
+		total += v
+	}
+	return total
+}
+
+func rangeKeyOnly(seen map[string]bool) int {
+	n := 0
+	for k := range seen { // violation: even key-only ranging is ordered
+		if k != "" {
+			n++
+		}
+	}
+	return n
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	//fbpvet:orderok keys are sorted immediately below
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func overSlice(xs []int) int {
+	s := 0
+	for _, x := range xs { // clean: slice iteration is ordered
+		s += x
+	}
+	return s
+}
+
+func keyedLookup(m map[int]int, keys []int) int {
+	s := 0
+	for _, k := range keys { // clean: map used for lookup, not iteration
+		s += m[k]
+	}
+	return s
+}

@@ -1,0 +1,28 @@
+// Fixture for the seededrand analyzer: global RNG calls, time-based
+// seeds, and the allowed explicitly seeded form.
+package driver
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globals() int {
+	rand.Seed(42)                     // violation: global source
+	x := rand.Intn(10)                // violation: global source
+	return x + int(rand.Float64()*10) // violation: global source
+}
+
+func timeSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // violation: wall-clock seed
+}
+
+func good(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // clean: explicit seeded source
+	return rng.Float64()                  // clean: method on explicit Rand
+}
+
+func suppressed() int {
+	//fbpvet:randok fixture: jitter only, never placement-visible
+	return rand.Intn(3)
+}

@@ -1,0 +1,13 @@
+// Test-file fixture: seededrand exempts _test.go files, where ad-hoc
+// randomness is fine.
+package driver
+
+import (
+	"math/rand"
+	"time"
+)
+
+func randomInTest() int {
+	rand.New(rand.NewSource(time.Now().UnixNano())) // clean: test file
+	return rand.Intn(10)                            // clean: test file
+}

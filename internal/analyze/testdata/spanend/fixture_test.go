@@ -1,0 +1,9 @@
+// Test-file fixture: spanend exempts _test.go files, where dangling spans
+// probe the recorder's edge cases.
+package kernel
+
+import "fbplace/internal/obs"
+
+func danglingInTest(rec *obs.Recorder) {
+	rec.StartSpan("dangling") // clean: test files are exempt
+}

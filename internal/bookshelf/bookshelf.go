@@ -63,7 +63,9 @@ func openAll(paths ...string) ([]io.ReadCloser, error) {
 		if err != nil {
 			for _, o := range out {
 				if o != nil {
-					o.Close()
+					// Cleanup on the error path; the open error is what
+					// the caller needs to see.
+					_ = o.Close()
 				}
 			}
 			return nil, err
@@ -81,7 +83,9 @@ func readFiles(nodesPath, netsPath, plPath, sclPath string) (*netlist.Netlist, e
 	defer func() {
 		for _, f := range files {
 			if f != nil {
-				f.Close()
+				// Read-only files: Close errors carry no information the
+				// parse result does not already reflect.
+				_ = f.Close()
 			}
 		}
 	}()

@@ -115,6 +115,7 @@ func (o *optimizer) buildRows() {
 	for r := range o.rows {
 		row := o.rows[r]
 		sort.Slice(row, func(a, b int) bool {
+			//fbpvet:floatok exact tie-break on stored coordinates keeps the sort total
 			if n.X[row[a]] != n.X[row[b]] {
 				return n.X[row[a]] < n.X[row[b]]
 			}

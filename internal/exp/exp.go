@@ -33,6 +33,21 @@ import (
 // 2000 cells per instance keeps every run in the multi-level regime).
 const DefaultScale = 0.002
 
+// printer renders a table through an io.Writer, latching the first write
+// error and suppressing output after it. Report writes are best-effort,
+// but the latch keeps the drop explicit (fbpvet errdrop) and stops the
+// harness from hammering a broken pipe line by line.
+type printer struct {
+	w   io.Writer
+	err error
+}
+
+func (p *printer) printf(format string, a ...any) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintf(p.w, format, a...)
+	}
+}
+
 // obsRec, when set, is threaded into every placer/FBP run the harness
 // starts. A package-level hook (rather than a parameter) keeps the table
 // function signatures stable for bench_test.go.
@@ -115,11 +130,12 @@ func Table1(scale float64) (gen.ChipSpec, []T1Row, error) {
 
 // PrintTable1 renders Table I.
 func PrintTable1(w io.Writer, spec gen.ChipSpec, rows []T1Row) {
-	fmt.Fprintf(w, "TABLE I: Sizes and runtimes of the flow-based partitioning instances\n")
-	fmt.Fprintf(w, "from %s-like (%d cells, %d movebounds)\n", spec.Name, spec.NumCells, len(spec.Movebounds))
-	fmt.Fprintf(w, "%10s %10s %6s %8s %8s %12s %12s\n", "|V|", "|E|", "|E|/|V|", "|W|", "|R|", "flow", "realization")
+	pr := &printer{w: w}
+	pr.printf("TABLE I: Sizes and runtimes of the flow-based partitioning instances\n")
+	pr.printf("from %s-like (%d cells, %d movebounds)\n", spec.Name, spec.NumCells, len(spec.Movebounds))
+	pr.printf("%10s %10s %6s %8s %8s %12s %12s\n", "|V|", "|E|", "|E|/|V|", "|W|", "|R|", "flow", "realization")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%10d %10d %6.1f %8d %8d %12s %12s\n",
+		pr.printf("%10d %10d %6.1f %8d %8d %12s %12s\n",
 			r.Nodes, r.Arcs, r.Ratio, r.Windows, r.Regions, fmtDur(r.FlowTime), fmtDur(r.RealizeTime))
 	}
 }
@@ -245,12 +261,13 @@ func Table2(scale float64, count int) ([]CompareRow, error) {
 // PrintCompare renders Tables II/IV/V: HPWL and runtime per chip with
 // the baseline as 100%, plus totals.
 func PrintCompare(w io.Writer, title string, rows []CompareRow, withViol bool) {
-	fmt.Fprintln(w, title)
+	pr := &printer{w: w}
+	pr.printf("%s\n", title)
 	if withViol {
-		fmt.Fprintf(w, "%-10s %8s | %12s %10s %6s | %12s %10s %6s | %7s %8s\n",
+		pr.printf("%-10s %8s | %12s %10s %6s | %12s %10s %6s | %7s %8s\n",
 			"chip", "cells", "RQL HPWL", "time", "viol", "FBP HPWL", "time", "viol", "HPWL%", "speedup")
 	} else {
-		fmt.Fprintf(w, "%-10s %8s | %12s %10s | %12s %10s | %7s %8s\n",
+		pr.printf("%-10s %8s | %12s %10s | %12s %10s | %7s %8s\n",
 			"chip", "cells", "RQL HPWL", "time", "FBP HPWL", "time", "HPWL%", "speedup")
 	}
 	var sumBase, sumFBP float64
@@ -271,15 +288,15 @@ func PrintCompare(w io.Writer, title string, rows []CompareRow, withViol bool) {
 			sumFBPT += r.FBPTime
 		}
 		if withViol {
-			fmt.Fprintf(w, "%-10s %8d | %12s %10s %6d | %12.0f %10s %6d | %7s %8s\n",
+			pr.printf("%-10s %8d | %12s %10s %6d | %12.0f %10s %6d | %7s %8s\n",
 				r.Chip, r.Cells, baseH, baseT, r.BaseViol, r.FBPHPWL, fmtDur(r.FBPTime), r.FBPViol, ratio, speedup)
 		} else {
-			fmt.Fprintf(w, "%-10s %8d | %12s %10s | %12.0f %10s | %7s %8s\n",
+			pr.printf("%-10s %8d | %12s %10s | %12.0f %10s | %7s %8s\n",
 				r.Chip, r.Cells, baseH, baseT, r.FBPHPWL, fmtDur(r.FBPTime), ratio, speedup)
 		}
 	}
 	if sumBase > 0 && sumFBPT > 0 {
-		fmt.Fprintf(w, "%-10s: FBP HPWL = %.1f%% of baseline, speedup %.1fx\n",
+		pr.printf("%-10s: FBP HPWL = %.1f%% of baseline, speedup %.1fx\n",
 			"TOTAL", 100*sumFBP/sumBase, float64(sumBaseT)/float64(sumFBPT))
 	}
 }
@@ -337,10 +354,11 @@ func Table3(scale float64) ([]T3Row, []*gen.Instance, error) {
 
 // PrintTable3 renders Table III.
 func PrintTable3(w io.Writer, rows []T3Row) {
-	fmt.Fprintln(w, "TABLE III: Movebounded instances (generated)")
-	fmt.Fprintf(w, "%-10s %6s %10s %12s %10s %8s\n", "chip", "|M|", "|C|", "% cells mb", "max dens", "remarks")
+	pr := &printer{w: w}
+	pr.printf("TABLE III: Movebounded instances (generated)\n")
+	pr.printf("%-10s %6s %10s %12s %10s %8s\n", "chip", "|M|", "|C|", "% cells mb", "max dens", "remarks")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-10s %6d %10d %11.1f%% %9.0f%% %8s\n",
+		pr.printf("%-10s %6d %10d %11.1f%% %9.0f%% %8s\n",
 			r.Chip, r.NumMB, r.Cells, 100*r.PctMB, 100*r.MaxDensity, r.Remark)
 	}
 }
@@ -383,19 +401,20 @@ func Table5(scale float64) ([]CompareRow, error) {
 
 // PrintTable6 renders the runtime split of the FBP runs (paper Table VI).
 func PrintTable6(w io.Writer, rows []CompareRow) {
-	fmt.Fprintln(w, "TABLE VI: BonnPlace FBP runtime split (inclusive movebounds)")
-	fmt.Fprintf(w, "%-10s %12s %14s %12s %14s\n", "chip", "global", "legalization", "total", "global/total")
+	pr := &printer{w: w}
+	pr.printf("TABLE VI: BonnPlace FBP runtime split (inclusive movebounds)\n")
+	pr.printf("%-10s %12s %14s %12s %14s\n", "chip", "global", "legalization", "total", "global/total")
 	var g, l time.Duration
 	for _, r := range rows {
 		total := r.FBPGlobal + r.FBPLegal
-		fmt.Fprintf(w, "%-10s %12s %14s %12s %13.1f%%\n",
+		pr.printf("%-10s %12s %14s %12s %13.1f%%\n",
 			r.Chip, fmtDur(r.FBPGlobal), fmtDur(r.FBPLegal), fmtDur(total),
 			100*float64(r.FBPGlobal)/float64(total))
 		g += r.FBPGlobal
 		l += r.FBPLegal
 	}
 	if g+l > 0 {
-		fmt.Fprintf(w, "%-10s %12s %14s %12s %13.1f%%\n",
+		pr.printf("%-10s %12s %14s %12s %13.1f%%\n",
 			"TOTAL", fmtDur(g), fmtDur(l), fmtDur(g+l), 100*float64(g)/float64(g+l))
 	}
 }

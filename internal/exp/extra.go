@@ -68,10 +68,11 @@ func Speedup(scale float64, maxWorkers int) ([]SpeedupRow, error) {
 
 // PrintSpeedup renders the parallel realization speedups.
 func PrintSpeedup(w io.Writer, rows []SpeedupRow) {
-	fmt.Fprintln(w, "Parallel realization speedup (§IV.B)")
-	fmt.Fprintf(w, "%8s %14s %8s\n", "workers", "realization", "speedup")
+	pr := &printer{w: w}
+	pr.printf("Parallel realization speedup (§IV.B)\n")
+	pr.printf("%8s %14s %8s\n", "workers", "realization", "speedup")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%8d %14s %7.2fx\n", r.Workers, fmtDur(r.RealizeTime), r.Speedup)
+		pr.printf("%8d %14s %7.2fx\n", r.Workers, fmtDur(r.RealizeTime), r.Speedup)
 	}
 }
 
@@ -146,13 +147,14 @@ func AblationLocalQP(scale float64) ([]AblationRow, error) {
 
 // PrintAblation renders an ablation result.
 func PrintAblation(w io.Writer, title string, rows []AblationRow, withViol bool) {
-	fmt.Fprintln(w, title)
+	pr := &printer{w: w}
+	pr.printf("%s\n", title)
 	for _, r := range rows {
 		if withViol {
-			fmt.Fprintf(w, "  %-18s HPWL %12.0f  time %10s  viol %4d  capacity relaxations %d\n",
+			pr.printf("  %-18s HPWL %12.0f  time %10s  viol %4d  capacity relaxations %d\n",
 				r.Config, r.HPWL, fmtDur(r.Time), r.Violations, r.Relaxations)
 		} else {
-			fmt.Fprintf(w, "  %-18s HPWL %12.0f  time %10s\n", r.Config, r.HPWL, fmtDur(r.Time))
+			pr.printf("  %-18s HPWL %12.0f  time %10s\n", r.Config, r.HPWL, fmtDur(r.Time))
 		}
 	}
 }

@@ -81,14 +81,15 @@ func Table7(scale float64) ([]T7Row, error) {
 
 // PrintTable7 renders Table VII.
 func PrintTable7(w io.Writer, rows []T7Row) {
-	fmt.Fprintln(w, "TABLE VII: ISPD-2006-style results (Kraftwerk2-style baseline vs BonnPlace FBP)")
-	fmt.Fprintf(w, "%-10s | %10s %6s %10s | %10s %6s %7s %10s %10s | %8s %8s\n",
+	pr := &printer{w: w}
+	pr.printf("TABLE VII: ISPD-2006-style results (Kraftwerk2-style baseline vs BonnPlace FBP)\n")
+	pr.printf("%-10s | %10s %6s %10s | %10s %6s %7s %10s %10s | %8s %8s\n",
 		"chip", "KW H", "D%", "KW H+D", "FBP H", "D%", "CPU%", "H+D", "H+D+C", "ratio", "ratioC")
 	var sumKW, sumFBP, sumKWC, sumFBPC float64
 	for _, r := range rows {
 		ratio := 100 * r.FBP.HD() / r.KW.HD()
 		ratioC := 100 * r.FBP.HDC() / r.KW.HDC()
-		fmt.Fprintf(w, "%-10s | %10.0f %5.1f%% %10.0f | %10.0f %5.1f%% %6.1f%% %10.0f %10.0f | %7.1f%% %7.1f%%\n",
+		pr.printf("%-10s | %10.0f %5.1f%% %10.0f | %10.0f %5.1f%% %6.1f%% %10.0f %10.0f | %7.1f%% %7.1f%%\n",
 			r.Chip, r.KW.HPWL, 100*r.KW.Density, r.KW.HD(),
 			r.FBP.HPWL, 100*r.FBP.Density, 100*r.FBP.CPU, r.FBP.HD(), r.FBP.HDC(),
 			ratio, ratioC)
@@ -98,7 +99,7 @@ func PrintTable7(w io.Writer, rows []T7Row) {
 		sumFBPC += r.FBP.HDC()
 	}
 	if sumKW > 0 {
-		fmt.Fprintf(w, "%-10s: FBP H+D = %.1f%%, H+D+C = %.1f%% of baseline\n",
+		pr.printf("%-10s: FBP H+D = %.1f%%, H+D+C = %.1f%% of baseline\n",
 			"TOTAL", 100*sumFBP/sumKW, 100*sumFBPC/sumKWC)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"fbplace/internal/geom"
 	"fbplace/internal/grid"
 	"fbplace/internal/netlist"
+	"fbplace/internal/obs"
 	"fbplace/internal/region"
 )
 
@@ -283,6 +284,79 @@ func TestPartitionDeterministicAcrossWorkers(t *testing.T) {
 	for i := range p1 {
 		if math.Abs(p1[i]-p8[i]) > 1e-9 {
 			t.Fatalf("position %d differs: %g vs %g", i, p1[i], p8[i])
+		}
+	}
+}
+
+// TestRepairPathDeterministicAcrossWorkers drives an overfull instance —
+// crowded irregular cells against a tight movebound — so majority rounding
+// overflows regions and repairOverflow has to relocate cells. The repair
+// bookkeeping is keyed through maps (usage/cellsOf); this test pins down
+// that its results never depend on map hashing or on the worker count:
+// assignments, positions, the RoundingOverflow diagnostic and the number
+// of repair moves must be identical for 1 and 4 workers.
+func TestRepairPathDeterministicAcrossWorkers(t *testing.T) {
+	mbs := []region.Movebound{{Name: "M", Kind: region.Inclusive, Area: geom.RectSet{{Xlo: 0, Ylo: 0, Xhi: 7, Yhi: 7}}}}
+	rng := rand.New(rand.NewSource(17))
+	base := netlist.New(chip, 1)
+	const numCells = 230
+	for i := 0; i < numCells; i++ {
+		mb := netlist.NoMovebound
+		if i%5 == 0 {
+			mb = 0
+		}
+		id := base.AddCell(netlist.Cell{Width: 0.3 + 1.4*rng.Float64(), Height: 1, Movebound: mb})
+		base.SetPos(id, geom.Point{X: rng.Float64() * 16, Y: rng.Float64() * 16})
+	}
+	for e := 0; e < 200; e++ {
+		i, j := rng.Intn(numCells), rng.Intn(numCells)
+		if i != j {
+			base.AddNet(netlist.Net{Pins: []netlist.Pin{{Cell: netlist.CellID(i)}, {Cell: netlist.CellID(j)}}})
+		}
+	}
+	type outcome struct {
+		regions  []RegionRef
+		pos      []float64
+		overflow float64
+		moved    float64
+	}
+	run := func(workers int) outcome {
+		n := base.Clone()
+		wr := build(t, mbs, 4, 4, 1.0, nil)
+		rec := obs.New(nil)
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		cfg.Obs = rec
+		res, err := Partition(n, wr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outcome{
+			regions:  res.CellRegion,
+			pos:      append(append([]float64(nil), n.X...), n.Y...),
+			overflow: res.RoundingOverflow,
+			moved:    rec.Counter("fbp.repair.movedCells"),
+		}
+	}
+	o1 := run(1)
+	o4 := run(4)
+	if o1.moved == 0 {
+		t.Fatal("repair path not exercised: no cells moved by repairOverflow; tighten the instance")
+	}
+	if o1.moved != o4.moved {
+		t.Fatalf("repair moves differ: %v (1 worker) vs %v (4 workers)", o1.moved, o4.moved)
+	}
+	if o1.overflow != o4.overflow {
+		t.Fatalf("RoundingOverflow differs: %g vs %g", o1.overflow, o4.overflow)
+	}
+	for i := range o1.regions {
+		if o1.regions[i] != o4.regions[i] {
+			t.Fatalf("cell %d: assignment differs between 1 and 4 workers: %v vs %v", i, o1.regions[i], o4.regions[i])
+		}
+	}
+	for i := range o1.pos {
+		if o1.pos[i] != o4.pos[i] {
+			t.Fatalf("position %d differs: %g vs %g", i, o1.pos[i], o4.pos[i])
 		}
 	}
 }

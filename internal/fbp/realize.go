@@ -265,17 +265,21 @@ func (r *realizer) topoLevels() ([][]unit, error) {
 		r.rebuildEdgeIndex()
 		return r.topoLevels()
 	}
-	// Group units with outgoing edges by level.
-	byLevel := map[int][]int{}
+	// Group units with outgoing edges by level. Levels and windows are
+	// dense integers, so plain slices give the deterministic iteration
+	// order that map grouping would have left to Go's map hashing.
 	maxLevel := 0
+	for _, u := range order {
+		if len(r.outgoing[u]) > 0 && level[u] > maxLevel {
+			maxLevel = level[u]
+		}
+	}
+	byLevel := make([][]int, maxLevel+1)
 	for _, u := range order {
 		if len(r.outgoing[u]) == 0 {
 			continue
 		}
 		byLevel[level[u]] = append(byLevel[level[u]], u)
-		if level[u] > maxLevel {
-			maxLevel = level[u]
-		}
 	}
 	var levels [][]unit
 	for lv := 0; lv <= maxLevel; lv++ {
@@ -283,21 +287,23 @@ func (r *realizer) topoLevels() ([][]unit, error) {
 		if len(us) == 0 {
 			continue
 		}
-		sort.Ints(us)
-		// Merge same-window entries of this level into one unit.
+		// Sort by (window, class): same-window units become adjacent and
+		// merge into one unit, and units come out in window order.
+		sort.Slice(us, func(a, b int) bool {
+			wa, wb := us[a]%W, us[b]%W
+			if wa != wb {
+				return wa < wb
+			}
+			return us[a] < us[b]
+		})
 		var units []unit
-		byWin := map[int]int{}
 		for _, u := range us {
 			w, cls := u%W, u/W
-			pos, ok := byWin[w]
-			if !ok {
-				pos = len(units)
-				byWin[w] = pos
+			if len(units) == 0 || units[len(units)-1].window != w {
 				units = append(units, unit{window: w})
 			}
-			units[pos].classes = append(units[pos].classes, cls)
+			units[len(units)-1].classes = append(units[len(units)-1].classes, cls)
 		}
-		sort.Slice(units, func(a, b int) bool { return units[a].window < units[b].window })
 		levels = append(levels, units)
 	}
 	return levels, nil
@@ -644,6 +650,7 @@ func roundCapacityAware(p *transport.Problem, sol *transport.Solution) []int {
 		splits = append(splits, split{src: i, size: p.Supply[i]})
 	}
 	sort.Slice(splits, func(a, b int) bool {
+		//fbpvet:floatok exact tie-break on stored sizes keeps the sort total
 		if splits[a].size != splits[b].size {
 			return splits[a].size > splits[b].size
 		}
@@ -764,8 +771,12 @@ func (r *realizer) finalPass() error {
 // sweep suffices.
 func (r *realizer) repairOverflow() {
 	wr := r.m.WR
+	// usage and cellsOf are keyed accumulators only — every read below
+	// goes through the sorted refs slice, never map iteration, so repair
+	// order is independent of Go map hashing.
 	usage := map[RegionRef]float64{}
 	cellsOf := map[RegionRef][]int32{}
+	moved, movedArea := 0, 0.0
 	for i := range r.n.Cells {
 		if r.n.Cells[i].Fixed {
 			continue
@@ -792,6 +803,7 @@ func (r *realizer) repairOverflow() {
 		cells := append([]int32(nil), cellsOf[ref]...)
 		sort.Slice(cells, func(a, b int) bool {
 			sa, sb := r.n.Cells[cells[a]].Size(), r.n.Cells[cells[b]].Size()
+			//fbpvet:floatok exact tie-break on stored sizes keeps the sort total
 			if sa != sb {
 				return sa < sb
 			}
@@ -830,31 +842,41 @@ func (r *realizer) repairOverflow() {
 			usage[ref] -= size
 			usage[best] += size
 			over -= size
+			moved++
+			movedArea += size
 			r.cellRegion[ci] = best
 			r.curWin[ci] = best.Window
 			r.n.SetPos(netlist.CellID(ci), bestPos)
 		}
 	}
+	r.rec.Count("fbp.repair.movedCells", float64(moved))
+	r.rec.Count("fbp.repair.movedArea", movedArea)
 }
 
 // roundingOverflow sums, over all window-regions, the assigned cell area
-// exceeding the region capacity.
+// exceeding the region capacity. The map is keyed accumulation only; the
+// summation walks regions in index order so the floating-point total is
+// bit-identical across runs (map iteration order would not be).
 func (r *realizer) roundingOverflow() float64 {
 	usage := map[RegionRef]float64{}
+	total := 0.0
 	for i := range r.n.Cells {
 		if r.n.Cells[i].Fixed {
 			continue
 		}
-		usage[r.cellRegion[i]] += r.n.Cells[i].Size()
-	}
-	total := 0.0
-	for ref, u := range usage {
+		ref := r.cellRegion[i]
 		if ref.Window < 0 {
-			total += u // unassigned cells count fully
+			total += r.n.Cells[i].Size() // unassigned cells count fully
 			continue
 		}
-		if c := r.m.WR.PerWin[ref.Window][ref.Index].Capacity; u > c {
-			total += u - c
+		usage[ref] += r.n.Cells[i].Size()
+	}
+	for w := range r.m.WR.PerWin {
+		for k := range r.m.WR.PerWin[w] {
+			ref := RegionRef{Window: int32(w), Index: int32(k)}
+			if u, c := usage[ref], r.m.WR.PerWin[w][k].Capacity; u > c {
+				total += u - c
+			}
 		}
 	}
 	return total

@@ -320,6 +320,7 @@ func dedupSorted(v []float64) []float64 {
 	sort.Float64s(v)
 	out := v[:0]
 	for i, x := range v {
+		//fbpvet:floatok dedup of bit-identical sorted coordinates is exact by design
 		if i == 0 || x != out[len(out)-1] {
 			out = append(out, x)
 		}

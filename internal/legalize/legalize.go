@@ -303,6 +303,7 @@ func (p *Packer) Finalize(res *Result) {
 func sortByX(n *netlist.Netlist, cells []netlist.CellID) []netlist.CellID {
 	order := append([]netlist.CellID(nil), cells...)
 	sort.Slice(order, func(i, j int) bool {
+		//fbpvet:floatok exact tie-break on stored coordinates keeps the sort total
 		if n.X[order[i]] != n.X[order[j]] {
 			return n.X[order[i]] < n.X[order[j]]
 		}
@@ -479,6 +480,7 @@ func LegalizeWithMovebounds(n *netlist.Netlist, d *region.Decomposition, opt Opt
 	// region that still has room.
 	sort.Slice(spill, func(a, b int) bool {
 		wa, wb := n.Cells[spill[a]].Width, n.Cells[spill[b]].Width
+		//fbpvet:floatok exact tie-break on stored widths keeps the sort total
 		if wa != wb {
 			return wa > wb
 		}

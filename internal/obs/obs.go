@@ -230,6 +230,8 @@ func (r *Recorder) Flush() {
 		sink.Emit(Event{Type: EventGauge, Name: kv.k, Value: kv.v})
 	}
 	if f, ok := sink.(interface{ Flush() error }); ok {
-		f.Flush()
+		// Best-effort: the sink (e.g. JSONLSink) latches its own error,
+		// which callers inspect via its Err method after the run.
+		_ = f.Flush()
 	}
 }

@@ -33,8 +33,11 @@ func (n *summaryNode) child(name string) *summaryNode {
 // followed by the counters and gauges. Spans still running are omitted;
 // spans whose parent has not finished attach at the root.
 func (r *Recorder) WriteSummary(w io.Writer) {
+	// Summary output is best-effort; the sticky printer keeps the first
+	// write error and stops printing, instead of dropping errors per line.
+	pr := &summaryPrinter{w: w}
 	if r == nil {
-		fmt.Fprintln(w, "obs: recording disabled")
+		pr.printf("obs: recording disabled\n")
 		return
 	}
 	r.mu.Lock()
@@ -64,28 +67,42 @@ func (r *Recorder) WriteSummary(w io.Writer) {
 			pct = fmt.Sprintf("%5.1f%%", 100*float64(n.total)/float64(parentTotal))
 		}
 		name := fmt.Sprintf("%*s%s", 2*depth, "", n.name)
-		fmt.Fprintf(w, "%-34s %5dx %10s %s\n", name, n.count, fmtSummaryDur(n.total), pct)
+		pr.printf("%-34s %5dx %10s %s\n", name, n.count, fmtSummaryDur(n.total), pct)
 		for _, c := range n.children {
 			walk(c, depth+1, n.total)
 		}
 	}
 	if len(root.children) == 0 {
-		fmt.Fprintln(w, "obs: no spans recorded")
+		pr.printf("obs: no spans recorded\n")
 	}
 	for _, c := range root.children {
 		walk(c, 0, 0)
 	}
 	if len(counters) > 0 {
-		fmt.Fprintln(w, "counters:")
+		pr.printf("counters:\n")
 		for _, kv := range counters {
-			fmt.Fprintf(w, "  %-32s %14.0f\n", kv.k, kv.v)
+			pr.printf("  %-32s %14.0f\n", kv.k, kv.v)
 		}
 	}
 	if len(gauges) > 0 {
-		fmt.Fprintln(w, "gauges:")
+		pr.printf("gauges:\n")
 		for _, kv := range gauges {
-			fmt.Fprintf(w, "  %-32s %14.4g\n", kv.k, kv.v)
+			pr.printf("  %-32s %14.4g\n", kv.k, kv.v)
 		}
+	}
+}
+
+// summaryPrinter latches the first write error and suppresses output after
+// it, so WriteSummary neither drops errors silently nor keeps writing to a
+// broken pipe.
+type summaryPrinter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *summaryPrinter) printf(format string, a ...any) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintf(p.w, format, a...)
 	}
 }
 

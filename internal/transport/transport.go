@@ -146,6 +146,7 @@ func SolveReference(p *Problem) (*Solution, error) {
 
 func sortPortions(ps []Portion) {
 	sort.Slice(ps, func(a, b int) bool {
+		//fbpvet:floatok exact tie-break on stored amounts keeps the sort total
 		if ps[a].Amount != ps[b].Amount {
 			return ps[a].Amount > ps[b].Amount
 		}
@@ -213,6 +214,7 @@ func better(x, y condEdge) bool {
 	if x.source < 0 {
 		return false
 	}
+	//fbpvet:floatok exact tie-break on stored weights keeps the sort total
 	if x.w != y.w {
 		return x.w < y.w
 	}
