@@ -39,9 +39,16 @@ go run ./cmd/fbpvet ./...
 echo "== go build =="
 go build ./...
 
+echo "== fault injection suite =="
+# Robustness gate: arm every faultsim injection point and prove the
+# pipeline degrades or fails structurally (no panics, no goroutine
+# leaks, 1-vs-4-worker determinism preserved). See README "Robustness
+# & fault injection".
+go test -timeout 10m -run 'TestInjection|TestDeadline|TestLeak' ./internal/faultsim/
+
 if [ "$quick" = 1 ]; then
 	echo "== go test (quick, no -race) =="
-	go test ./...
+	go test -timeout 15m ./...
 else
 	echo "== go test -race =="
 	# The race detector slows the experiment harness ~10x past the default

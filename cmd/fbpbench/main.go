@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +33,7 @@ func main() {
 	trace := flag.String("trace", "", "write a JSON-lines trace of the runs to this file")
 	stats := flag.Bool("stats", false, "print the phase summary tree and counters at the end")
 	benchOut := flag.String("bench-out", "BENCH_baseline.json", "write per-table HPWL/phase-time baseline JSON here (empty = off)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget per table (0 = none); a table that exceeds it fails with context.DeadlineExceeded")
 	flag.Parse()
 
 	var rec *obs.Recorder
@@ -52,8 +54,23 @@ func main() {
 		exp.SetRecorder(rec)
 	}
 
+	// Each selected table gets a fresh wall-clock budget: run installs a
+	// new timeout context through the exp package hook (mirroring
+	// exp.SetRecorder) whenever it selects a table, cancelling the
+	// previous one first.
+	cancelBudget := func() {}
+	defer func() { cancelBudget() }()
 	run := func(name string) bool {
-		return *table == "all" || *table == name
+		if *table != "all" && *table != name {
+			return false
+		}
+		if *timeout > 0 {
+			cancelBudget()
+			ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+			cancelBudget = cancel
+			exp.SetContext(ctx)
+		}
+		return true
 	}
 	fail := func(name string, err error) {
 		fmt.Fprintf(os.Stderr, "fbpbench: table %s: %v\n", name, err)

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -35,7 +36,15 @@ func main() {
 	detail := flag.Int("detail", 0, "detailed-placement passes after legalization (0 = off)")
 	trace := flag.String("trace", "", "write a JSON-lines trace of the run to this file")
 	stats := flag.Bool("stats", false, "print the phase summary tree and counters after placement")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the placement run (0 = none)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var rec *fbplace.Recorder
 	var traceSink *fbplace.JSONTraceSink
@@ -84,7 +93,7 @@ func main() {
 		if *mode == "recursive" {
 			m = fbplace.ModeRecursive
 		}
-		rep, err := fbplace.Place(n, fbplace.Config{
+		rep, err := fbplace.PlaceCtx(ctx, n, fbplace.Config{
 			Mode: m, Movebounds: mbs, TargetDensity: *density,
 			ClusterRatio: *cluster, Workers: *workers,
 			SkipLegalization: *skipLegal, DetailPasses: *detail,
@@ -98,6 +107,9 @@ func main() {
 			rep.GlobalTime.Round(time.Millisecond),
 			rep.LegalTime.Round(time.Millisecond), rep.Levels)
 		fmt.Printf("HPWL %.0f, violations %d, overlaps %d\n", rep.HPWL, rep.Violations, rep.Overlaps)
+		for _, d := range rep.Degradations {
+			fmt.Printf("degraded: %s fell back to %s (%s)\n", d.Stage, d.Fallback, d.Detail)
+		}
 	case "rql":
 		sp := rec.StartSpan("rql.place")
 		if _, err := fbplace.PlaceBaseline(n, fbplace.BaselineConfig{

@@ -25,6 +25,7 @@
 package fbplace
 
 import (
+	"context"
 	"io"
 
 	"fbplace/internal/congest"
@@ -117,6 +118,15 @@ func Place(n *Netlist, cfg Config) (*Report, error) {
 	return placer.Place(n, cfg)
 }
 
+// PlaceCtx is Place with cancellation: a canceled or expired context
+// aborts the run — within one outer iteration even deep inside the
+// CG / network-simplex / transportation solvers — and returns the
+// context's error. Solver fallbacks taken along the way are reported in
+// Report.Degradations.
+func PlaceCtx(ctx context.Context, n *Netlist, cfg Config) (*Report, error) {
+	return placer.PlaceCtx(ctx, n, cfg)
+}
+
 // FeasibilityReport is the result of CheckFeasibility.
 type FeasibilityReport = region.FeasibilityReport
 
@@ -168,7 +178,10 @@ func Partition(n *Netlist, movebounds []Movebound, k int, targetDensity float64)
 		targetDensity = 0.97
 	}
 	d := region.Decompose(n.Area, norm)
-	g := grid.New(n.Area, k, k)
+	g, err := grid.New(n.Area, k, k)
+	if err != nil {
+		return nil, err
+	}
 	wr := grid.BuildWindowRegions(g, d, n.FixedRects(), targetDensity)
 	return fbp.Partition(n, wr, fbp.DefaultConfig())
 }
@@ -200,7 +213,10 @@ func FlowModel(n *Netlist, movebounds []Movebound, k int, targetDensity float64)
 		targetDensity = 0.97
 	}
 	d := region.Decompose(n.Area, norm)
-	g := grid.New(n.Area, k, k)
+	g, err := grid.New(n.Area, k, k)
+	if err != nil {
+		return PartitionStats{}, nil, err
+	}
 	wr := grid.BuildWindowRegions(g, d, n.FixedRects(), targetDensity)
 	model := fbp.BuildModel(n, wr, g.AssignCells(n))
 	if err := model.Solve(); err != nil {

@@ -15,7 +15,8 @@
 //	for k, v := range usage { total += v }
 //
 // Each analyzer owns one directive suffix (maporder → orderok, floatcmp →
-// floatok, spanend → spanok, errdrop → errok, seededrand → randok);
+// floatok, spanend → spanok, errdrop → errok, seededrand → randok,
+// panicfree → allow);
 // //fbpvet:ignore suppresses every analyzer on its line. Directives should
 // carry a reason after the tag, like nolint comments in production Go
 // services.
@@ -180,5 +181,5 @@ func directiveIndex(fset *token.FileSet, files []*ast.File) map[suppressKey]bool
 
 // All returns every registered analyzer in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{MapOrder, FloatCmp, SpanEnd, ErrDrop, SeededRand}
+	return []*Analyzer{MapOrder, FloatCmp, SpanEnd, ErrDrop, SeededRand, PanicFree}
 }

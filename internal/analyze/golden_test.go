@@ -32,6 +32,8 @@ func TestAnalyzersGolden(t *testing.T) {
 		{SpanEnd, "spanend", false},
 		{ErrDrop, "errdrop", false},
 		{SeededRand, "seededrand", false},
+		{PanicFree, "panicfree", false},
+		{PanicFree, "panicfree_main", true},
 	}
 	l := NewLoader(".")
 	for _, tc := range cases {

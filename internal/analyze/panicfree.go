@@ -1,0 +1,55 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PanicFree forbids panic calls in library (non-main, non-test) packages.
+// The placement pipeline runs embedded in batch flows: a panicking solver
+// kills the host process, while a returned error lets the caller fall back,
+// degrade, or at least fail one instance instead of the whole run. The
+// fault-tolerance pass converted every library panic into a returned error
+// or a recovered worker boundary; this analyzer keeps it that way.
+//
+// Exemptions: package main (a CLI may panic on programmer error), test
+// files (t.Fatal machinery and intentional panics in fixtures), and sites
+// annotated //fbpvet:allow <reason> — reserved for genuine programmer-error
+// guards such as grid.MustNew, whose contract is "caller proved the input
+// valid".
+var PanicFree = &Analyzer{
+	Name:      "panicfree",
+	Directive: "allow",
+	Doc: "forbids panic( in library packages (non-main, non-test); return " +
+		"an error or recover at a worker boundary instead, or annotate " +
+		"//fbpvet:allow <reason> for deliberate programmer-error guards",
+	Run: runPanicFree,
+}
+
+func runPanicFree(p *Pass) {
+	if p.Pkg != nil && p.Pkg.Name() == "main" {
+		return
+	}
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			// Resolve to the builtin so a local function named panic (or a
+			// method value) is not flagged.
+			if b, ok := p.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+				return true
+			}
+			p.Reportf(call.Pos(), "panic in library code; return an error (or recover at the worker boundary) so callers can degrade instead of crashing")
+			return true
+		})
+	}
+}

@@ -1,0 +1,53 @@
+// Fixture for the panicfree analyzer: raw panics, annotated
+// programmer-error guards, recovery boundaries, and non-builtin shadows.
+package driver
+
+import "errors"
+
+func rawPanic() {
+	panic("boom") // violation: library panic
+}
+
+func panicValue(err error) {
+	if err != nil {
+		panic(err) // violation: wrap and return instead
+	}
+}
+
+func mustGuard(v int) int {
+	if v <= 0 {
+		panic("v must be positive") //fbpvet:allow fixture: deliberate Must-style guard
+	}
+	return v
+}
+
+func annotatedAbove(v int) int {
+	if v <= 0 {
+		//fbpvet:allow fixture: directive on the line above
+		panic("v must be positive")
+	}
+	return v
+}
+
+func returnsError(v int) (int, error) {
+	if v <= 0 { // clean: the error is returned, not panicked
+		return 0, errors.New("v must be positive")
+	}
+	return v, nil
+}
+
+// shadowed is a local function named panic-like; calling it is clean.
+func shadowed() {
+	panicish := func(string) {}
+	panicish("not the builtin") // clean: not the panic builtin
+}
+
+func recoveryBoundary(work func()) (err error) {
+	defer func() {
+		if p := recover(); p != nil { // clean: recover is fine
+			err = errors.New("worker panicked")
+		}
+	}()
+	work()
+	return nil
+}

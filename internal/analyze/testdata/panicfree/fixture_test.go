@@ -1,0 +1,6 @@
+// Test-file fixture: panicfree exempts _test.go files.
+package driver
+
+func panicInTest() {
+	panic("tests may panic") // clean: test files are exempt
+}

@@ -1,0 +1,7 @@
+// Scope-exempt fixture: panicfree skips package main (CLIs may panic on
+// programmer error; the process is the failure domain there).
+package main
+
+func main() {
+	panic("clean: package main is exempt")
+}

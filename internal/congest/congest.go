@@ -39,7 +39,7 @@ func Estimate(n *netlist.Netlist, nx, ny int) *Map {
 			ny = 1
 		}
 	}
-	g := grid.New(n.Area, nx, ny)
+	g := grid.MustNew(n.Area, nx, ny)
 	m := &Map{Grid: g, Rudy: make([]float64, g.NumWindows())}
 	for ni := range n.Nets {
 		net := &n.Nets[ni]

@@ -12,6 +12,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -58,6 +59,25 @@ var obsRec *obs.Recorder
 // table.
 func SetRecorder(rec *obs.Recorder) { obsRec = rec }
 
+// expCtx, when set, bounds every placer/FBP run the harness starts, so
+// cmd/fbpbench can put a wall-clock budget on each table. Like obsRec it
+// is a package-level hook to keep the table signatures stable.
+var expCtx context.Context
+
+// SetContext threads ctx through all subsequent harness runs. Pass nil to
+// remove the budget again. Not safe to call concurrently with a running
+// table.
+func SetContext(ctx context.Context) { expCtx = ctx }
+
+// harnessCtx is the context for the next solver run: the installed one,
+// or Background when no budget is set.
+func harnessCtx() context.Context {
+	if expCtx != nil {
+		return expCtx
+	}
+	return context.Background()
+}
+
 // fmtDur renders a duration like the paper's h:mm:ss columns but with
 // sub-second resolution where it matters.
 func fmtDur(d time.Duration) string {
@@ -102,16 +122,22 @@ func Table1(scale float64) (gen.ChipSpec, []T1Row, error) {
 		sp := obsRec.StartSpan("table1.level")
 		sp.Attr("grid", float64(k))
 		n := base.Clone()
-		g := grid.New(n.Area, k, k)
+		g, gerr := grid.New(n.Area, k, k)
+		if gerr != nil {
+			sp.End()
+			return spec, nil, gerr
+		}
 		wr := grid.BuildWindowRegions(g, d, blockages, 0.97)
 		model := fbp.BuildModel(n, wr, g.AssignCells(n))
 		model.Obs = obsRec
+		model.G.Ctx = harnessCtx()
 		if err := model.Solve(); err != nil {
 			sp.End()
 			return spec, nil, fmt.Errorf("grid %dx%d: %w", k, k, err)
 		}
 		rcfg := fbp.DefaultConfig()
 		rcfg.Obs = obsRec
+		rcfg.Ctx = harnessCtx()
 		res, err := fbp.Realize(model, rcfg)
 		sp.End()
 		if err != nil {
@@ -224,7 +250,7 @@ func runPair(inst *gen.Instance, withMB bool) (CompareRow, error) {
 
 	// FBP placer (same cluster ratio).
 	fbpNet := inst.N.Clone()
-	rep, err := placer.Place(fbpNet, placer.Config{
+	rep, err := placer.PlaceCtx(harnessCtx(), fbpNet, placer.Config{
 		Movebounds:   mbs,
 		ClusterRatio: clusterRatioFor(len(fbpNet.MovableIDs())),
 		Obs:          obsRec,

@@ -46,10 +46,14 @@ func Speedup(scale float64, maxWorkers int) ([]SpeedupRow, error) {
 	var t1 time.Duration
 	for workers := 1; workers <= maxWorkers; workers *= 2 {
 		n := base.Clone()
-		g := grid.New(n.Area, k, k)
+		g, err := grid.New(n.Area, k, k)
+		if err != nil {
+			return rows, err
+		}
 		wr := grid.BuildWindowRegions(g, d, n.FixedRects(), 0.97)
 		cfg := fbp.DefaultConfig()
 		cfg.Workers = workers
+		cfg.Ctx = harnessCtx()
 		res, err := fbp.Partition(n, wr, cfg)
 		if err != nil {
 			return rows, err
@@ -103,7 +107,7 @@ func AblationRecursive(scale float64) ([]AblationRow, error) {
 	}{{"FBP", placer.ModeFBP}, {"recursive", placer.ModeRecursive}} {
 		n := inst.N.Clone()
 		start := time.Now()
-		rep, err := placer.Place(n, placer.Config{Mode: mode.mode, Movebounds: inst.Movebounds})
+		rep, err := placer.PlaceCtx(harnessCtx(), n, placer.Config{Mode: mode.mode, Movebounds: inst.Movebounds})
 		if err != nil {
 			return rows, fmt.Errorf("%s: %w", mode.name, err)
 		}
@@ -133,7 +137,7 @@ func AblationLocalQP(scale float64) ([]AblationRow, error) {
 				return rows, err
 			}
 			start := time.Now()
-			rep, err := placer.Place(inst.N, placer.Config{NoLocalQP: cfg.noLocal})
+			rep, err := placer.PlaceCtx(harnessCtx(), inst.N, placer.Config{NoLocalQP: cfg.noLocal})
 			if err != nil {
 				return rows, fmt.Errorf("%s/%s: %w", cfg.name, spec.Name, err)
 			}

@@ -1,0 +1,256 @@
+// Package faultsim is the repository's deterministic fault-injection
+// harness. Solver and pipeline packages register named injection points
+// (Sites) in their hot paths; a disarmed site costs one atomic nil-check
+// per hit, so production runs pay essentially nothing. Tests arm a site
+// with a seedable, fully deterministic trigger Schedule and then drive the
+// pipeline: the armed site returns a structured *InjectedError (or panics,
+// when the schedule requests panic injection) exactly at the scheduled
+// hits, letting the robustness suite exercise every failure path — solver
+// non-convergence, simplex stalls, transport engine failure, worker
+// panics — without depending on rare numerical conditions.
+//
+// Determinism: a Schedule decides from the site's own hit counter alone,
+// so a given (schedule, hit index) pair always makes the same decision.
+// Seeded probabilistic schedules hash the hit index with SplitMix64, which
+// keeps them reproducible across runs and goroutine interleavings that
+// preserve hit counts (the "fire on every hit" schedule used by the
+// injection suite is interleaving-independent outright).
+//
+// The package keeps a process-global registry because injection points
+// live in package-level hot paths; tests that arm sites must not run in
+// parallel with each other and should defer Reset().
+package faultsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrInjected is the sentinel wrapped by every injected error, so callers
+// can distinguish injected faults from organic ones with errors.Is.
+var ErrInjected = errors.New("faultsim: injected fault")
+
+// InjectedError is the structured error produced by an armed site.
+type InjectedError struct {
+	// Point is the site name that fired.
+	Point string
+	// Hit is the 0-based hit index at which the site fired.
+	Hit uint64
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faultsim: injected fault at %s (hit %d)", e.Point, e.Hit)
+}
+
+// Unwrap makes errors.Is(err, ErrInjected) true.
+func (e *InjectedError) Unwrap() error { return ErrInjected }
+
+// Schedule decides, per hit of an armed site, whether the fault fires.
+// The zero Schedule fires on every hit.
+type Schedule struct {
+	// After skips the first After hits.
+	After uint64
+	// Every fires on every k-th eligible hit (0 and 1 both mean every
+	// eligible hit).
+	Every uint64
+	// Limit caps the total number of fires (0 = unlimited).
+	Limit uint64
+	// Prob, when in (0, 1), fires each eligible hit with this probability,
+	// decided deterministically by hashing (Seed, hit index). Prob 0 (the
+	// zero value) means "always fire" for eligible hits; use Disarm to
+	// stop injection instead of Prob 0.
+	Prob float64
+	// Seed feeds the deterministic per-hit hash used with Prob.
+	Seed uint64
+	// Panic makes the site panic with the *InjectedError instead of
+	// returning it, exercising panic-recovery boundaries.
+	Panic bool
+}
+
+// fires reports whether the schedule triggers at the given hit index,
+// given how many times it has already fired.
+func (s *Schedule) fires(hit, fired uint64) bool {
+	if hit < s.After {
+		return false
+	}
+	if s.Limit > 0 && fired >= s.Limit {
+		return false
+	}
+	eligible := hit - s.After
+	if s.Every > 1 && eligible%s.Every != 0 {
+		return false
+	}
+	if s.Prob > 0 && s.Prob < 1 {
+		return splitMix64(s.Seed^hit) < uint64(s.Prob*float64(1<<63)*2)
+	}
+	return true
+}
+
+// splitMix64 is the SplitMix64 finalizer: a fast, well-distributed hash
+// that keeps seeded schedules deterministic without shared RNG state.
+func splitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// arming is the immutable armed state swapped into a site.
+type arming struct {
+	sched Schedule
+	hits  atomic.Uint64
+	fired atomic.Uint64
+}
+
+// Site is one named injection point. Instrumented packages hold a *Site in
+// a package variable and call Check (or Enabled) in the hot path.
+type Site struct {
+	name  string
+	doc   string
+	armed atomic.Pointer[arming]
+}
+
+// Name returns the site's registered name.
+func (s *Site) Name() string { return s.name }
+
+// Enabled reports whether the site is armed. It is the zero-cost fast
+// path: one atomic pointer load.
+func (s *Site) Enabled() bool { return s != nil && s.armed.Load() != nil }
+
+// Check is the injection hook: nil when the site is disarmed or the
+// schedule does not trigger at this hit, an *InjectedError when it does.
+// When the schedule requests panic injection, Check panics with the
+// *InjectedError instead of returning it.
+func (s *Site) Check() error {
+	if s == nil {
+		return nil
+	}
+	a := s.armed.Load()
+	if a == nil {
+		return nil
+	}
+	hit := a.hits.Add(1) - 1
+	if !a.sched.fires(hit, a.fired.Load()) {
+		return nil
+	}
+	a.fired.Add(1)
+	err := &InjectedError{Point: s.name, Hit: hit}
+	if a.sched.Panic {
+		panic(err) //fbpvet:allow panic injection is this harness's purpose
+	}
+	return err
+}
+
+// registry of all sites, keyed by name. Registration happens in package
+// init functions; Arm/Points look names up here.
+var (
+	regMu sync.Mutex
+	reg   = map[string]*Site{}
+)
+
+// Register creates and registers a named injection point. It is meant to
+// be called from package-level variable initialization; registering the
+// same name twice returns the existing site (so tests re-loading fixtures
+// stay safe).
+func Register(name, doc string) *Site {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if s, ok := reg[name]; ok {
+		return s
+	}
+	s := &Site{name: name, doc: doc}
+	reg[name] = s
+	return s
+}
+
+// Arm installs a schedule at the named site, resetting its hit and fire
+// counters. It fails on unknown names so test tables cannot silently rot
+// when a site is renamed.
+func Arm(name string, sched Schedule) error {
+	regMu.Lock()
+	s, ok := reg[name]
+	regMu.Unlock()
+	if !ok {
+		return fmt.Errorf("faultsim: unknown injection point %q", name)
+	}
+	s.armed.Store(&arming{sched: sched})
+	return nil
+}
+
+// Disarm removes the schedule from the named site (no-op when unknown or
+// already disarmed).
+func Disarm(name string) {
+	regMu.Lock()
+	s, ok := reg[name]
+	regMu.Unlock()
+	if ok {
+		s.armed.Store(nil)
+	}
+}
+
+// Reset disarms every registered site. Tests defer this.
+func Reset() {
+	regMu.Lock()
+	sites := make([]*Site, 0, len(reg))
+	for _, s := range reg {
+		sites = append(sites, s)
+	}
+	regMu.Unlock()
+	for _, s := range sites {
+		s.armed.Store(nil)
+	}
+}
+
+// Fired returns how many times the named site has fired since it was last
+// armed (0 for unknown or disarmed sites).
+func Fired(name string) uint64 {
+	regMu.Lock()
+	s, ok := reg[name]
+	regMu.Unlock()
+	if !ok {
+		return 0
+	}
+	a := s.armed.Load()
+	if a == nil {
+		return 0
+	}
+	return a.fired.Load()
+}
+
+// Hits returns how many times the named site has been checked since it was
+// last armed (0 for unknown or disarmed sites).
+func Hits(name string) uint64 {
+	regMu.Lock()
+	s, ok := reg[name]
+	regMu.Unlock()
+	if !ok {
+		return 0
+	}
+	a := s.armed.Load()
+	if a == nil {
+		return 0
+	}
+	return a.hits.Load()
+}
+
+// Info describes one registered injection point.
+type Info struct {
+	Name, Doc string
+	Armed     bool
+}
+
+// Points lists every registered injection point sorted by name. The
+// injection suite uses this to prove it covers all of them.
+func Points() []Info {
+	regMu.Lock()
+	out := make([]Info, 0, len(reg))
+	for _, s := range reg {
+		out = append(out, Info{Name: s.name, Doc: s.doc, Armed: s.armed.Load() != nil})
+	}
+	regMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,171 @@
+package faultsim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestScheduleFires(t *testing.T) {
+	cases := []struct {
+		name  string
+		sched Schedule
+		want  []bool // decision per hit 0..len-1, feeding fired back in
+	}{
+		{"zero value fires always", Schedule{}, []bool{true, true, true, true}},
+		{"after skips a prefix", Schedule{After: 2}, []bool{false, false, true, true}},
+		{"every k-th eligible", Schedule{Every: 3}, []bool{true, false, false, true, false, false, true}},
+		{"after plus every", Schedule{After: 1, Every: 2}, []bool{false, true, false, true, false, true}},
+		{"limit caps fires", Schedule{Limit: 2}, []bool{true, true, false, false}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fired := uint64(0)
+			for hit, want := range tc.want {
+				got := tc.sched.fires(uint64(hit), fired)
+				if got != want {
+					t.Fatalf("hit %d: fires = %v, want %v", hit, got, want)
+				}
+				if got {
+					fired++
+				}
+			}
+		})
+	}
+}
+
+func TestScheduleProbDeterministic(t *testing.T) {
+	a := Schedule{Prob: 0.5, Seed: 7}
+	b := Schedule{Prob: 0.5, Seed: 7}
+	other := Schedule{Prob: 0.5, Seed: 8}
+	same, diff, fires := 0, 0, 0
+	for hit := uint64(0); hit < 1000; hit++ {
+		da, db := a.fires(hit, 0), b.fires(hit, 0)
+		if da != db {
+			t.Fatalf("hit %d: same seed decided differently", hit)
+		}
+		if da {
+			fires++
+		}
+		if da == other.fires(hit, 0) {
+			same++
+		} else {
+			diff++
+		}
+	}
+	if fires < 350 || fires > 650 {
+		t.Fatalf("prob 0.5 fired %d/1000 times, outside loose bounds", fires)
+	}
+	if diff == 0 {
+		t.Fatalf("different seeds made identical decisions on all %d hits", same)
+	}
+}
+
+func TestDisarmedSiteIsInert(t *testing.T) {
+	var nilSite *Site
+	if nilSite.Enabled() || nilSite.Check() != nil {
+		t.Fatal("nil site must be disarmed")
+	}
+	s := &Site{name: "x"}
+	if s.Enabled() {
+		t.Fatal("fresh site reports Enabled")
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Check(); err != nil {
+			t.Fatalf("disarmed Check returned %v", err)
+		}
+	}
+}
+
+func TestCheckReturnsStructuredError(t *testing.T) {
+	s := &Site{name: "unit.structured"}
+	s.armed.Store(&arming{sched: Schedule{After: 1}})
+	if err := s.Check(); err != nil {
+		t.Fatalf("hit 0 fired despite After: 1: %v", err)
+	}
+	err := s.Check()
+	if err == nil {
+		t.Fatal("hit 1 did not fire")
+	}
+	var ie *InjectedError
+	if !errors.As(err, &ie) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("error is not a structured injection: %v", err)
+	}
+	if ie.Point != "unit.structured" || ie.Hit != 1 {
+		t.Fatalf("wrong identity: point %q hit %d", ie.Point, ie.Hit)
+	}
+}
+
+func TestCheckPanicSchedule(t *testing.T) {
+	s := &Site{name: "unit.panicky"}
+	s.armed.Store(&arming{sched: Schedule{Panic: true}})
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("Check did not panic under a panic schedule")
+		}
+		ie, ok := p.(*InjectedError)
+		if !ok || ie.Point != "unit.panicky" {
+			t.Fatalf("panic value is %#v, want *InjectedError for the site", p)
+		}
+	}()
+	_ = s.Check() //fbpvet:errok the panic, not the return, is under test
+}
+
+func TestArmUnknownName(t *testing.T) {
+	if err := Arm("no.such.site", Schedule{}); err == nil {
+		t.Fatal("Arm accepted an unregistered name")
+	}
+}
+
+// Registry round-trip. The site name carries the "selftest." prefix so the
+// injection suite's coverage check can ignore it.
+func TestRegistryRoundtrip(t *testing.T) {
+	s := Register("selftest.roundtrip", "registry round-trip fixture")
+	if Register("selftest.roundtrip", "dup") != s {
+		t.Fatal("re-registering the same name returned a new site")
+	}
+	defer Reset()
+	if err := Arm("selftest.roundtrip", Schedule{Every: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Enabled() {
+		t.Fatal("armed site reports disarmed")
+	}
+	fires := 0
+	for i := 0; i < 6; i++ {
+		if s.Check() != nil {
+			fires++
+		}
+	}
+	if fires != 3 {
+		t.Fatalf("Every: 2 fired %d/6 times, want 3", fires)
+	}
+	if Hits("selftest.roundtrip") != 6 || Fired("selftest.roundtrip") != 3 {
+		t.Fatalf("counters: hits %d fired %d, want 6 and 3",
+			Hits("selftest.roundtrip"), Fired("selftest.roundtrip"))
+	}
+	// Re-arming resets the counters (the injection suite relies on this
+	// between its per-worker-count runs).
+	if err := Arm("selftest.roundtrip", Schedule{}); err != nil {
+		t.Fatal(err)
+	}
+	if Hits("selftest.roundtrip") != 0 || Fired("selftest.roundtrip") != 0 {
+		t.Fatal("Arm did not reset the counters")
+	}
+	Reset()
+	if s.Enabled() || s.Check() != nil {
+		t.Fatal("Reset left the site armed")
+	}
+	found := false
+	for _, info := range Points() {
+		if info.Name == "selftest.roundtrip" {
+			found = true
+			if info.Armed {
+				t.Fatal("Points reports the reset site as armed")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("registered site missing from Points()")
+	}
+}

@@ -1,6 +1,7 @@
 package fbp
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -26,7 +27,7 @@ func build(t *testing.T, mbs []region.Movebound, nx, ny int, density float64, bl
 		}
 	}
 	d := region.Decompose(chip, mbs)
-	return grid.BuildWindowRegions(grid.New(chip, nx, ny), d, blockages, density)
+	return grid.BuildWindowRegions(grid.MustNew(chip, nx, ny), d, blockages, density)
 }
 
 // clusterNetlist places numCells unit cells at pos (a crowded corner).
@@ -459,5 +460,26 @@ func TestDirName(t *testing.T) {
 		if DirName(d) != s {
 			t.Fatalf("DirName(%d) = %s", d, DirName(d))
 		}
+	}
+}
+
+func TestWrapUnitErr(t *testing.T) {
+	if wrapUnitErr(3, "realize", nil) != nil {
+		t.Fatal("nil error was wrapped")
+	}
+	// Context errors pass through unwrapped so callers can match them
+	// with errors.Is against the context sentinels.
+	if got := wrapUnitErr(3, "realize", context.Canceled); got != context.Canceled {
+		t.Fatalf("context error was wrapped: %v", got)
+	}
+	plain := errors.New("transport blew up")
+	err := wrapUnitErr(7, "final", plain)
+	var ue *UnitError
+	if !errors.As(err, &ue) || ue.Window != 7 || ue.Phase != "final" || !errors.Is(err, plain) {
+		t.Fatalf("wrapped error lost identity: %+v", err)
+	}
+	// Re-wrapping an already attributed error must not stack windows.
+	if again := wrapUnitErr(9, "realize", err); again != err {
+		t.Fatalf("UnitError was double-wrapped: %v", again)
 	}
 }

@@ -10,9 +10,12 @@
 package fbp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
+	"fbplace/internal/degrade"
 	"fbplace/internal/flow"
 	"fbplace/internal/geom"
 	"fbplace/internal/grid"
@@ -49,6 +52,16 @@ type Config struct {
 	// Obs, when non-nil, records phase spans (fbp.build / fbp.solve /
 	// fbp.realize with per-wave children) and solver counters.
 	Obs *obs.Recorder
+	// Ctx, when non-nil, cancels the partitioning: it is threaded into the
+	// MCF solve, the realization waves and their local QP and
+	// transportation solves. A canceled or expired context aborts within
+	// one wave and propagates the context's error.
+	Ctx context.Context
+	// Degrade, when non-nil, records solver fallbacks (NS stall -> SSP,
+	// condensed transport -> reference engine, local CG -> anchor
+	// solution). The fallbacks themselves are always on; the log only
+	// makes them visible.
+	Degrade *degrade.Log
 }
 
 // DefaultConfig returns the configuration used by the placer.
@@ -100,6 +113,9 @@ type Model struct {
 	// Config.Obs; callers driving BuildModel/Solve/Realize directly may
 	// set it themselves).
 	Obs *obs.Recorder
+	// Degrade, when non-nil, records the NS-stall -> SSP fallback of Solve
+	// (set by Partition from Config.Degrade).
+	Degrade *degrade.Log
 
 	G *flow.MinCostFlow
 	// cellGroupNode[class*W + w] = node id or -1.
@@ -362,6 +378,17 @@ func (m *Model) Solve() error {
 	// augmenting-path solvers churn, while tree pivots handle it well.
 	m.G.Obs = m.Obs
 	_, err := m.G.SolveNS()
+	if err != nil {
+		// Fallback chain: a stalled simplex says nothing about
+		// feasibility, so the unconditionally terminating successive
+		// shortest path solver acts as the oracle. Infeasibility and
+		// cancellation are NOT stalls and propagate directly.
+		var stalled *flow.ErrStalled
+		if errors.As(err, &stalled) {
+			m.Degrade.Add("flow.ns", "ssp", err.Error())
+			_, err = m.G.Solve()
+		}
+	}
 	m.Stats.SolveTime = time.Since(start)
 	m.Stats.NSPivots = m.G.Pivots
 	sp.Attr("pivots", float64(m.G.Pivots))

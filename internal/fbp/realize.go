@@ -1,13 +1,17 @@
 package fbp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"fbplace/internal/faultsim"
 	"fbplace/internal/flow"
 	"fbplace/internal/geom"
 	"fbplace/internal/grid"
@@ -16,6 +20,54 @@ import (
 	"fbplace/internal/qp"
 	"fbplace/internal/transport"
 )
+
+// Injection points of the realization phase: unitFault fails (or panics)
+// a wave unit, finalFault a final-pass window. Both exercise the worker
+// panic-recovery boundary and the deterministic error aggregation.
+var (
+	unitFault = faultsim.Register("fbp.realize.unit",
+		"a realization wave unit fails (or panics) at entry")
+	finalFault = faultsim.Register("fbp.final.window",
+		"a final-pass window transportation fails (or panics) at entry")
+)
+
+// UnitError attributes a realization failure to the window it occurred in
+// and the phase that was running. Worker panics (injected or organic) are
+// recovered at the goroutine boundary and converted into a UnitError
+// carrying the panic value and stack, so a single bad unit fails the
+// partitioning with a structured error instead of crashing the process.
+type UnitError struct {
+	// Window is the grid window index of the failing unit.
+	Window int
+	// Phase is "realize" (wave unit) or "final" (final-pass window).
+	Phase string
+	// Err is the underlying failure; for recovered panics it wraps the
+	// panic value.
+	Err error
+	// Stack is the goroutine stack at recovery time (nil unless the unit
+	// panicked).
+	Stack []byte
+}
+
+func (e *UnitError) Error() string {
+	return fmt.Sprintf("fbp: %s of window %d: %v", e.Phase, e.Window, e.Err)
+}
+
+func (e *UnitError) Unwrap() error { return e.Err }
+
+// wrapUnitErr attaches window/phase identity to a unit failure. Context
+// errors and already-attributed errors pass through unchanged, so
+// cancellation stays recognizable with errors.Is.
+func wrapUnitErr(w int, phase string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var ue *UnitError
+	if errors.As(err, &ue) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return &UnitError{Window: w, Phase: phase, Err: err}
+}
 
 // RegionRef identifies a window-region: window index and position within
 // the window's region list.
@@ -116,6 +168,8 @@ func Partition(n *netlist.Netlist, wr *grid.WindowRegions, cfg Config) (*Result,
 	assign := wr.Grid.AssignCells(n)
 	model := BuildModel(n, wr, assign)
 	model.Obs = cfg.Obs
+	model.Degrade = cfg.Degrade
+	model.G.Ctx = cfg.Ctx
 	bsp.End()
 	if err := model.Solve(); err != nil {
 		return nil, err
@@ -166,6 +220,11 @@ func Realize(m *Model, cfg Config) (*Result, error) {
 	}
 	for _, level := range levels {
 		for _, wave := range r.waveSplit(level) {
+			if cfg.Ctx != nil {
+				if err := cfg.Ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			r.waves++
 			if err := r.runWave(wave); err != nil {
 				return nil, err
@@ -414,10 +473,10 @@ func (r *realizer) runWave(wave []unit) error {
 	}
 	realize := func(u unit) error {
 		if r.rec == nil {
-			return r.realizeUnit(u, snapX, snapY)
+			return r.safeRealize(u, snapX, snapY)
 		}
 		t0 := time.Now()
-		err := r.realizeUnit(u, snapX, snapY)
+		err := r.safeRealize(u, snapX, snapY)
 		atomic.AddInt64(&r.busyNS, int64(time.Since(t0)))
 		return err
 	}
@@ -450,11 +509,37 @@ func (r *realizer) runWave(wave []unit) error {
 	return nil
 }
 
+// safeRealize is the worker boundary around realizeUnit: it skips units of
+// a canceled wave, converts a panicking unit into a structured *UnitError
+// (no process crash, the worker keeps draining), and attributes errors to
+// their window. Both the sequential and the parallel path of runWave go
+// through it, so panic behavior is identical across worker counts.
+func (r *realizer) safeRealize(u unit, snapX, snapY []float64) (err error) {
+	if r.cfg.Ctx != nil {
+		if cerr := r.cfg.Ctx.Err(); cerr != nil {
+			return cerr
+		}
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			err = &UnitError{
+				Window: u.window, Phase: "realize",
+				Err:   fmt.Errorf("panic: %v", p),
+				Stack: debug.Stack(),
+			}
+		}
+	}()
+	return wrapUnitErr(u.window, "realize", r.realizeUnit(u, snapX, snapY))
+}
+
 // realizeUnit realizes all outgoing external edges of one window for the
 // unit's classes: local QP over the 3x3 block, then a movebound-aware
 // transportation of all block cells onto the block's regions plus the
 // block's still-unrealized transit capacities (eq. 2).
 func (r *realizer) realizeUnit(un unit, snapX, snapY []float64) error {
+	if err := unitFault.Check(); err != nil {
+		return err
+	}
 	g := r.m.WR.Grid
 	W := g.NumWindows()
 	u := un.window
@@ -500,6 +585,8 @@ func (r *realizer) realizeUnit(un unit, snapX, snapY []float64) error {
 		// top-level solves (Stats.LocalQPSolves/LocalCGIters).
 		opt.Obs = r.rec
 		opt.Stats = &r.qpStats
+		opt.Ctx = r.cfg.Ctx
+		opt.Degrade = r.cfg.Degrade
 		if err := qp.SolveSubset(r.n, subset, nil, opt); err != nil {
 			return fmt.Errorf("fbp: local QP in window %d: %w", u, err)
 		}
@@ -560,6 +647,8 @@ func (r *realizer) transportBlock(u int, block []int, cells []int32, allowTransi
 		Capacity: caps,
 		Arcs:     make([][]transport.Arc, len(cells)),
 		Obs:      r.rec,
+		Ctx:      r.cfg.Ctx,
+		Degrade:  r.cfg.Degrade,
 	}
 	for i, ci := range cells {
 		c := &r.n.Cells[ci]
@@ -693,6 +782,11 @@ func solveWithRelaxation(p *transport.Problem) (*transport.Solution, error) {
 			return sol, nil
 		}
 		lastErr = err
+		if !errors.Is(err, transport.ErrInfeasible) {
+			// Cancellation or an engine failure: inflating capacities
+			// cannot help, so climbing the ladder would only repeat it.
+			break
+		}
 	}
 	copy(p.Capacity, base)
 	return nil, lastErr
@@ -715,50 +809,89 @@ func nearestInSet(rs geom.RectSet, p geom.Point) geom.Point {
 // finalPass maps the cells of every window onto the window's regions
 // (transit capacities are all realized by now). Windows are independent,
 // so the pass runs on a worker pool; results are deterministic because
-// each window's transportation only touches its own cells.
+// each window's transportation only touches its own cells. Errors are
+// collected per window and the first one in window order is returned, so
+// failure reporting is identical across worker counts; workers never exit
+// early and the producer selects on cancellation, so neither the producer
+// nor the workers can leak when a window fails or the context expires.
 func (r *realizer) finalPass() error {
 	g := r.m.WR.Grid
+	var windows []int
+	for w := 0; w < g.NumWindows(); w++ {
+		if len(r.cellsIn[w]) > 0 {
+			windows = append(windows, w)
+		}
+	}
 	workers := r.cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > g.NumWindows() {
-		workers = g.NumWindows()
+	if workers > len(windows) {
+		workers = len(windows)
+	}
+	// finalize is the worker boundary of the final pass, mirroring
+	// safeRealize: cancellation check, injection point, panic recovery.
+	finalize := func(w int) (err error) {
+		if r.cfg.Ctx != nil {
+			if cerr := r.cfg.Ctx.Err(); cerr != nil {
+				return cerr
+			}
+		}
+		defer func() {
+			if p := recover(); p != nil {
+				err = &UnitError{
+					Window: w, Phase: "final",
+					Err:   fmt.Errorf("panic: %v", p),
+					Stack: debug.Stack(),
+				}
+			}
+		}()
+		if err := finalFault.Check(); err != nil {
+			return &UnitError{Window: w, Phase: "final", Err: err}
+		}
+		return wrapUnitErr(w, "final", r.transportBlock(w, []int{w}, append([]int32(nil), r.cellsIn[w]...), false))
 	}
 	if workers <= 1 {
-		for w := 0; w < g.NumWindows(); w++ {
-			if len(r.cellsIn[w]) == 0 {
-				continue
-			}
-			if err := r.transportBlock(w, []int{w}, append([]int32(nil), r.cellsIn[w]...), false); err != nil {
+		for _, w := range windows {
+			if err := finalize(w); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
 	var wg sync.WaitGroup
-	errs := make([]error, workers)
+	errs := make([]error, len(windows))
 	next := make(chan int)
 	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
-		go func(wk int) {
+		go func() {
 			defer wg.Done()
-			for w := range next {
-				if err := r.transportBlock(w, []int{w}, append([]int32(nil), r.cellsIn[w]...), false); err != nil && errs[wk] == nil {
-					errs[wk] = err
-				}
+			for i := range next {
+				errs[i] = finalize(windows[i])
 			}
-		}(wk)
+		}()
 	}
-	for w := 0; w < g.NumWindows(); w++ {
-		if len(r.cellsIn[w]) > 0 {
-			next <- w
+	var done <-chan struct{}
+	if r.cfg.Ctx != nil {
+		done = r.cfg.Ctx.Done()
+	}
+producer:
+	for i := range windows {
+		select {
+		case next <- i:
+		case <-done: // nil channel when no context: never selected
+			break producer
 		}
 	}
 	close(next)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
+			return err
+		}
+	}
+	if r.cfg.Ctx != nil {
+		if err := r.cfg.Ctx.Err(); err != nil {
 			return err
 		}
 	}

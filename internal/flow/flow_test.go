@@ -191,14 +191,26 @@ func TestMCFZeroCostTransitChain(t *testing.T) {
 	}
 }
 
-func TestMCFNegativeCostPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on negative cost")
-		}
-	}()
+func TestMCFNegativeCostBuildError(t *testing.T) {
 	g := NewMinCostFlow(2)
+	g.SetSupply(0, 1)
+	g.SetSupply(1, -1)
 	g.AddArc(0, 1, 1, -1)
+	if err := g.BuildErr(); err == nil {
+		t.Fatal("expected build error on negative arc cost")
+	}
+	if _, err := g.Solve(); err == nil {
+		t.Fatal("Solve accepted a model with a negative arc cost")
+	}
+	if _, err := g.SolveNS(); err == nil {
+		t.Fatal("SolveNS accepted a model with a negative arc cost")
+	}
+	// NaN costs are model-construction bugs too.
+	g2 := NewMinCostFlow(2)
+	g2.AddArc(0, 1, 1, math.NaN())
+	if err := g2.BuildErr(); err == nil {
+		t.Fatal("expected build error on NaN arc cost")
+	}
 }
 
 // Property: on random transportation instances the SSP solution matches a

@@ -2,11 +2,20 @@ package flow
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 
+	"fbplace/internal/faultsim"
 	"fbplace/internal/obs"
 )
+
+// sspFault forces the successive-shortest-paths solver to fail at entry.
+// Armed together with flow.ns.stall it proves that when the whole solver
+// fallback chain is exhausted, the pipeline surfaces a structured error
+// instead of a silently wrong placement.
+var sspFault = faultsim.Register("flow.ssp.fail",
+	"MinCostFlow.Solve (successive shortest paths) fails at entry")
 
 // ArcID identifies an arc of a MinCostFlow instance, as returned by AddArc.
 type ArcID int32
@@ -35,8 +44,17 @@ type MinCostFlow struct {
 
 	// Obs, when non-nil, records the counter "ns.pivots" per SolveNS run.
 	Obs *obs.Recorder
+	// Ctx, when non-nil, is polled during Solve/SolveNS; a canceled or
+	// expired context aborts the solve with the context's error.
+	Ctx context.Context
 	// Pivots is the number of simplex pivots of the last SolveNS run.
 	Pivots int
+
+	// buildErr latches the first model-construction defect (negative arc
+	// cost). Solve and SolveNS refuse to run a defective model, so the
+	// error propagates through every caller without AddArc needing a
+	// multi-value signature at each of its dozens of call sites.
+	buildErr error
 }
 
 // NewMinCostFlow returns an instance with n nodes.
@@ -70,11 +88,17 @@ func (g *MinCostFlow) AddSupply(v int, b float64) { g.supply[v] += b }
 func (g *MinCostFlow) Supply(v int) float64 { return g.supply[v] }
 
 // AddArc adds a directed arc u->v with the given capacity (use flow.Inf
-// for uncapacitated) and non-negative cost. It panics on negative cost:
-// all costs in the placement models are distances.
+// for uncapacitated) and non-negative cost. A negative or NaN cost is a
+// model-construction bug (all costs in the placement models are
+// distances); it is latched as a build error — returned by BuildErr and by
+// the next Solve/SolveNS call — instead of crashing the process, and the
+// arc is added with cost 0 so the instance stays structurally consistent.
 func (g *MinCostFlow) AddArc(u, v int, capacity, cost float64) ArcID {
-	if cost < 0 {
-		panic(fmt.Sprintf("flow: negative arc cost %g", cost))
+	if cost < 0 || math.IsNaN(cost) {
+		if g.buildErr == nil {
+			g.buildErr = fmt.Errorf("flow: invalid arc cost %g on arc %d->%d", cost, u, v)
+		}
+		cost = 0
 	}
 	if cost > g.maxCost && !math.IsInf(cost, 1) {
 		g.maxCost = cost
@@ -85,6 +109,10 @@ func (g *MinCostFlow) AddArc(u, v int, capacity, cost float64) ArcID {
 	g.arcPos = append(g.arcPos, [2]int32{int32(u), int32(len(g.adj[u]) - 1)})
 	return id
 }
+
+// BuildErr returns the first model-construction defect recorded by AddArc
+// (nil for a well-formed model).
+func (g *MinCostFlow) BuildErr() error { return g.buildErr }
 
 // Flow returns the flow routed on arc id after Solve.
 func (g *MinCostFlow) Flow(id ArcID) float64 {
@@ -133,6 +161,12 @@ func (q *priorityQueue) Pop() interface{} {
 // paths with Johnson potentials keep every Dijkstra run on non-negative
 // reduced costs.
 func (g *MinCostFlow) Solve() (float64, error) {
+	if g.buildErr != nil {
+		return 0, g.buildErr
+	}
+	if err := sspFault.Check(); err != nil {
+		return 0, fmt.Errorf("flow: ssp solve: %w", err)
+	}
 	n := len(g.adj)
 	s, t := g.AddNode(), g.AddNode()
 	totalSupply := 0.0
@@ -152,6 +186,14 @@ func (g *MinCostFlow) Solve() (float64, error) {
 	iter := make([]int32, len(g.adj))
 	onPath := make([]bool, len(g.adj))
 	for totalSupply-routed > Eps {
+		// One augmentation round is bounded work, so polling the context
+		// here keeps the abort latency proportional to a single Dijkstra
+		// plus blocking flow.
+		if g.Ctx != nil {
+			if err := g.Ctx.Err(); err != nil {
+				return totalCost, err
+			}
+		}
 		// Dijkstra on reduced costs from s (full run: the blocking-flow
 		// phase below needs distances to every node on shortest paths).
 		for i := range dist {

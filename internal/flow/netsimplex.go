@@ -1,8 +1,30 @@
 package flow
 
 import (
+	"context"
+	"fmt"
 	"math"
+
+	"fbplace/internal/faultsim"
 )
+
+// nsFault forces the network simplex to report a stall, driving the
+// NS -> successive-shortest-paths fallback of internal/fbp.
+var nsFault = faultsim.Register("flow.ns.stall",
+	"network simplex reports ErrStalled during the pivot loop")
+
+// ErrStalled is returned by SolveNS when the pivot loop exceeds its cap
+// without reaching optimality (cycling or injected stall). The instance is
+// NOT known to be infeasible; callers should fall back to the successive
+// shortest path solver (Solve), which terminates unconditionally.
+type ErrStalled struct {
+	// Pivots is the number of pivots performed before giving up.
+	Pivots int
+}
+
+func (e *ErrStalled) Error() string {
+	return fmt.Sprintf("flow: network simplex stalled after %d pivots", e.Pivots)
+}
 
 // SolveNS solves the same minimum-cost flow problem as Solve with a
 // (sequential) network simplex — the algorithm the paper reports using for
@@ -15,6 +37,9 @@ import (
 // *ErrInfeasible when some supply cannot reach remaining demand. After a
 // successful run Flow(id) reports the arc flows.
 func (g *MinCostFlow) SolveNS() (float64, error) {
+	if g.buildErr != nil {
+		return 0, g.buildErr
+	}
 	n := len(g.adj)
 	// Balance the instance: total supply S must equal total demand D.
 	// D >= S is the normal case (capacity exceeds cell area): a dummy
@@ -65,7 +90,7 @@ func (g *MinCostFlow) SolveNS() (float64, error) {
 		a := &g.adj[p[0]][p[1]]
 		realArc[id] = ns.addArc(int(p[0]), int(a.to), a.cap, a.cost)
 	}
-	err := ns.run(b, root, g.maxCost)
+	err := ns.run(g.Ctx, b, root, g.maxCost)
 	g.Pivots = ns.pivots
 	g.Obs.Count("ns.pivots", float64(ns.pivots))
 	if err != nil {
@@ -145,8 +170,9 @@ func (ns *netSimplex) addArc(u, v int, capacity, cost float64) int {
 }
 
 // run executes the simplex; b is the (balanced) imbalance vector including
-// the dummy node; root is the artificial root index.
-func (ns *netSimplex) run(b []float64, root int, maxCost float64) error {
+// the dummy node; root is the artificial root index. A non-nil ctx is
+// polled periodically and aborts the run with the context's error.
+func (ns *netSimplex) run(ctx context.Context, b []float64, root int, maxCost float64) error {
 	nn := ns.numNodes
 	// Artificial arcs with big-M cost form the initial feasible tree.
 	bigM := (maxCost + 1) * float64(nn)
@@ -190,7 +216,19 @@ func (ns *netSimplex) run(b []float64, root int, maxCost float64) error {
 	maxPivots := 200*m + 10000
 	for pivot := 0; ; pivot++ {
 		if pivot > maxPivots {
-			return &ErrInfeasible{Unrouted: math.NaN()} // cycling guard; never expected
+			// Cycling guard. This is a solver stall, not an infeasibility
+			// certificate: callers fall back to successive shortest paths.
+			return &ErrStalled{Pivots: ns.pivots}
+		}
+		if pivot&1023 == 0 {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if err := nsFault.Check(); err != nil {
+				return &ErrStalled{Pivots: ns.pivots}
+			}
 		}
 		// Block search for the entering arc.
 		enter := -1

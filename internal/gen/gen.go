@@ -72,10 +72,64 @@ type Instance struct {
 	exclBox map[int]geom.Rect
 }
 
+// SpecError reports a structurally invalid ChipSpec field.
+type SpecError struct {
+	// Field is the ChipSpec field name, Reason the constraint it violates.
+	Field, Reason string
+}
+
+func (e *SpecError) Error() string {
+	return fmt.Sprintf("gen: invalid ChipSpec.%s: %s", e.Field, e.Reason)
+}
+
+// Validate checks the spec for invalid values. Zero values are valid (they
+// select the documented defaults).
+func (s *ChipSpec) Validate() error {
+	if s.NumCells <= 0 {
+		return &SpecError{Field: "NumCells", Reason: fmt.Sprintf("must be positive, got %d", s.NumCells)}
+	}
+	if s.Utilization < 0 || s.Utilization > 1 {
+		return &SpecError{Field: "Utilization", Reason: fmt.Sprintf("%g outside (0, 1]", s.Utilization)}
+	}
+	if s.Aspect < 0 {
+		return &SpecError{Field: "Aspect", Reason: fmt.Sprintf("negative aspect ratio %g", s.Aspect)}
+	}
+	if s.NumMacros < 0 {
+		return &SpecError{Field: "NumMacros", Reason: fmt.Sprintf("negative macro count %d", s.NumMacros)}
+	}
+	if s.PadCount < 0 {
+		return &SpecError{Field: "PadCount", Reason: fmt.Sprintf("negative pad count %d", s.PadCount)}
+	}
+	if s.AvgPins < 0 || (s.AvgPins > 0 && s.AvgPins < 2) {
+		return &SpecError{Field: "AvgPins", Reason: fmt.Sprintf("average net size %g below 2 pins", s.AvgPins)}
+	}
+	for i, mb := range s.Movebounds {
+		if mb.CellFraction < 0 || mb.CellFraction > 1 {
+			return &SpecError{
+				Field:  fmt.Sprintf("Movebounds[%d].CellFraction", i),
+				Reason: fmt.Sprintf("%g outside [0, 1]", mb.CellFraction),
+			}
+		}
+		if mb.Density < 0 || mb.Density > 1 {
+			return &SpecError{
+				Field:  fmt.Sprintf("Movebounds[%d].Density", i),
+				Reason: fmt.Sprintf("%g outside [0, 1]", mb.Density),
+			}
+		}
+		if mb.NestedIn >= i {
+			return &SpecError{
+				Field:  fmt.Sprintf("Movebounds[%d].NestedIn", i),
+				Reason: fmt.Sprintf("references movebound %d, must reference an earlier one", mb.NestedIn),
+			}
+		}
+	}
+	return nil
+}
+
 // Chip generates the instance for a spec.
 func Chip(spec ChipSpec) (*Instance, error) {
-	if spec.NumCells <= 0 {
-		return nil, fmt.Errorf("gen: NumCells must be positive")
+	if err := spec.Validate(); err != nil {
+		return nil, err
 	}
 	if spec.Utilization == 0 {
 		spec.Utilization = 0.55

@@ -1,6 +1,7 @@
 package gen
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -293,5 +294,57 @@ func TestChipLShapedMovebound(t *testing.T) {
 	caps := d.Capacities(inst.N.FixedRects(), 0.97)
 	if rep := region.CheckFeasibility(inst.N, d, caps); !rep.Feasible {
 		t.Fatalf("L-shaped instance infeasible: %+v", rep)
+	}
+}
+
+func TestChipSpecValidate(t *testing.T) {
+	valid := func() ChipSpec {
+		return ChipSpec{Name: "v", NumCells: 100, Seed: 1}
+	}
+	cases := []struct {
+		name   string
+		break_ func(*ChipSpec)
+		field  string
+	}{
+		{"no cells", func(s *ChipSpec) { s.NumCells = 0 }, "NumCells"},
+		{"negative utilization", func(s *ChipSpec) { s.Utilization = -0.1 }, "Utilization"},
+		{"utilization above 1", func(s *ChipSpec) { s.Utilization = 1.5 }, "Utilization"},
+		{"negative aspect", func(s *ChipSpec) { s.Aspect = -2 }, "Aspect"},
+		{"negative macros", func(s *ChipSpec) { s.NumMacros = -1 }, "NumMacros"},
+		{"negative pads", func(s *ChipSpec) { s.PadCount = -4 }, "PadCount"},
+		{"one-pin nets", func(s *ChipSpec) { s.AvgPins = 1 }, "AvgPins"},
+		{"movebound fraction above 1", func(s *ChipSpec) {
+			s.Movebounds = []MoveboundSpec{{Kind: region.Inclusive, CellFraction: 1.2, NestedIn: -1}}
+		}, "Movebounds[0].CellFraction"},
+		{"movebound density above 1", func(s *ChipSpec) {
+			s.Movebounds = []MoveboundSpec{{Kind: region.Inclusive, CellFraction: 0.2, Density: 2, NestedIn: -1}}
+		}, "Movebounds[0].Density"},
+		{"forward nesting reference", func(s *ChipSpec) {
+			s.Movebounds = []MoveboundSpec{{Kind: region.Inclusive, CellFraction: 0.2, NestedIn: 3}}
+		}, "Movebounds[0].NestedIn"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := valid()
+			tc.break_(&spec)
+			err := spec.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted an invalid spec")
+			}
+			var se *SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("error is %T, want *SpecError: %v", err, err)
+			}
+			if se.Field != tc.field {
+				t.Fatalf("flagged field %q, want %q", se.Field, tc.field)
+			}
+			if _, err := Chip(spec); err == nil {
+				t.Fatal("Chip accepted the invalid spec")
+			}
+		})
+	}
+	spec := valid()
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
 	}
 }

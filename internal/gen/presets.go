@@ -218,7 +218,7 @@ func ErhardLike(scale float64) ChipSpec {
 			return s
 		}
 	}
-	panic("gen: Erhard spec missing")
+	panic("gen: Erhard spec missing") //fbpvet:allow TableIIIChips statically contains Erhard
 }
 
 // GridLevels returns the Table I grid refinement sequence for a chip with

@@ -19,12 +19,24 @@ type Grid struct {
 }
 
 // New returns an nx x ny grid over the chip area. Both dimensions must be
-// positive.
-func New(chip geom.Rect, nx, ny int) *Grid {
+// positive; invalid dimensions are reported as an error so configuration
+// mistakes surface to the caller instead of crashing the process.
+func New(chip geom.Rect, nx, ny int) (*Grid, error) {
 	if nx <= 0 || ny <= 0 {
-		panic(fmt.Sprintf("grid: invalid dimensions %dx%d", nx, ny))
+		return nil, fmt.Errorf("grid: invalid dimensions %dx%d", nx, ny)
 	}
-	return &Grid{Chip: chip, Nx: nx, Ny: ny}
+	return &Grid{Chip: chip, Nx: nx, Ny: ny}, nil
+}
+
+// MustNew is New for dimensions that are statically known to be positive
+// (tests, literals, already-clamped values). It panics on invalid
+// dimensions, which in those contexts is a programming error.
+func MustNew(chip geom.Rect, nx, ny int) *Grid {
+	g, err := New(chip, nx, ny)
+	if err != nil {
+		panic(err) //fbpvet:allow caller guarantees positive dimensions
+	}
+	return g
 }
 
 // NumWindows returns Nx*Ny.
@@ -254,9 +266,17 @@ type DensityMap struct {
 }
 
 // NewDensityMap builds a density map over an nx x ny bin grid; blockages
-// reduce bin capacity, target scales the remaining free area.
+// reduce bin capacity, target scales the remaining free area. Bin counts
+// below 1 are clamped to 1 (callers derive them from chip dimensions and a
+// degenerate chip should still yield a usable one-bin map).
 func NewDensityMap(chip geom.Rect, nx, ny int, blockages geom.RectSet, target float64) *DensityMap {
-	g := New(chip, nx, ny)
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	g := MustNew(chip, nx, ny)
 	m := &DensityMap{
 		Grid:     g,
 		Usage:    make([]float64, g.NumWindows()),

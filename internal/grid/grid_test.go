@@ -12,7 +12,7 @@ import (
 var chip = geom.Rect{Xlo: 0, Ylo: 0, Xhi: 8, Yhi: 4}
 
 func TestGridWindows(t *testing.T) {
-	g := New(chip, 4, 2)
+	g := MustNew(chip, 4, 2)
 	if g.NumWindows() != 8 {
 		t.Fatalf("NumWindows = %d", g.NumWindows())
 	}
@@ -35,7 +35,7 @@ func TestGridWindows(t *testing.T) {
 }
 
 func TestGridIndexRoundTrip(t *testing.T) {
-	g := New(chip, 4, 2)
+	g := MustNew(chip, 4, 2)
 	for iy := 0; iy < 2; iy++ {
 		for ix := 0; ix < 4; ix++ {
 			gx, gy := g.Coords(g.Index(ix, iy))
@@ -47,7 +47,7 @@ func TestGridIndexRoundTrip(t *testing.T) {
 }
 
 func TestGridLocate(t *testing.T) {
-	g := New(chip, 4, 2)
+	g := MustNew(chip, 4, 2)
 	cases := []struct {
 		p      geom.Point
 		ix, iy int
@@ -67,7 +67,7 @@ func TestGridLocate(t *testing.T) {
 }
 
 func TestNeighbors4(t *testing.T) {
-	g := New(chip, 4, 2)
+	g := MustNew(chip, 4, 2)
 	// Corner window has 2 neighbors.
 	if got := g.Neighbors4(g.Index(0, 0)); len(got) != 2 {
 		t.Fatalf("corner neighbors = %v", got)
@@ -79,7 +79,7 @@ func TestNeighbors4(t *testing.T) {
 }
 
 func TestBlock3x3(t *testing.T) {
-	g := New(geom.Rect{Xhi: 9, Yhi: 9}, 3, 3)
+	g := MustNew(geom.Rect{Xhi: 9, Yhi: 9}, 3, 3)
 	if got := g.Block3x3(g.Index(1, 1)); len(got) != 9 {
 		t.Fatalf("center 3x3 = %v", got)
 	}
@@ -89,7 +89,7 @@ func TestBlock3x3(t *testing.T) {
 }
 
 func TestAssignCells(t *testing.T) {
-	g := New(chip, 4, 2)
+	g := MustNew(chip, 4, 2)
 	n := netlist.New(chip, 1)
 	a := n.AddCell(netlist.Cell{Width: 1, Height: 1})
 	n.SetPos(a, geom.Point{X: 1, Y: 1})
@@ -115,7 +115,7 @@ func buildWR(t *testing.T, mbs []region.Movebound, blockages geom.RectSet, densi
 		}
 	}
 	d := region.Decompose(chip, norm)
-	return BuildWindowRegions(New(chip, nx, ny), d, blockages, density)
+	return BuildWindowRegions(MustNew(chip, nx, ny), d, blockages, density)
 }
 
 func TestWindowRegionsNoMovebounds(t *testing.T) {
@@ -243,4 +243,24 @@ func TestDensityMapClipsOutside(t *testing.T) {
 	if math.Abs(total-1) > 1e-9 {
 		t.Fatalf("usage = %v, want 1 (clipped)", total)
 	}
+}
+
+func TestNewRejectsInvalidDimensions(t *testing.T) {
+	for _, dims := range [][2]int{{0, 4}, {4, 0}, {-1, 4}, {4, -3}, {0, 0}} {
+		if _, err := New(chip, dims[0], dims[1]); err == nil {
+			t.Errorf("New(%dx%d) accepted invalid dimensions", dims[0], dims[1])
+		}
+	}
+	if g, err := New(chip, 1, 1); err != nil || g == nil {
+		t.Fatalf("New(1x1) = %v, %v", g, err)
+	}
+}
+
+func TestMustNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(0x0) did not panic")
+		}
+	}()
+	MustNew(chip, 0, 0)
 }

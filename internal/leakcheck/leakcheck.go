@@ -1,0 +1,54 @@
+// Package leakcheck is a tiny goroutine-hygiene helper for tests: it
+// snapshots the goroutine count when a test starts and verifies at cleanup
+// that the count returned to (at most) the starting level. The parallel
+// realization scheduler of internal/fbp must drain its workers on every
+// exit path — success, early error, cancellation, and recovered worker
+// panic — and these tests are where that contract is enforced.
+//
+// The check tolerates scheduler lag: goroutines that have finished their
+// work may need a few milliseconds to terminate, so the comparison retries
+// with short sleeps before failing.
+package leakcheck
+
+import (
+	"runtime"
+	"time"
+)
+
+// TB is the subset of testing.TB used here (keeps the package free of a
+// testing import in non-test builds that link it).
+type TB interface {
+	Helper()
+	Cleanup(func())
+	Errorf(format string, args ...any)
+}
+
+// Check snapshots the current goroutine count and registers a cleanup that
+// fails the test if, after a grace period, more goroutines are running
+// than at the snapshot.
+func Check(t TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		if n, ok := settles(before, 2*time.Second); !ok {
+			buf := make([]byte, 1<<16)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Errorf("goroutine leak: %d before, %d after grace period\n%s", before, n, buf)
+		}
+	})
+}
+
+// settles polls until the goroutine count drops to at most want or the
+// deadline expires, returning the last observed count.
+func settles(want int, deadline time.Duration) (int, bool) {
+	start := time.Now()
+	n := runtime.NumGoroutine()
+	for n > want {
+		if time.Since(start) > deadline {
+			return n, false
+		}
+		time.Sleep(5 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n, true
+}

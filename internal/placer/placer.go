@@ -8,12 +8,15 @@
 package placer
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
 	"fbplace/internal/cluster"
+	"fbplace/internal/degrade"
 	"fbplace/internal/detail"
+	"fbplace/internal/faultsim"
 	"fbplace/internal/fbp"
 	"fbplace/internal/geom"
 	"fbplace/internal/grid"
@@ -24,6 +27,11 @@ import (
 	"fbplace/internal/region"
 	"fbplace/internal/transport"
 )
+
+// levelFault fails a partitioning level at entry, exercising the placer's
+// structured error propagation out of the global loop.
+var levelFault = faultsim.Register("placer.level.fail",
+	"a global-loop partitioning level fails at entry")
 
 // Mode selects the partitioning engine.
 type Mode int
@@ -85,6 +93,45 @@ func (c *Config) fill() {
 	}
 }
 
+// ConfigError reports a structurally invalid Config field. It is returned
+// by Place before any work starts, so a bad configuration can never
+// produce a half-finished placement.
+type ConfigError struct {
+	// Field is the Config field name, Reason the constraint it violates.
+	Field, Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("placer: invalid Config.%s: %s", e.Field, e.Reason)
+}
+
+// Validate checks the configuration for invalid values. Zero values are
+// always valid (they select documented defaults).
+func (c *Config) Validate() error {
+	if c.Mode != ModeFBP && c.Mode != ModeRecursive {
+		return &ConfigError{Field: "Mode", Reason: fmt.Sprintf("unknown mode %d", c.Mode)}
+	}
+	if c.TargetDensity < 0 || c.TargetDensity > 1 {
+		return &ConfigError{Field: "TargetDensity", Reason: fmt.Sprintf("%g outside (0, 1]", c.TargetDensity)}
+	}
+	if c.ClusterRatio < 0 {
+		return &ConfigError{Field: "ClusterRatio", Reason: fmt.Sprintf("negative ratio %g", c.ClusterRatio)}
+	}
+	if c.MaxLevels < 0 {
+		return &ConfigError{Field: "MaxLevels", Reason: fmt.Sprintf("negative level count %d", c.MaxLevels)}
+	}
+	if c.AnchorWeight < 0 {
+		return &ConfigError{Field: "AnchorWeight", Reason: fmt.Sprintf("negative weight %g", c.AnchorWeight)}
+	}
+	if c.Workers < 0 {
+		return &ConfigError{Field: "Workers", Reason: fmt.Sprintf("negative worker count %d", c.Workers)}
+	}
+	if c.DetailPasses < 0 {
+		return &ConfigError{Field: "DetailPasses", Reason: fmt.Sprintf("negative pass count %d", c.DetailPasses)}
+	}
+	return nil
+}
+
 // Report summarizes a placement run.
 type Report struct {
 	// HPWL is the final half-perimeter wirelength.
@@ -111,10 +158,31 @@ type Report struct {
 	LegalizeResult legalize.Result
 	// DetailResult carries detailed-placement statistics (when enabled).
 	DetailResult detail.Result
+	// Degradations lists the solver fallbacks taken during the run, sorted
+	// by (Stage, Fallback, Detail); empty for a fully converged run. A
+	// degraded run still satisfies every hard guarantee (movebounds,
+	// legality) — the entries say where optimality was traded for
+	// robustness (see DESIGN.md §6).
+	Degradations []degrade.Event
 }
 
 // Place runs global placement and legalization on the netlist in place.
 func Place(n *netlist.Netlist, cfg Config) (*Report, error) {
+	return PlaceCtx(context.Background(), n, cfg)
+}
+
+// PlaceCtx is Place with cancellation: ctx is threaded through the global
+// loop into the CG, network-simplex and transportation solvers, so a
+// canceled or already-expired context aborts within one outer iteration
+// and returns the context's error. Fallbacks taken by the solver chains
+// are collected in Report.Degradations.
+func PlaceCtx(ctx context.Context, n *netlist.Netlist, cfg Config) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cfg.fill()
 	psp := cfg.Obs.StartSpan("place")
 	defer psp.End()
@@ -122,8 +190,11 @@ func Place(n *netlist.Netlist, cfg Config) (*Report, error) {
 	// overrides these options for its local solves, so the split stays
 	// clean.
 	var qpStats qp.SolveStats
+	dl := degrade.New(cfg.Obs)
 	cfg.QP.Obs = cfg.Obs
 	cfg.QP.Stats = &qpStats
+	cfg.QP.Ctx = ctx
+	cfg.QP.Degrade = dl
 	mbs, err := region.Normalize(n.Area, cfg.Movebounds)
 	if err != nil {
 		return nil, err
@@ -140,6 +211,9 @@ func Place(n *netlist.Netlist, cfg Config) (*Report, error) {
 	}
 
 	report := &Report{}
+	// The degradation log fills regardless of how the run ends, so attach
+	// it on every path that hands the report out.
+	defer func() { report.Degradations = dl.Events() }()
 	gsp := cfg.Obs.StartSpan("global")
 	start := time.Now()
 
@@ -170,7 +244,7 @@ func Place(n *netlist.Netlist, cfg Config) (*Report, error) {
 		if coarseEnd < 1 {
 			coarseEnd = 1
 		}
-		if err := globalLoop(cl.Clustered, decomp, blockages, cfg, report, 1, coarseEnd, true); err != nil {
+		if err := globalLoop(ctx, cl.Clustered, decomp, blockages, cfg, dl, report, 1, coarseEnd, true); err != nil {
 			return nil, err
 		}
 		cl.Project()
@@ -178,17 +252,20 @@ func Place(n *netlist.Netlist, cfg Config) (*Report, error) {
 		if fineStart > levels {
 			fineStart = levels
 		}
-		if err := globalLoop(n, decomp, blockages, cfg, report, fineStart, levels, false); err != nil {
+		if err := globalLoop(ctx, n, decomp, blockages, cfg, dl, report, fineStart, levels, false); err != nil {
 			return nil, err
 		}
 	} else {
-		if err := globalLoop(n, decomp, blockages, cfg, report, startLevel, levels, !cfg.KeepPlacement); err != nil {
+		if err := globalLoop(ctx, n, decomp, blockages, cfg, dl, report, startLevel, levels, !cfg.KeepPlacement); err != nil {
 			return nil, err
 		}
 	}
 	finishGlobal()
 
 	if !cfg.SkipLegalization {
+		if err := ctx.Err(); err != nil {
+			return report, err
+		}
 		lsp := cfg.Obs.StartSpan("legalize")
 		lstart := time.Now()
 		var lr legalize.Result
@@ -250,7 +327,7 @@ func levelsFor(n *netlist.Netlist, cfg Config) int {
 // through endLevel (2^lv x 2^lv windows). When freshQP is set, the loop
 // starts from an unconstrained quadratic solve; otherwise it continues
 // from the current placement.
-func globalLoop(n *netlist.Netlist, decomp *region.Decomposition, blockages geom.RectSet, cfg Config, report *Report, startLevel, endLevel int, freshQP bool) error {
+func globalLoop(ctx context.Context, n *netlist.Netlist, decomp *region.Decomposition, blockages geom.RectSet, cfg Config, dl *degrade.Log, report *Report, startLevel, endLevel int, freshQP bool) error {
 	if freshQP {
 		qsp := cfg.Obs.StartSpan("qp.initial")
 		err := qp.Solve(n, nil, cfg.QP)
@@ -262,10 +339,20 @@ func globalLoop(n *netlist.Netlist, decomp *region.Decomposition, blockages geom
 	movable := n.MovableIDs()
 	anchors := make([]qp.Anchor, len(movable))
 	for lv := startLevel; lv <= endLevel; lv++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := levelFault.Check(); err != nil {
+			return fmt.Errorf("placer: level %d: %w", lv, err)
+		}
 		k := 1 << lv
 		lsp := cfg.Obs.StartSpan("level")
 		lsp.Attr("grid", float64(k))
-		g := grid.New(n.Area, k, k)
+		g, gerr := grid.New(n.Area, k, k)
+		if gerr != nil {
+			lsp.End()
+			return fmt.Errorf("placer: level %d: %w", lv, gerr)
+		}
 		wr := grid.BuildWindowRegions(g, decomp, blockages, cfg.TargetDensity)
 		switch cfg.Mode {
 		case ModeRecursive:
@@ -276,7 +363,7 @@ func globalLoop(n *netlist.Netlist, decomp *region.Decomposition, blockages geom
 				return fmt.Errorf("placer: recursive partition level %d: %w", lv, err)
 			}
 		default:
-			fcfg := fbp.Config{LocalQP: !cfg.NoLocalQP, QP: cfg.QP, Workers: cfg.Workers, Obs: cfg.Obs}
+			fcfg := fbp.Config{LocalQP: !cfg.NoLocalQP, QP: cfg.QP, Workers: cfg.Workers, Obs: cfg.Obs, Ctx: ctx, Degrade: dl}
 			res, err := fbp.Partition(n, wr, fcfg)
 			if err != nil {
 				lsp.End()

@@ -1,6 +1,7 @@
 package placer
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -301,5 +302,43 @@ func TestPlaceWithDetailPasses(t *testing.T) {
 	}
 	if rep2.DetailResult.Reorders+rep2.DetailResult.Swaps == 0 {
 		t.Fatal("detail pass reported no moves")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   Config
+		field string
+	}{
+		{"unknown mode", Config{Mode: Mode(99)}, "Mode"},
+		{"density above 1", Config{TargetDensity: 1.2}, "TargetDensity"},
+		{"negative density", Config{TargetDensity: -0.5}, "TargetDensity"},
+		{"negative cluster ratio", Config{ClusterRatio: -1}, "ClusterRatio"},
+		{"negative levels", Config{MaxLevels: -2}, "MaxLevels"},
+		{"negative anchor weight", Config{AnchorWeight: -0.1}, "AnchorWeight"},
+		{"negative workers", Config{Workers: -4}, "Workers"},
+		{"negative detail passes", Config{DetailPasses: -1}, "DetailPasses"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			var ce *ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("Validate = %v, want *ConfigError", err)
+			}
+			if ce.Field != tc.field {
+				t.Fatalf("flagged field %q, want %q", ce.Field, tc.field)
+			}
+			// The facade must reject the config before touching the
+			// netlist.
+			inst := smallChip(t, 50, 9, nil)
+			if _, perr := Place(inst.N, tc.cfg); !errors.As(perr, &ce) {
+				t.Fatalf("Place accepted an invalid config: %v", perr)
+			}
+		})
+	}
+	if err := (&Config{}).Validate(); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
 	}
 }

@@ -11,11 +11,13 @@
 package qp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sync/atomic"
 
+	"fbplace/internal/degrade"
 	"fbplace/internal/geom"
 	"fbplace/internal/netlist"
 	"fbplace/internal/obs"
@@ -82,6 +84,17 @@ type Options struct {
 	// to share between concurrent solves (the realization-local QPs):
 	// fields are updated atomically.
 	Stats *SolveStats
+	// Ctx, when non-nil, is threaded into the CG solves; a canceled or
+	// expired context aborts the solve with the context's error.
+	Ctx context.Context
+	// Degrade, when non-nil, arms the non-convergence fallback chain: a CG
+	// solve that exhausts its budget is retried once with a 4x iteration
+	// budget, and if it still fails the positions are left at the warm
+	// start (the last anchor solution), a degradation event is recorded,
+	// and SolveSubset returns nil. Context errors never trigger the
+	// fallback. Callers without a degrade log keep the hard-error
+	// behavior.
+	Degrade *degrade.Log
 }
 
 // SolveStats accumulates quadratic-solver effort. Read the fields directly
@@ -350,20 +363,57 @@ func SolveSubset(n *netlist.Netlist, subset []netlist.CellID, anchors []Anchor, 
 	for s := nv; s < dim; s++ {
 		x[s], y[s] = ctr.X, ctr.Y
 	}
-	cg := sparse.CGOptions{Tol: opt.Tol, MaxIter: opt.MaxIter, Obs: opt.Obs}
+	cg := sparse.CGOptions{Tol: opt.Tol, MaxIter: opt.MaxIter, Obs: opt.Obs, Ctx: opt.Ctx}
 	tolerable := func(err error) bool {
 		return err == nil || (opt.BestEffort && errors.Is(err, sparse.ErrNotConverged))
 	}
-	itx, err := sparse.SolveCG(mx, x, rhsX, cg)
+	degraded := false
+	var degradeDetail string
+	// solveAxis runs CG and, when a degrade log is armed, the
+	// retry-then-anchor step of the fallback chain: a non-converged solve
+	// is retried once from the current iterate with a 4x iteration budget;
+	// if it still fails, the degraded flag makes SolveSubset keep the warm
+	// start. Context errors pass straight through (ErrNotConverged is a
+	// distinct sentinel, so a cancellation mid-solve never retries).
+	solveAxis := func(m *sparse.CSR, v, rhs []float64) (int, error) {
+		it, err := sparse.SolveCG(m, v, rhs, cg)
+		if tolerable(err) || opt.Degrade == nil || !errors.Is(err, sparse.ErrNotConverged) {
+			return it, err
+		}
+		retry := cg
+		retry.MaxIter = 4 * cg.MaxIter
+		if retry.MaxIter <= 0 {
+			retry.MaxIter = 40 * m.N
+			if retry.MaxIter < 400 {
+				retry.MaxIter = 400
+			}
+		}
+		it2, err2 := sparse.SolveCG(m, v, rhs, retry)
+		it += it2
+		if err2 == nil || !errors.Is(err2, sparse.ErrNotConverged) {
+			return it, err2
+		}
+		degraded = true
+		degradeDetail = err2.Error()
+		return it, nil
+	}
+	itx, err := solveAxis(mx, x, rhsX)
 	if !tolerable(err) {
 		return fmt.Errorf("qp: x solve: %w", err)
 	}
-	ity, err := sparse.SolveCG(my, y, rhsY, cg)
+	ity, err := solveAxis(my, y, rhsY)
 	if !tolerable(err) {
 		return fmt.Errorf("qp: y solve: %w", err)
 	}
 	opt.Stats.add(itx + ity)
 	opt.Obs.Count("qp.solves", 1)
+	if degraded {
+		// Degraded-result contract: positions stay at the warm start (the
+		// last anchor solution); the caller learns about it through the
+		// degradation log, not an error.
+		opt.Degrade.Add("qp.cg", "anchor-solution", degradeDetail)
+		return nil
+	}
 	for vi, id := range subset {
 		p := geom.Point{X: x[vi], Y: y[vi]}
 		if !opt.NoClamp {

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"fbplace/internal/degrade"
 	"fbplace/internal/geom"
 	"fbplace/internal/netlist"
 )
@@ -348,5 +349,47 @@ func TestB2BCoincidentPinsStable(t *testing.T) {
 		if math.IsNaN(p.X) || math.IsNaN(p.Y) {
 			t.Fatalf("cell %d at NaN", i)
 		}
+	}
+}
+
+// TestDegradeKeepsAnchorSolution forces organic CG non-convergence (a long
+// chain needs ~one iteration per cell; MaxIter 1 leaves even the 4x retry
+// short) and checks the fallback contract: with a degrade log the solve
+// returns nil, leaves the warm-start positions untouched, and records the
+// qp.cg -> anchor-solution event; without one it stays a hard error.
+func TestDegradeKeepsAnchorSolution(t *testing.T) {
+	build := func() (*netlist.Netlist, []netlist.CellID) {
+		n := netlist.New(chip, 1)
+		var ids []netlist.CellID
+		prev := netlist.Pin{Cell: -1, Offset: geom.Point{X: 0, Y: 5}}
+		for i := 0; i < 30; i++ {
+			id := n.AddCell(netlist.Cell{Width: 0.1, Height: 0.1})
+			n.SetPos(id, geom.Point{X: 1, Y: 1})
+			n.AddNet(netlist.Net{Pins: []netlist.Pin{prev, {Cell: id}}})
+			prev = netlist.Pin{Cell: id}
+			ids = append(ids, id)
+		}
+		n.AddNet(netlist.Net{Pins: []netlist.Pin{prev, {Cell: -1, Offset: geom.Point{X: 9, Y: 5}}}})
+		return n, ids
+	}
+
+	n, ids := build()
+	if err := Solve(n, nil, Options{Tol: 1e-12, MaxIter: 1}); err == nil {
+		t.Fatal("non-convergence without a degrade log must be a hard error")
+	}
+
+	n, ids = build()
+	dl := degrade.New(nil)
+	if err := Solve(n, nil, Options{Tol: 1e-12, MaxIter: 1, Degrade: dl}); err != nil {
+		t.Fatalf("degraded solve returned %v, want nil", err)
+	}
+	for _, id := range ids {
+		if n.Pos(id) != (geom.Point{X: 1, Y: 1}) {
+			t.Fatalf("cell %d moved to %v; degraded solve must keep the warm start", id, n.Pos(id))
+		}
+	}
+	evs := dl.Events()
+	if len(evs) == 0 || evs[0].Stage != "qp.cg" || evs[0].Fallback != "anchor-solution" {
+		t.Fatalf("degradation events = %v, want qp.cg -> anchor-solution", evs)
 	}
 }

@@ -9,13 +9,20 @@
 package sparse
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
 
+	"fbplace/internal/faultsim"
 	"fbplace/internal/obs"
 )
+
+// cgFault forces SolveCG to report non-convergence at entry, exercising
+// the quadratic placer's retry-then-anchor fallback chain.
+var cgFault = faultsim.Register("sparse.cg.noconverge",
+	"SolveCG reports ErrNotConverged without iterating")
 
 // Builder accumulates matrix entries in coordinate (triplet) form.
 // Duplicate (row, col) entries are summed on Build, which matches the
@@ -146,6 +153,11 @@ type CGOptions struct {
 	// Obs, when non-nil, records counters "cg.solves" and "cg.iters" and
 	// the gauge "cg.residual" (final relative residual) per solve.
 	Obs *obs.Recorder
+	// Ctx, when non-nil, is polled every few iterations; a canceled or
+	// expired context aborts the solve with the context's error (which is
+	// distinct from ErrNotConverged: cancellation must not trigger
+	// convergence fallbacks).
+	Ctx context.Context
 }
 
 // SolveCG solves M*x = rhs for symmetric positive definite M using
@@ -165,6 +177,17 @@ func SolveCG(m *CSR, x, rhs []float64, opt CGOptions) (int, error) {
 	n := m.N
 	if len(x) != n || len(rhs) != n {
 		return 0, fmt.Errorf("sparse: dimension mismatch: matrix %d, x %d, rhs %d", n, len(x), len(rhs))
+	}
+	if opt.Ctx != nil {
+		if err := opt.Ctx.Err(); err != nil {
+			return 0, err
+		}
+	}
+	if err := cgFault.Check(); err != nil {
+		// Injected non-convergence: same contract as the organic case —
+		// the warm-start iterate stays in x and ErrNotConverged is
+		// reported (wrapping the injection record for attribution).
+		return 0, fmt.Errorf("sparse: %w: %w", ErrNotConverged, err)
 	}
 	inv := make([]float64, n)
 	for i, d := range m.Diag {
@@ -214,6 +237,15 @@ func SolveCG(m *CSR, x, rhs []float64, opt CGOptions) (int, error) {
 	target := opt.Tol * bnorm
 	lastRel := math.Sqrt(rnorm0) / bnorm
 	for iter := 1; iter <= opt.MaxIter; iter++ {
+		// Deadline/cancellation poll, cheap relative to a MulVec: every 64
+		// iterations keeps the abort latency well under one outer
+		// placement iteration even on large systems.
+		if opt.Ctx != nil && iter&63 == 0 {
+			if err := opt.Ctx.Err(); err != nil {
+				record(iter, lastRel)
+				return iter, err
+			}
+		}
 		m.MulVec(ap, p)
 		pap := dot(p, ap)
 		if pap <= 0 {

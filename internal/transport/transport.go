@@ -24,13 +24,27 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
 
+	"fbplace/internal/degrade"
+	"fbplace/internal/faultsim"
 	"fbplace/internal/flow"
 	"fbplace/internal/obs"
+)
+
+// Injection points: condensedFault makes the production engine fail (the
+// fallback must switch to the reference engine and record a degradation);
+// referenceFault makes the reference engine fail too, exhausting the chain
+// so the caller receives a structured error.
+var (
+	condensedFault = faultsim.Register("transport.condensed.fail",
+		"condensed-sink transportation engine fails at entry")
+	referenceFault = faultsim.Register("transport.reference.fail",
+		"reference (successive shortest path) transportation engine fails at entry")
 )
 
 // Arc is an admissible (source, sink) pair with its movement cost.
@@ -50,6 +64,14 @@ type Problem struct {
 	// Obs, when non-nil, records the counters "transport.solves",
 	// "transport.sources" and "transport.splits" per Solve call.
 	Obs *obs.Recorder
+	// Ctx, when non-nil, is polled during the solve; a canceled or expired
+	// context aborts with the context's error (no fallback: cancellation
+	// is a caller decision, not an engine failure).
+	Ctx context.Context
+	// Degrade, when non-nil, records the condensed -> reference engine
+	// fallback so results are never silently produced by the slower
+	// oracle path.
+	Degrade *degrade.Log
 }
 
 // NumSources returns the number of sources.
@@ -105,8 +127,12 @@ func (s *Solution) NumSplit() int {
 // SolveReference solves the instance exactly with the generic min-cost
 // flow solver. Intended for tests and small instances.
 func SolveReference(p *Problem) (*Solution, error) {
+	if err := referenceFault.Check(); err != nil {
+		return nil, fmt.Errorf("transport: reference engine: %w", err)
+	}
 	n, k := p.NumSources(), p.NumSinks()
 	g := flow.NewMinCostFlow(n + k)
+	g.Ctx = p.Ctx
 	for i, s := range p.Supply {
 		if s <= 0 {
 			return nil, fmt.Errorf("transport: source %d has non-positive supply %g", i, s)
@@ -157,8 +183,19 @@ func sortPortions(ps []Portion) {
 // Solve solves the instance with the condensed-sink engine. The solution
 // is an optimal fractional plan (same cost as SolveReference up to
 // numerical tolerance).
+//
+// Fallback chain: when the condensed engine fails for any reason other
+// than a genuine infeasibility certificate or a context abort — an
+// internal defect such as a degenerate augmentation or an injected fault —
+// Solve retries the instance on the reference successive-shortest-path
+// engine. The fallback is recorded on p.Degrade (and as an obs counter via
+// the log), so a degraded run is attributable, never silent.
 func Solve(p *Problem) (*Solution, error) {
 	sol, err := solveCondensed(p)
+	if err != nil && fallbackWorthy(err) {
+		p.Degrade.Add("transport.condensed", "reference-engine", err.Error())
+		sol, err = SolveReference(p)
+	}
 	if p.Obs != nil {
 		p.Obs.Count("transport.solves", 1)
 		p.Obs.Count("transport.sources", float64(p.NumSources()))
@@ -167,6 +204,17 @@ func Solve(p *Problem) (*Solution, error) {
 		}
 	}
 	return sol, err
+}
+
+// fallbackWorthy reports whether a condensed-engine error justifies the
+// reference-engine retry. Infeasibility is a property of the instance (the
+// reference engine would reproduce it at higher cost), and context aborts
+// are caller decisions; everything else is an engine failure worth a
+// second opinion.
+func fallbackWorthy(err error) bool {
+	return !errors.Is(err, ErrInfeasible) &&
+		!errors.Is(err, context.Canceled) &&
+		!errors.Is(err, context.DeadlineExceeded)
 }
 
 // presence tracks how much of source i currently sits at sink j, together
@@ -306,6 +354,9 @@ func (c *condensed) edge(a, b int) condEdge {
 }
 
 func solveCondensed(p *Problem) (*Solution, error) {
+	if err := condensedFault.Check(); err != nil {
+		return nil, fmt.Errorf("transport: condensed engine: %w", err)
+	}
 	n, k := p.NumSources(), p.NumSinks()
 	// Per source: arcs deduplicated (cheapest per sink) and sorted by sink
 	// so that all iteration below is deterministic, plus a map for O(1)
@@ -364,6 +415,11 @@ func solveCondensed(p *Problem) (*Solution, error) {
 	// with slack in the condensed graph (Bellman-Ford; reassignment costs
 	// can be negative relative to the current plan).
 	for {
+		if p.Ctx != nil {
+			if err := p.Ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		over := -1
 		for j := 0; j < k; j++ {
 			if c.load[j] > p.Capacity[j]+flow.Eps {
