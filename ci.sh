@@ -39,6 +39,16 @@ go run ./cmd/fbpvet ./...
 echo "== go build =="
 go build ./...
 
+echo "== local-QP allocation guard =="
+# Regression guard for the O(netlist) scan: a small-block SolveSubset over
+# a 10k-cell netlist must allocate O(block). See README "Performance".
+go test -timeout 5m -run 'TestSolveSubsetAllocsOBlock' ./internal/qp/
+
+echo "== benchmark smoke =="
+# One iteration each of the two realization-path microbenchmarks, so a
+# change that breaks or pathologically slows them fails CI fast.
+go test -timeout 10m -run '^$' -bench 'BenchmarkSolveSubsetBlock|BenchmarkRealizeLevel' -benchtime 1x ./internal/qp/ ./internal/fbp/
+
 echo "== fault injection suite =="
 # Robustness gate: arm every faultsim injection point and prove the
 # pipeline degrades or fails structurally (no panics, no goroutine

@@ -117,12 +117,73 @@ type realizer struct {
 
 	waves int
 
+	// scratch is the free list of per-worker reusable buffers. Entries
+	// start as nil and are materialized on first acquire, so a run never
+	// pays for workers it does not use.
+	scratch chan *workerScratch
+	// snapX, snapY are the wave-start position snapshots, reused across
+	// waves (waves run strictly one after another).
+	snapX, snapY []float64
+
 	// Observability: rec records wave spans and counters; qpStats
 	// aggregates the local QP effort (atomically, workers share it);
 	// busyNS accumulates per-unit busy time for worker occupancy.
 	rec     *obs.Recorder
 	qpStats qp.SolveStats
 	busyNS  int64
+}
+
+// workerScratch bundles the reusable buffers a realization worker needs
+// for one unit: the local QP workspace plus the sink, transportation and
+// membership buffers of transportBlock. A scratch is borrowed from the
+// realizer's free list for the duration of one unit, so steady-state
+// realization allocates O(block) per unit instead of rebuilding every
+// buffer. Reuse never changes results: all buffers are fully rewritten
+// per unit.
+type workerScratch struct {
+	qp     *qp.Workspace
+	subset []netlist.CellID
+	sinks  []sinkInfo
+	caps   []float64
+	supply []float64
+	arcs   [][]transport.Arc
+	// present is an epoch-stamped per-cell membership mark replacing the
+	// per-call map that filtered window cell lists.
+	present      []uint32
+	presentEpoch uint32
+}
+
+// getScratch borrows a worker scratch from the free list, materializing it
+// on first use. The free list holds exactly as many slots as the worker
+// bound of the run, so the receive never blocks.
+func (r *realizer) getScratch() *workerScratch {
+	sc := <-r.scratch
+	if sc == nil {
+		sc = &workerScratch{qp: qp.NewWorkspace()}
+	}
+	return sc
+}
+
+func (r *realizer) putScratch(sc *workerScratch) { r.scratch <- sc }
+
+// markPresent stamps the given cells in the scratch's epoch-stamped
+// membership array (sized to the netlist on first use) and returns the
+// epoch to test against.
+func (sc *workerScratch) markPresent(numCells int, cells []int32) uint32 {
+	if len(sc.present) < numCells {
+		sc.present = make([]uint32, numCells)
+	}
+	sc.presentEpoch++
+	if sc.presentEpoch == 0 {
+		for i := range sc.present {
+			sc.present[i] = 0
+		}
+		sc.presentEpoch = 1
+	}
+	for _, ci := range cells {
+		sc.present[ci] = sc.presentEpoch
+	}
+	return sc.presentEpoch
 }
 
 // unit is a realization step: one window together with the classes whose
@@ -201,6 +262,14 @@ func Realize(m *Model, cfg Config) (*Result, error) {
 		unrealizedOut: make([]float64, m.Classes*W*numDirs),
 		outgoing:      make([][]int32, m.Classes*W),
 		incoming:      make([][]int32, m.Classes*W),
+	}
+	maxWorkers := cfg.Workers
+	if maxWorkers <= 0 {
+		maxWorkers = runtime.GOMAXPROCS(0)
+	}
+	r.scratch = make(chan *workerScratch, maxWorkers)
+	for i := 0; i < maxWorkers; i++ {
+		r.scratch <- nil
 	}
 	for i := range n.Cells {
 		r.cellRegion[i] = RegionRef{-1, -1}
@@ -468,15 +537,18 @@ func (r *realizer) runWave(wave []unit) error {
 	}()
 	var snapX, snapY []float64
 	if r.cfg.LocalQP {
-		snapX = append([]float64(nil), r.n.X...)
-		snapY = append([]float64(nil), r.n.Y...)
+		r.snapX = append(r.snapX[:0], r.n.X...)
+		r.snapY = append(r.snapY[:0], r.n.Y...)
+		snapX, snapY = r.snapX, r.snapY
 	}
 	realize := func(u unit) error {
+		sc := r.getScratch()
+		defer r.putScratch(sc)
 		if r.rec == nil {
-			return r.safeRealize(u, snapX, snapY)
+			return r.safeRealize(u, snapX, snapY, sc)
 		}
 		t0 := time.Now()
-		err := r.safeRealize(u, snapX, snapY)
+		err := r.safeRealize(u, snapX, snapY, sc)
 		atomic.AddInt64(&r.busyNS, int64(time.Since(t0)))
 		return err
 	}
@@ -514,7 +586,7 @@ func (r *realizer) runWave(wave []unit) error {
 // (no process crash, the worker keeps draining), and attributes errors to
 // their window. Both the sequential and the parallel path of runWave go
 // through it, so panic behavior is identical across worker counts.
-func (r *realizer) safeRealize(u unit, snapX, snapY []float64) (err error) {
+func (r *realizer) safeRealize(u unit, snapX, snapY []float64, sc *workerScratch) (err error) {
 	if r.cfg.Ctx != nil {
 		if cerr := r.cfg.Ctx.Err(); cerr != nil {
 			return cerr
@@ -529,14 +601,14 @@ func (r *realizer) safeRealize(u unit, snapX, snapY []float64) (err error) {
 			}
 		}
 	}()
-	return wrapUnitErr(u.window, "realize", r.realizeUnit(u, snapX, snapY))
+	return wrapUnitErr(u.window, "realize", r.realizeUnit(u, snapX, snapY, sc))
 }
 
 // realizeUnit realizes all outgoing external edges of one window for the
 // unit's classes: local QP over the 3x3 block, then a movebound-aware
 // transportation of all block cells onto the block's regions plus the
 // block's still-unrealized transit capacities (eq. 2).
-func (r *realizer) realizeUnit(un unit, snapX, snapY []float64) error {
+func (r *realizer) realizeUnit(un unit, snapX, snapY []float64, sc *workerScratch) error {
 	if err := unitFault.Check(); err != nil {
 		return err
 	}
@@ -566,14 +638,16 @@ func (r *realizer) realizeUnit(un unit, snapX, snapY []float64) error {
 	// precision; without the caps, coarse levels would solve near-global
 	// systems to full CG tolerance once per unit.
 	if r.cfg.LocalQP {
-		subset := make([]netlist.CellID, 0, len(cells))
+		subset := sc.subset[:0]
 		for _, c := range cells {
 			if !r.parked[c] {
 				subset = append(subset, netlist.CellID(c))
 			}
 		}
+		sc.subset = subset
 		opt := r.cfg.QP
 		opt.ReadX, opt.ReadY = snapX, snapY
+		opt.Workspace = sc.qp
 		if opt.Tol == 0 {
 			opt.Tol = 1e-3
 		}
@@ -591,31 +665,42 @@ func (r *realizer) realizeUnit(un unit, snapX, snapY []float64) error {
 			return fmt.Errorf("fbp: local QP in window %d: %w", u, err)
 		}
 	}
-	return r.transportBlock(u, block, cells, true)
+	return r.transportBlock(u, block, cells, true, sc)
+}
+
+// sinkInfo describes one transportation sink of a block step: a window
+// region, or (during waves) a still-unrealized transit capacity.
+type sinkInfo struct {
+	window  int32
+	region  int32 // region list index, or -1 for a transit sink
+	class   int32 // class restriction for transit sinks, -1 = open
+	dir     int32
+	pos     geom.Point
+	rectSet geom.RectSet
 }
 
 // transportBlock partitions the given cells among the regions of the
 // block windows plus (if allowTransit) the unrealized transit capacities.
-func (r *realizer) transportBlock(u int, block []int, cells []int32, allowTransit bool) error {
+func (r *realizer) transportBlock(u int, block []int, cells []int32, allowTransit bool, sc *workerScratch) error {
 	g := r.m.WR.Grid
 	W := g.NumWindows()
 	d := r.m.WR.Decomp
 	numMB := len(d.Movebounds)
 
-	type sinkInfo struct {
-		window  int32
-		region  int32 // region list index, or -1 for a transit sink
-		class   int32 // class restriction for transit sinks, -1 = open
-		dir     int32
-		pos     geom.Point
-		rectSet geom.RectSet
-	}
-	var sinks []sinkInfo
-	var caps []float64
+	sinks := sc.sinks[:0]
+	caps := sc.caps[:0]
 	for _, w := range block {
 		for k := range r.m.WR.PerWin[w] {
 			reg := &r.m.WR.PerWin[w][k]
 			if reg.Capacity <= 0 {
+				continue
+			}
+			if len(reg.Rects) == 0 {
+				// A region with capacity but no area cannot hold cells;
+				// offering it as a sink would pin cells at their own
+				// position (the empty-set nearest point used to degenerate
+				// to the query point) at zero cost.
+				r.rec.Count("fbp.repair.emptyRegion", 1)
 				continue
 			}
 			sinks = append(sinks, sinkInfo{
@@ -642,17 +727,32 @@ func (r *realizer) transportBlock(u int, block []int, cells []int32, allowTransi
 			}
 		}
 	}
+	sc.sinks, sc.caps = sinks, caps
+	supply := sc.supply
+	if cap(supply) < len(cells) {
+		supply = make([]float64, len(cells))
+	} else {
+		supply = supply[:len(cells)]
+	}
+	arcs := sc.arcs
+	if cap(arcs) < len(cells) {
+		arcs = append(arcs[:cap(arcs)], make([][]transport.Arc, len(cells)-cap(arcs))...)
+	} else {
+		arcs = arcs[:len(cells)]
+	}
+	sc.supply, sc.arcs = supply, arcs
 	prob := &transport.Problem{
-		Supply:   make([]float64, len(cells)),
+		Supply:   supply,
 		Capacity: caps,
-		Arcs:     make([][]transport.Arc, len(cells)),
+		Arcs:     arcs,
 		Obs:      r.rec,
 		Ctx:      r.cfg.Ctx,
 		Degrade:  r.cfg.Degrade,
 	}
 	for i, ci := range cells {
 		c := &r.n.Cells[ci]
-		prob.Supply[i] = c.Size()
+		supply[i] = c.Size()
+		arcs[i] = arcs[i][:0]
 		pos := r.n.Pos(netlist.CellID(ci))
 		cls := classOf(c.Movebound, numMB)
 		for si := range sinks {
@@ -663,15 +763,17 @@ func (r *realizer) transportBlock(u int, block []int, cells []int32, allowTransi
 				if !d.Admissible(c.Movebound, reg.Region) {
 					continue
 				}
-				// dist(c, r): L1 distance to the region area itself.
-				cost = pos.DistL1(nearestInSet(s.rectSet, pos))
+				// dist(c, r): L1 distance to the region area itself. The
+				// rect set is non-empty by sink construction.
+				q, _ := nearestInSet(s.rectSet, pos)
+				cost = pos.DistL1(q)
 			} else {
 				if int(s.class) != cls {
 					continue
 				}
 				cost = pos.DistL1(s.pos)
 			}
-			prob.Arcs[i] = append(prob.Arcs[i], transport.Arc{Sink: si, Cost: cost})
+			arcs[i] = append(arcs[i], transport.Arc{Sink: si, Cost: cost})
 		}
 	}
 	sol, err := solveWithRelaxation(prob)
@@ -681,14 +783,11 @@ func (r *realizer) transportBlock(u int, block []int, cells []int32, allowTransi
 	rounded := roundCapacityAware(prob, sol)
 	// Apply: move cells between windows, set positions and assignments.
 	// First remove all block cells from their window lists, then re-add.
-	present := make(map[int32]bool, len(cells))
-	for _, ci := range cells {
-		present[ci] = true
-	}
+	ep := sc.markPresent(r.n.NumCells(), cells)
 	for _, w := range block {
 		kept := r.cellsIn[w][:0]
 		for _, ci := range r.cellsIn[w] {
-			if !present[ci] {
+			if sc.present[ci] != ep {
 				kept = append(kept, ci)
 			}
 		}
@@ -705,7 +804,9 @@ func (r *realizer) transportBlock(u int, block []int, cells []int32, allowTransi
 		if s.region >= 0 {
 			r.parked[ci] = false
 			r.cellRegion[ci] = RegionRef{Window: s.window, Index: s.region}
-			r.n.SetPos(netlist.CellID(ci), nearestInSet(s.rectSet, r.n.Pos(netlist.CellID(ci))))
+			if q, ok := nearestInSet(s.rectSet, r.n.Pos(netlist.CellID(ci))); ok {
+				r.n.SetPos(netlist.CellID(ci), q)
+			}
 		} else {
 			r.parked[ci] = true
 			r.cellRegion[ci] = RegionRef{-1, -1}
@@ -746,7 +847,7 @@ func roundCapacityAware(p *transport.Problem, sol *transport.Solution) []int {
 		return splits[a].src < splits[b].src
 	})
 	for _, s := range splits {
-		best, bestScore := -1, 0.0
+		best, bestScore, bestAmount := -1, 0.0, 0.0
 		for _, portion := range sol.Assign[s.src] {
 			// Prefer the portion-weighted sink, tempered by remaining
 			// capacity so we do not overfill one sink repeatedly.
@@ -754,8 +855,16 @@ func roundCapacityAware(p *transport.Problem, sol *transport.Solution) []int {
 			if remaining[portion.Sink] < s.size {
 				score -= 2 * (s.size - remaining[portion.Sink])
 			}
-			if best < 0 || score > bestScore {
-				best, bestScore = portion.Sink, score
+			// Exact score ties are broken explicitly — larger portion
+			// first, then lowest sink index — rather than by whichever
+			// portion happens to come first in sol.Assign, so rounding
+			// cannot depend on upstream portion ordering.
+			//fbpvet:floatok exact tie-break on computed scores, then stored amounts, then sink index
+			better := score > bestScore || (score == bestScore &&
+				//fbpvet:floatok second tie level compares stored portion amounts exactly
+				(portion.Amount > bestAmount || (portion.Amount == bestAmount && portion.Sink < best)))
+			if best < 0 || better {
+				best, bestScore, bestAmount = portion.Sink, score, portion.Amount
 			}
 		}
 		out[s.src] = best
@@ -793,7 +902,10 @@ func solveWithRelaxation(p *transport.Problem) (*transport.Solution, error) {
 }
 
 // nearestInSet returns the point of the rectangle set closest (L1) to p.
-func nearestInSet(rs geom.RectSet, p geom.Point) geom.Point {
+// The second result is false when the set is empty; callers must not treat
+// the query point as a member then (it used to be returned silently, which
+// made empty regions look like zero-distance targets).
+func nearestInSet(rs geom.RectSet, p geom.Point) (geom.Point, bool) {
 	best := p
 	bestD := -1.0
 	for _, rect := range rs {
@@ -803,7 +915,7 @@ func nearestInSet(rs geom.RectSet, p geom.Point) geom.Point {
 			best, bestD = q, d
 		}
 	}
-	return best
+	return best, bestD >= 0
 }
 
 // finalPass maps the cells of every window onto the window's regions
@@ -849,7 +961,9 @@ func (r *realizer) finalPass() error {
 		if err := finalFault.Check(); err != nil {
 			return &UnitError{Window: w, Phase: "final", Err: err}
 		}
-		return wrapUnitErr(w, "final", r.transportBlock(w, []int{w}, append([]int32(nil), r.cellsIn[w]...), false))
+		sc := r.getScratch()
+		defer r.putScratch(sc)
+		return wrapUnitErr(w, "final", r.transportBlock(w, []int{w}, append([]int32(nil), r.cellsIn[w]...), false, sc))
 	}
 	if workers <= 1 {
 		for _, w := range windows {
@@ -963,7 +1077,12 @@ func (r *realizer) repairOverflow() {
 				if capOf(cand)-usage[cand] < size {
 					continue
 				}
-				q := nearestInSet(reg.Rects, pos)
+				q, ok := nearestInSet(reg.Rects, pos)
+				if !ok {
+					// A region without area is no relocation target.
+					r.rec.Count("fbp.repair.emptyRegion", 1)
+					continue
+				}
 				d := q.DistL1(pos)
 				if best.Window < 0 || d < bestD {
 					best, bestD, bestPos = cand, d, q

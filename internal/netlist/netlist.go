@@ -11,6 +11,7 @@ package netlist
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"fbplace/internal/geom"
 )
@@ -71,6 +72,99 @@ type Netlist struct {
 	Area geom.Rect
 	// RowHeight is the standard-cell row height used by legalization.
 	RowHeight float64
+
+	// idxMu guards idx, the lazily built cell -> incident-net index.
+	// Structural mutation (AddCell/AddNet) invalidates it; position
+	// updates do not (the index depends only on connectivity).
+	idxMu sync.Mutex
+	idx   *CellNetIndex
+}
+
+// CellNetIndex is an immutable CSR index from cells to the nets they have
+// pins on. Per cell the net IDs are ascending and deduplicated (a net with
+// several pins on the same cell appears once). It exists so that the
+// realization-local QP (paper §IV.B) can assemble its system by walking
+// only the nets incident to a window block instead of scanning the whole
+// netlist once per block.
+type CellNetIndex struct {
+	ptr  []int32 // len NumCells+1, row pointers into nets
+	nets []NetID
+}
+
+// Nets returns the nets incident to cell c, ascending and deduplicated.
+// The returned slice aliases the index; callers must not modify it.
+func (ix *CellNetIndex) Nets(c CellID) []NetID { return ix.nets[ix.ptr[c]:ix.ptr[c+1]] }
+
+// NumIncidences returns the total number of (cell, net) incidence pairs.
+func (ix *CellNetIndex) NumIncidences() int { return len(ix.nets) }
+
+// NetIndex returns the cell -> incident-net index, building it on first
+// use. The build is O(total pins); the result is cached until the next
+// structural mutation. Safe for concurrent callers: netlists are
+// structurally immutable during placement, and the cache is guarded for
+// the lazy first build racing between realization workers.
+func (n *Netlist) NetIndex() *CellNetIndex {
+	n.idxMu.Lock()
+	defer n.idxMu.Unlock()
+	if n.idx == nil {
+		n.idx = buildCellNetIndex(n)
+	}
+	return n.idx
+}
+
+// invalidateIndex drops the cached incidence index after a structural
+// mutation.
+func (n *Netlist) invalidateIndex() {
+	n.idxMu.Lock()
+	n.idx = nil
+	n.idxMu.Unlock()
+}
+
+func buildCellNetIndex(n *Netlist) *CellNetIndex {
+	nc := len(n.Cells)
+	ptr := make([]int32, nc+1)
+	// last[c] = most recent net counted for c; nets are scanned in
+	// ascending order, so repeated pins of one net on one cell are
+	// adjacent and dedup needs no sorting.
+	last := make([]int32, nc)
+	for i := range last {
+		last[i] = -1
+	}
+	for ni := range n.Nets {
+		for _, p := range n.Nets[ni].Pins {
+			if p.IsPad() || int(p.Cell) >= nc {
+				continue
+			}
+			if last[p.Cell] == int32(ni) {
+				continue
+			}
+			last[p.Cell] = int32(ni)
+			ptr[p.Cell+1]++
+		}
+	}
+	for i := 0; i < nc; i++ {
+		ptr[i+1] += ptr[i]
+	}
+	nets := make([]NetID, ptr[nc])
+	fill := make([]int32, nc)
+	copy(fill, ptr[:nc])
+	for i := range last {
+		last[i] = -1
+	}
+	for ni := range n.Nets {
+		for _, p := range n.Nets[ni].Pins {
+			if p.IsPad() || int(p.Cell) >= nc {
+				continue
+			}
+			if last[p.Cell] == int32(ni) {
+				continue
+			}
+			last[p.Cell] = int32(ni)
+			nets[fill[p.Cell]] = NetID(ni)
+			fill[p.Cell]++
+		}
+	}
+	return &CellNetIndex{ptr: ptr, nets: nets}
 }
 
 // New returns an empty netlist over the given chip area.
@@ -81,6 +175,7 @@ func New(area geom.Rect, rowHeight float64) *Netlist {
 // AddCell appends a cell and returns its ID. The cell starts at the chip
 // center.
 func (n *Netlist) AddCell(c Cell) CellID {
+	n.invalidateIndex()
 	id := CellID(len(n.Cells))
 	n.Cells = append(n.Cells, c)
 	ctr := n.Area.Center()
@@ -92,6 +187,7 @@ func (n *Netlist) AddCell(c Cell) CellID {
 // AddNet appends a net and returns its ID. Nets with fewer than two pins
 // are legal but contribute nothing to any objective.
 func (n *Netlist) AddNet(net Net) NetID {
+	n.invalidateIndex()
 	if net.Weight == 0 {
 		net.Weight = 1
 	}

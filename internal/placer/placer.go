@@ -195,6 +195,10 @@ func PlaceCtx(ctx context.Context, n *netlist.Netlist, cfg Config) (*Report, err
 	cfg.QP.Stats = &qpStats
 	cfg.QP.Ctx = ctx
 	cfg.QP.Degrade = dl
+	// The top-level solves (initial + one anchored per level) run strictly
+	// one after another, so they can share one workspace. The realization
+	// replaces it with per-worker workspaces for its concurrent local QPs.
+	cfg.QP.Workspace = qp.NewWorkspace()
 	mbs, err := region.Normalize(n.Area, cfg.Movebounds)
 	if err != nil {
 		return nil, err

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync/atomic"
 
 	"fbplace/internal/degrade"
@@ -87,6 +88,13 @@ type Options struct {
 	// Ctx, when non-nil, is threaded into the CG solves; a canceled or
 	// expired context aborts the solve with the context's error.
 	Ctx context.Context
+	// Workspace, when non-nil, supplies reusable scratch (epoch-stamped
+	// variable/net marks, pin buffers, matrix builders, rhs vectors) so
+	// steady-state SolveSubset calls allocate O(block), not O(netlist).
+	// A workspace must not be shared by concurrent solves; the parallel
+	// realization threads one per worker. Results are bit-identical with
+	// and without a workspace.
+	Workspace *Workspace
 	// Degrade, when non-nil, arms the non-convergence fallback chain: a CG
 	// solve that exhausts its budget is retried once with a 4x iteration
 	// budget, and if it still fails the positions are left at the warm
@@ -136,78 +144,120 @@ func Solve(n *netlist.Netlist, anchors []Anchor, opt Options) error {
 	return SolveSubset(n, n.MovableIDs(), anchors, opt)
 }
 
+// netPin is one pin of a net as seen by the local system assembly.
+type netPin struct {
+	varIdx int32      // variable index or -1
+	pos    geom.Point // absolute position if fixed, offset if variable
+	cur    geom.Point // current absolute position (B2B weights/bounds)
+}
+
 // SolveSubset minimizes the quadratic netlength over the given cells only;
 // all other cells are treated as fixed at their current positions.
 // Anchors referencing cells outside the subset are ignored.
+//
+// The system is assembled by walking only the nets incident to the subset
+// (via the netlist's cell -> net index), in ascending net order — the same
+// nets, in the same order, that a full netlist scan would emit, so results
+// are bit-identical to one while the cost is proportional to the block,
+// not the chip. The obs counter "qp.netsVisited" records the incident-net
+// count per call.
 func SolveSubset(n *netlist.Netlist, subset []netlist.CellID, anchors []Anchor, opt Options) error {
 	opt.fill()
 	if len(subset) == 0 {
 		return nil
 	}
-	// Variable index per cell; -1 = fixed.
-	varOf := make([]int32, n.NumCells())
-	for i := range varOf {
-		varOf[i] = -1
+	ws := opt.Workspace
+	if ws == nil {
+		ws = NewWorkspace()
+	} else if ws.uses > 0 {
+		opt.Obs.Count("qp.wsReuse", 1)
 	}
+	ws.begin(n.NumCells(), n.NumNets())
+	epoch := ws.epoch
+	// Variable index per subset cell; epoch stamps replace the O(NumCells)
+	// "-1" fill a dense varOf array would need per call.
 	for vi, id := range subset {
 		if n.Cells[id].Fixed {
 			return fmt.Errorf("qp: subset contains fixed cell %d (%s)", id, n.Cells[id].Name)
 		}
-		varOf[id] = int32(vi)
+		ws.varIdx[id] = int32(vi)
+		ws.varEpoch[id] = epoch
 	}
 	nv := len(subset)
-
-	// Count star nets to size the systems: nets with > CliqueThreshold
-	// pins and at least one variable cell get a star variable.
-	type netPin struct {
-		varIdx int32      // variable index or -1
-		pos    geom.Point // absolute position if fixed, offset if variable
-		cur    geom.Point // current absolute position (B2B weights/bounds)
-	}
-	starOf := make([]int32, n.NumNets())
-	numStars := 0
-	pins := make([][]netPin, n.NumNets())
-	for ni := range n.Nets {
-		starOf[ni] = -1
-		net := &n.Nets[ni]
-		if len(net.Pins) < 2 {
-			continue
+	varOf := func(c netlist.CellID) int32 {
+		if ws.varEpoch[c] == epoch {
+			return ws.varIdx[c]
 		}
-		hasVar := false
-		ps := make([]netPin, 0, len(net.Pins))
-		for _, p := range net.Pins {
-			if !p.IsPad() && varOf[p.Cell] >= 0 {
-				hasVar = true
-				cur := geom.Point{X: n.X[p.Cell] + p.Offset.X, Y: n.Y[p.Cell] + p.Offset.Y}
-				ps = append(ps, netPin{varIdx: varOf[p.Cell], pos: p.Offset, cur: cur})
-			} else {
-				// With a snapshot, never touch the live position of a
-				// non-variable cell: another unit of the same wave may be
-				// writing it concurrently.
-				var pos geom.Point
-				if opt.ReadX != nil && !p.IsPad() {
-					pos = geom.Point{X: opt.ReadX[p.Cell] + p.Offset.X, Y: opt.ReadY[p.Cell] + p.Offset.Y}
-				} else {
-					pos = n.PinPos(p)
-				}
-				ps = append(ps, netPin{varIdx: -1, pos: pos, cur: pos})
+		return -1
+	}
+
+	// Gather the nets incident to the subset, deduplicated by epoch stamp
+	// and sorted ascending: ascending net order reproduces the emission
+	// (and thus float summation) order of a full netlist scan bit-for-bit.
+	idx := n.NetIndex()
+	nets := ws.netIDs[:0]
+	for _, id := range subset {
+		for _, ni := range idx.Nets(id) {
+			if ws.netEpoch[ni] != epoch {
+				ws.netEpoch[ni] = epoch
+				nets = append(nets, int32(ni))
 			}
 		}
-		if !hasVar {
-			continue
-		}
-		pins[ni] = ps
-		if opt.NetModel == ModelCliqueStar && len(ps) > opt.CliqueThreshold {
-			starOf[ni] = int32(nv + numStars)
-			numStars++
-		}
 	}
+	sort.Sort(int32s(nets))
+	ws.netIDs = nets
+	opt.Obs.Count("qp.netsVisited", float64(len(nets)))
+
+	// Collect pins per incident net and assign star variables: nets with
+	// > CliqueThreshold pins get a star node. Every gathered net has at
+	// least one variable pin by construction of the index, so the old
+	// per-net hasVar scan is gone entirely.
+	ws.pins = ws.pins[:0]
+	ws.pinOff = ws.pinOff[:0]
+	ws.starOf = ws.starOf[:0]
+	numStars := 0
+	for _, ni := range nets {
+		net := &n.Nets[ni]
+		ws.pinOff = append(ws.pinOff, int32(len(ws.pins)))
+		star := int32(-1)
+		if len(net.Pins) >= 2 {
+			for _, p := range net.Pins {
+				if !p.IsPad() && varOf(p.Cell) >= 0 {
+					cur := geom.Point{X: n.X[p.Cell] + p.Offset.X, Y: n.Y[p.Cell] + p.Offset.Y}
+					ws.pins = append(ws.pins, netPin{varIdx: varOf(p.Cell), pos: p.Offset, cur: cur})
+				} else {
+					// With a snapshot, never touch the live position of a
+					// non-variable cell: another unit of the same wave may be
+					// writing it concurrently.
+					var pos geom.Point
+					if opt.ReadX != nil && !p.IsPad() {
+						pos = geom.Point{X: opt.ReadX[p.Cell] + p.Offset.X, Y: opt.ReadY[p.Cell] + p.Offset.Y}
+					} else {
+						pos = n.PinPos(p)
+					}
+					ws.pins = append(ws.pins, netPin{varIdx: -1, pos: pos, cur: pos})
+				}
+			}
+			if opt.NetModel == ModelCliqueStar && len(net.Pins) > opt.CliqueThreshold {
+				star = int32(nv + numStars)
+				numStars++
+			}
+		}
+		ws.starOf = append(ws.starOf, star)
+	}
+	ws.pinOff = append(ws.pinOff, int32(len(ws.pins)))
 	dim := nv + numStars
 
-	bx := sparse.NewBuilder(dim)
-	by := sparse.NewBuilder(dim)
-	rhsX := make([]float64, dim)
-	rhsY := make([]float64, dim)
+	if ws.bx == nil {
+		ws.bx, ws.by = sparse.NewBuilder(dim), sparse.NewBuilder(dim)
+	} else {
+		ws.bx.Reset(dim)
+		ws.by.Reset(dim)
+	}
+	bx, by := ws.bx, ws.by
+	ws.rhsX = growZeroed(ws.rhsX, dim)
+	ws.rhsY = growZeroed(ws.rhsY, dim)
+	rhsX, rhsY := ws.rhsX, ws.rhsY
 
 	// addSpring connects two pins (variable or fixed) with weight w.
 	addSpring := func(a, b netPin, w float64) {
@@ -303,17 +353,17 @@ func SolveSubset(n *netlist.Netlist, subset []netlist.CellID, anchors []Anchor, 
 		}
 	}
 
-	for ni := range n.Nets {
-		ps := pins[ni]
-		if ps == nil {
-			continue
+	for k, ni := range ws.netIDs {
+		ps := ws.pins[ws.pinOff[k]:ws.pinOff[k+1]]
+		if len(ps) == 0 {
+			continue // fewer than two pins: no spring terms
 		}
 		w := n.Nets[ni].Weight
 		p := len(ps)
 		if opt.NetModel == ModelB2B && p > 2 {
 			b2bAxis(ps, w, 0)
 			b2bAxis(ps, w, 1)
-		} else if starOf[ni] < 0 {
+		} else if ws.starOf[k] < 0 {
 			// Clique model with the standard 1/(p-1) scaling.
 			cw := w / float64(p-1)
 			for i := 0; i < p; i++ {
@@ -325,7 +375,7 @@ func SolveSubset(n *netlist.Netlist, subset []netlist.CellID, anchors []Anchor, 
 			// Star model: every pin to the star node; weight p/(p-1)
 			// makes 2-pin behavior consistent in expectation.
 			sw := w * float64(p) / float64(p-1)
-			star := netPin{varIdx: starOf[ni]}
+			star := netPin{varIdx: ws.starOf[k]}
 			for i := 0; i < p; i++ {
 				addSpring(ps[i], star, sw)
 			}
@@ -334,7 +384,7 @@ func SolveSubset(n *netlist.Netlist, subset []netlist.CellID, anchors []Anchor, 
 
 	// Anchors.
 	for _, a := range anchors {
-		vi := varOf[a.Cell]
+		vi := varOf(a.Cell)
 		if vi < 0 || a.Weight <= 0 {
 			continue
 		}
@@ -355,8 +405,9 @@ func SolveSubset(n *netlist.Netlist, subset []netlist.CellID, anchors []Anchor, 
 	}
 
 	mx, my := bx.Build(), by.Build()
-	x := make([]float64, dim)
-	y := make([]float64, dim)
+	ws.x = grow(ws.x, dim)
+	ws.y = grow(ws.y, dim)
+	x, y := ws.x, ws.y
 	for vi, id := range subset {
 		x[vi], y[vi] = n.X[id], n.Y[id] // warm start
 	}

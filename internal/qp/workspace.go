@@ -1,0 +1,106 @@
+package qp
+
+import (
+	"sort"
+
+	"fbplace/internal/sparse"
+)
+
+// Workspace holds the reusable scratch of SolveSubset: epoch-stamped
+// variable and net marks, the gathered incident-net list, flat pin
+// buffers, matrix builders and right-hand-side vectors. With a workspace,
+// a steady-state local QP solve allocates O(block) memory in a handful of
+// allocations instead of O(netlist) — the realization phase threads one
+// workspace per worker.
+//
+// A workspace must not be shared by concurrent solves. Reuse across
+// netlists is allowed; the stamp arrays grow to the largest netlist seen.
+// Results are bit-identical to solving with a fresh workspace (or none):
+// every buffer is fully rebuilt per call, and epoch stamps replace
+// clearing.
+type Workspace struct {
+	// epoch distinguishes the current call's stamps from stale ones, so
+	// the O(NumCells)/O(NumNets) arrays never need clearing per call.
+	epoch uint32
+	// varIdx[c] is the variable index of cell c when varEpoch[c] == epoch.
+	varIdx   []int32
+	varEpoch []uint32
+	// netEpoch[ni] == epoch marks net ni as already gathered this call.
+	netEpoch []uint32
+	// netIDs lists the nets incident to the subset, ascending.
+	netIDs []int32
+	// starOf[k] is the star variable of netIDs[k], or -1.
+	starOf []int32
+	// pins is the flat pin buffer; pinOff[k]..pinOff[k+1] delimits the
+	// pins of netIDs[k] (empty for nets with fewer than two pins).
+	pins   []netPin
+	pinOff []int32
+	// System assembly and solution buffers.
+	bx, by     *sparse.Builder
+	rhsX, rhsY []float64
+	x, y       []float64
+	// uses counts completed begin() calls; a second use of the same
+	// workspace is reported as the obs counter "qp.wsReuse".
+	uses int
+}
+
+// NewWorkspace returns an empty workspace. Buffers are sized lazily on
+// first use.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// begin sizes the stamp arrays for a netlist of the given dimensions and
+// opens a new epoch.
+func (ws *Workspace) begin(numCells, numNets int) {
+	if len(ws.varIdx) < numCells {
+		ws.varIdx = make([]int32, numCells)
+		ws.varEpoch = make([]uint32, numCells)
+	}
+	if len(ws.netEpoch) < numNets {
+		ws.netEpoch = make([]uint32, numNets)
+	}
+	ws.epoch++
+	if ws.epoch == 0 {
+		// Epoch counter wrapped: stale stamps could collide with the new
+		// epoch, so clear them once and restart at 1.
+		for i := range ws.varEpoch {
+			ws.varEpoch[i] = 0
+		}
+		for i := range ws.netEpoch {
+			ws.netEpoch[i] = 0
+		}
+		ws.epoch = 1
+	}
+	ws.uses++
+}
+
+// growZeroed returns s with length n and every element zero, reusing the
+// capacity when possible.
+func growZeroed(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// grow returns s with length n and unspecified contents (callers overwrite
+// every element), reusing the capacity when possible.
+func grow(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// int32s sorts []int32 ascending without the reflection overhead of
+// sort.Slice.
+type int32s []int32
+
+func (s int32s) Len() int           { return len(s) }
+func (s int32s) Less(i, j int) bool { return s[i] < s[j] }
+func (s int32s) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
+var _ sort.Interface = int32s(nil)

@@ -1,0 +1,197 @@
+package qp
+
+import (
+	"math/rand"
+	"testing"
+
+	"fbplace/internal/geom"
+	"fbplace/internal/netlist"
+	"fbplace/internal/obs"
+)
+
+// messyNetlist builds a randomized netlist with multi-pin nets (both clique-
+// and star-sized), pads, pin offsets, weights and a few fixed cells, so the
+// equivalence tests exercise every emission path of the system assembly.
+func messyNetlist(numCells int, seed int64) *netlist.Netlist {
+	rng := rand.New(rand.NewSource(seed))
+	n := netlist.New(chip, 1)
+	for i := 0; i < numCells; i++ {
+		c := netlist.Cell{Width: 0.5, Height: 1, Movebound: netlist.NoMovebound}
+		if i%17 == 0 {
+			c.Fixed = true
+		}
+		id := n.AddCell(c)
+		n.SetPos(id, geom.Point{X: 10 * rng.Float64(), Y: 10 * rng.Float64()})
+	}
+	for e := 0; e < 3*numCells; e++ {
+		deg := 2 + rng.Intn(9) // up to 10 pins: crosses the star threshold
+		pins := make([]netlist.Pin, 0, deg)
+		for k := 0; k < deg; k++ {
+			if rng.Intn(10) == 0 {
+				pins = append(pins, netlist.Pin{Cell: -1, Offset: geom.Point{X: 10 * rng.Float64(), Y: 10 * rng.Float64()}})
+				continue
+			}
+			pins = append(pins, netlist.Pin{
+				Cell:   netlist.CellID(rng.Intn(numCells)),
+				Offset: geom.Point{X: rng.Float64() - 0.5, Y: rng.Float64() - 0.5},
+			})
+		}
+		n.AddNet(netlist.Net{Weight: 0.5 + rng.Float64(), Pins: pins})
+	}
+	return n
+}
+
+// solveConfigs are the option sets the equivalence tests run under: both
+// net models, with and without best-effort CG caps.
+var solveConfigs = []struct {
+	name string
+	opt  Options
+}{
+	{"cliquestar", Options{}},
+	{"b2b", Options{NetModel: ModelB2B}},
+	{"besteffort", Options{Tol: 1e-3, MaxIter: 40, BestEffort: true}},
+}
+
+// TestSolveSubsetMatchesSolve locks in that solving the full movable set
+// through SolveSubset is bit-for-bit the same as Solve — the rewrite onto
+// the incident-net index must preserve the float summation order of the
+// full netlist scan exactly.
+func TestSolveSubsetMatchesSolve(t *testing.T) {
+	for _, tc := range solveConfigs {
+		t.Run(tc.name, func(t *testing.T) {
+			base := messyNetlist(400, 11)
+			anchors := []Anchor{
+				{Cell: 1, Target: geom.Point{X: 2, Y: 3}, Weight: 0.7},
+				{Cell: 5, Target: geom.Point{X: 9, Y: 1}, Weight: 1.3},
+			}
+			a := base.Clone()
+			if err := Solve(a, anchors, tc.opt); err != nil {
+				t.Fatal(err)
+			}
+			b := base.Clone()
+			if err := SolveSubset(b, b.MovableIDs(), anchors, tc.opt); err != nil {
+				t.Fatal(err)
+			}
+			for i := range a.X {
+				if a.X[i] != b.X[i] || a.Y[i] != b.Y[i] {
+					t.Fatalf("cell %d: Solve (%x,%x) != SolveSubset (%x,%x)",
+						i, a.X[i], a.Y[i], b.X[i], b.Y[i])
+				}
+			}
+		})
+	}
+}
+
+// TestWorkspaceReuseBitIdentical runs the same sequence of block solves
+// three ways — no workspace, a fresh workspace per call, one workspace
+// reused across all calls — and demands bit-identical positions: buffer
+// reuse must never leak state between solves.
+func TestWorkspaceReuseBitIdentical(t *testing.T) {
+	subsets := func(n *netlist.Netlist) [][]netlist.CellID {
+		var out [][]netlist.CellID
+		for start := 0; start < 3; start++ {
+			var s []netlist.CellID
+			for i := start; i < n.NumCells(); i += 3 {
+				if !n.Cells[i].Fixed {
+					s = append(s, netlist.CellID(i))
+				}
+			}
+			out = append(out, s)
+		}
+		return out
+	}
+	run := func(ws func() *Workspace) *netlist.Netlist {
+		n := messyNetlist(300, 29)
+		for round := 0; round < 3; round++ {
+			for _, s := range subsets(n) {
+				opt := Options{Tol: 1e-3, MaxIter: 30, BestEffort: true}
+				if ws != nil {
+					opt.Workspace = ws()
+				}
+				if err := SolveSubset(n, s, nil, opt); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return n
+	}
+	want := run(nil)
+	fresh := run(func() *Workspace { return NewWorkspace() })
+	shared := NewWorkspace()
+	reused := run(func() *Workspace { return shared })
+	for i := range want.X {
+		for _, got := range []*netlist.Netlist{fresh, reused} {
+			if want.X[i] != got.X[i] || want.Y[i] != got.Y[i] {
+				t.Fatalf("cell %d: workspace variant diverged: (%x,%x) != (%x,%x)",
+					i, want.X[i], want.Y[i], got.X[i], got.Y[i])
+			}
+		}
+	}
+	if shared.uses != 9 {
+		t.Fatalf("shared workspace uses = %d, want 9", shared.uses)
+	}
+}
+
+// TestSolveSubsetAllocsOBlock is the regression guard for the O(netlist)
+// scan: a small-block solve over a 10k-cell netlist must allocate O(block),
+// not O(netlist). Before the incident-net index this sat near 20k allocs
+// per call (one pin slice per net); with the index and a warm workspace it
+// is a few dozen (CG vectors and the two CSR builds).
+func TestSolveSubsetAllocsOBlock(t *testing.T) {
+	n := gridNetlist(100) // 10,000 cells, ~20,000 nets
+	subset := blockSubset(100, 12)
+	opt := Options{Tol: 1e-3, MaxIter: 60, BestEffort: true, Workspace: NewWorkspace()}
+	// Warm up: builds the incidence index and sizes the workspace.
+	if err := SolveSubset(n, subset, nil, opt); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := SolveSubset(n, subset, nil, opt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 500 {
+		t.Fatalf("SolveSubset allocates %v objects per block solve; the O(netlist) scan is back (want <= 500)", allocs)
+	}
+}
+
+// TestWorkspaceAcrossNetlists checks that one workspace can serve netlists
+// of different sizes back to back (the stamp arrays grow, results match
+// fresh-workspace solves).
+func TestWorkspaceAcrossNetlists(t *testing.T) {
+	shared := NewWorkspace()
+	for _, cells := range []int{50, 400, 120} {
+		n := messyNetlist(cells, int64(cells))
+		want := n.Clone()
+		if err := SolveSubset(want, want.MovableIDs(), nil, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := SolveSubset(n, n.MovableIDs(), nil, Options{Workspace: shared}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.X {
+			if want.X[i] != n.X[i] || want.Y[i] != n.Y[i] {
+				t.Fatalf("cells=%d cell %d: shared-workspace solve diverged", cells, i)
+			}
+		}
+	}
+}
+
+// TestNetsVisitedCounter checks the obs wiring: a block solve reports the
+// number of incident nets it walked, far below the netlist total.
+func TestNetsVisitedCounter(t *testing.T) {
+	n := gridNetlist(40)
+	subset := blockSubset(40, 4)
+	rec := obs.New(nil)
+	if err := SolveSubset(n, subset, nil, Options{Obs: rec}); err != nil {
+		t.Fatal(err)
+	}
+	visited := rec.Counters()["qp.netsVisited"]
+	if visited <= 0 || visited >= float64(n.NumNets()) {
+		t.Fatalf("qp.netsVisited = %v, want in (0, %d)", visited, n.NumNets())
+	}
+	// 4x4 block with 2-pin neighbor nets: at most 4 incident nets per cell.
+	if visited > 4*float64(len(subset)) {
+		t.Fatalf("qp.netsVisited = %v for a %d-cell block, want O(block)", visited, len(subset))
+	}
+}

@@ -97,6 +97,9 @@ func Place(n *netlist.Netlist, cfg Config) (Report, error) {
 	}
 	totalArea := n.TotalMovableArea()
 	blockages := n.FixedRects()
+	// Every solve of the iteration loop runs sequentially; share one
+	// workspace across them.
+	cfg.QP.Workspace = qp.NewWorkspace()
 
 	// Initial unconstrained QP.
 	if err := qp.Solve(n, nil, cfg.QP); err != nil {

@@ -43,6 +43,26 @@ func NewBuilder(n int) *Builder {
 // N returns the matrix dimension.
 func (b *Builder) N() int { return b.n }
 
+// Reset re-dimensions the builder to an n x n matrix and clears every
+// accumulated entry while keeping the allocated capacity, so a builder can
+// be reused across the many small systems of the realization-local QP
+// without re-allocating. A reset builder produces bit-identical Build
+// output to a fresh NewBuilder(n) fed the same entry sequence.
+func (b *Builder) Reset(n int) {
+	b.n = n
+	b.rows = b.rows[:0]
+	b.cols = b.cols[:0]
+	b.vals = b.vals[:0]
+	if cap(b.diagAdd) < n {
+		b.diagAdd = make([]float64, n)
+		return
+	}
+	b.diagAdd = b.diagAdd[:n]
+	for i := range b.diagAdd {
+		b.diagAdd[i] = 0
+	}
+}
+
 // Add accumulates v into entry (i, j). For off-diagonal entries the caller
 // is responsible for also adding the symmetric entry (j, i); AddSym does
 // both plus the diagonal, which is the common pattern for spring terms.
