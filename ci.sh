@@ -56,6 +56,30 @@ echo "== fault injection suite =="
 # & fault injection".
 go test -timeout 10m -run 'TestInjection|TestDeadline|TestLeak' ./internal/faultsim/
 
+echo "== kill-and-resume e2e =="
+# Crash-safety gate: a run killed mid-loop by an injected panic must,
+# after resume from its checkpoints, produce bit-identical positions to
+# an uninterrupted run. See README "Checkpoint & resume".
+ckdir=$(mktemp -d ./ci-ckpt.XXXXXX)
+trap 'rm -rf "$ckdir"' EXIT
+go build -o "$ckdir/fbplace" ./cmd/fbplace
+"$ckdir/fbplace" -cells 3000 -seed 7 -dump-hex "$ckdir/full.hex" >/dev/null
+if "$ckdir/fbplace" -cells 3000 -seed 7 -checkpoint "$ckdir/ck" \
+	-fault placer.level.fail:after=1,limit=1,panic=1 >/dev/null 2>&1; then
+	echo "kill-and-resume: injected fault did not kill the run" >&2
+	exit 1
+fi
+"$ckdir/fbplace" -cells 3000 -seed 7 -checkpoint "$ckdir/ck" -resume \
+	-dump-hex "$ckdir/resumed.hex" >/dev/null
+cmp "$ckdir/full.hex" "$ckdir/resumed.hex"
+
+echo "== fuzz smoke =="
+# A few seconds per fuzz target: enough to replay the seed corpora under
+# testdata/fuzz/ plus a short random exploration.
+go test -fuzz 'FuzzRectAlgebra' -fuzztime 5s -timeout 5m ./internal/geom/
+go test -fuzz 'FuzzParse' -fuzztime 5s -timeout 5m ./internal/bookshelf/
+go test -fuzz 'FuzzReadChip' -fuzztime 5s -timeout 5m ./internal/chipio/
+
 if [ "$quick" = 1 ]; then
 	echo "== go test (quick, no -race) =="
 	go test -timeout 15m ./...

@@ -34,7 +34,14 @@ func main() {
 	stats := flag.Bool("stats", false, "print the phase summary tree and counters at the end")
 	benchOut := flag.String("bench-out", "BENCH_baseline.json", "write per-table HPWL/phase-time baseline JSON here (empty = off)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget per table (0 = none); a table that exceeds it fails with context.DeadlineExceeded")
+	ckpt := flag.String("checkpoint", "", "write per-run crash-safe placement checkpoints under this directory")
+	resume := flag.Bool("resume", false, "resume interrupted placements from -checkpoint (same tables, scale and flags required)")
 	flag.Parse()
+
+	if *resume && *ckpt == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint"))
+	}
+	exp.SetCheckpoint(*ckpt, *resume)
 
 	var rec *obs.Recorder
 	var traceSink *obs.JSONSink

@@ -8,16 +8,20 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"fbplace"
 	"fbplace/internal/bookshelf"
 	"fbplace/internal/chipio"
+	"fbplace/internal/faultsim"
 	"fbplace/internal/plot"
 )
 
@@ -37,7 +41,30 @@ func main() {
 	trace := flag.String("trace", "", "write a JSON-lines trace of the run to this file")
 	stats := flag.Bool("stats", false, "print the phase summary tree and counters after placement")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the placement run (0 = none)")
+	ckptDir := flag.String("checkpoint", "", "write per-level crash-safe checkpoints into this directory")
+	resume := flag.Bool("resume", false, "resume from the newest checkpoint in -checkpoint (same instance and flags required)")
+	dumpHex := flag.String("dump-hex", "", "write final positions as hex float64 bits to this file (bit-exact comparison)")
+	var faults []string
+	flag.Func("fault", "arm a fault injection site: name[:after=N,every=N,limit=N,prob=P,seed=N,panic=1] (repeatable)",
+		func(s string) error { faults = append(faults, s); return nil })
 	flag.Parse()
+
+	for _, spec := range faults {
+		if err := armFault(spec); err != nil {
+			fatal(err)
+		}
+	}
+	// An injected panic (a -fault site with panic=1) must look like a
+	// crash to scripts — non-zero exit — without a Go stack trace.
+	defer func() {
+		if r := recover(); r != nil {
+			if ie, ok := r.(*faultsim.InjectedError); ok {
+				fmt.Fprintln(os.Stderr, "fbplace: killed by injected fault:", ie)
+				os.Exit(3)
+			}
+			panic(r)
+		}
+	}()
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -93,12 +120,23 @@ func main() {
 		if *mode == "recursive" {
 			m = fbplace.ModeRecursive
 		}
-		rep, err := fbplace.PlaceCtx(ctx, n, fbplace.Config{
+		cfg := fbplace.Config{
 			Mode: m, Movebounds: mbs, TargetDensity: *density,
 			ClusterRatio: *cluster, Workers: *workers,
 			SkipLegalization: *skipLegal, DetailPasses: *detail,
-			Obs: rec,
-		})
+			Obs:        rec,
+			Checkpoint: fbplace.Checkpoint{Dir: *ckptDir},
+		}
+		var rep *fbplace.Report
+		var err error
+		if *resume {
+			if *ckptDir == "" {
+				fatal(fmt.Errorf("-resume requires -checkpoint"))
+			}
+			rep, err = fbplace.Resume(ctx, n, *ckptDir, cfg)
+		} else {
+			rep, err = fbplace.PlaceCtx(ctx, n, cfg)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -162,6 +200,12 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
+	if *dumpHex != "" {
+		if err := writeHexPositions(*dumpHex, n); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *dumpHex)
+	}
 	if *svg != "" {
 		f, err := os.Create(*svg)
 		if err != nil {
@@ -194,6 +238,62 @@ func load(path string, cells int, seed int64) (*fbplace.Netlist, []fbplace.Moveb
 	}
 	defer f.Close()
 	return chipio.Read(f)
+}
+
+// armFault parses "name[:k=v,...]" and arms the named injection site.
+// Keys mirror faultsim.Schedule: after, every, limit, prob, seed, panic.
+func armFault(spec string) error {
+	name, opts, _ := strings.Cut(spec, ":")
+	var sched faultsim.Schedule
+	if opts != "" {
+		for _, kv := range strings.Split(opts, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return fmt.Errorf("fault %q: option %q is not k=v", name, kv)
+			}
+			var err error
+			switch k {
+			case "after":
+				sched.After, err = strconv.ParseUint(v, 10, 64)
+			case "every":
+				sched.Every, err = strconv.ParseUint(v, 10, 64)
+			case "limit":
+				sched.Limit, err = strconv.ParseUint(v, 10, 64)
+			case "prob":
+				sched.Prob, err = strconv.ParseFloat(v, 64)
+			case "seed":
+				sched.Seed, err = strconv.ParseUint(v, 10, 64)
+			case "panic":
+				sched.Panic, err = strconv.ParseBool(v)
+			default:
+				return fmt.Errorf("fault %q: unknown option %q", name, k)
+			}
+			if err != nil {
+				return fmt.Errorf("fault %q: option %s: %w", name, k, err)
+			}
+		}
+	}
+	return faultsim.Arm(name, sched)
+}
+
+// writeHexPositions dumps each cell's position as the hex float64 bit
+// patterns "xbits ybits", one line per cell, so two placements can be
+// compared for bit-identity with cmp/diff.
+func writeHexPositions(path string, n *fbplace.Netlist) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	for i := range n.X {
+		fmt.Fprintf(bw, "%016x %016x\n", math.Float64bits(n.X[i]), math.Float64bits(n.Y[i]))
+	}
+	if err := bw.Flush(); err != nil {
+		// The flush failure is the error worth reporting.
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -127,6 +127,27 @@ func PlaceCtx(ctx context.Context, n *Netlist, cfg Config) (*Report, error) {
 	return placer.PlaceCtx(ctx, n, cfg)
 }
 
+// Checkpoint configures crash-safe snapshotting of the global placement
+// loop (set Config.Checkpoint): after each level a versioned, checksummed
+// snapshot is written atomically into Dir, and Resume continues from it.
+type Checkpoint = placer.Checkpoint
+
+// ResumeError explains why Resume could not use a checkpoint directory
+// (no loadable snapshot, or a netlist/config mismatch).
+type ResumeError = placer.ResumeError
+
+// NumericError reports a NaN or infinite input value (net weight, pin
+// offset, pad or cell position) rejected at placer entry.
+type NumericError = placer.NumericError
+
+// Resume continues an interrupted PlaceCtx run from the newest loadable
+// snapshot in dir. The netlist and cfg must match the original run
+// (fingerprints are checked); the continuation is bit-identical to an
+// uninterrupted run with the same inputs.
+func Resume(ctx context.Context, n *Netlist, dir string, cfg Config) (*Report, error) {
+	return placer.Resume(ctx, n, dir, cfg)
+}
+
 // FeasibilityReport is the result of CheckFeasibility.
 type FeasibilityReport = region.FeasibilityReport
 

@@ -13,6 +13,7 @@ package bookshelf
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -25,6 +26,25 @@ import (
 	"fbplace/internal/geom"
 	"fbplace/internal/netlist"
 )
+
+// ParseError reports invalid Bookshelf input with its position: the file
+// (the logical stream kind — "nodes", "nets", "pl", "scl" — or the actual
+// path when the parse went through ReadAux) and the 1-based line number.
+type ParseError struct {
+	// File identifies the offending input, Line its 1-based line number
+	// (0 when the error is not tied to one line).
+	File string
+	Line int
+	// Reason describes the violation.
+	Reason string
+}
+
+func (e *ParseError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("bookshelf: %s line %d: %s", e.File, e.Line, e.Reason)
+	}
+	return fmt.Sprintf("bookshelf: %s: %s", e.File, e.Reason)
+}
 
 // ReadAux loads an instance from a Bookshelf .aux file.
 func ReadAux(path string) (*netlist.Netlist, error) {
@@ -93,8 +113,28 @@ func readFiles(nodesPath, netsPath, plPath, sclPath string) (*netlist.Netlist, e
 	if files[3] != nil {
 		sclReader = files[3]
 	}
-	return Read(files[0], files[1], files[2], sclReader)
+	n, err := Read(files[0], files[1], files[2], sclReader)
+	// Read positions errors by stream kind; substitute the actual paths so
+	// ReadAux callers see "…/ibm01.nodes line 12: …".
+	var pe *ParseError
+	if errors.As(err, &pe) {
+		switch pe.File {
+		case "nodes":
+			pe.File = nodesPath
+		case "nets":
+			pe.File = netsPath
+		case "pl":
+			pe.File = plPath
+		case "scl":
+			pe.File = sclPath
+		}
+	}
+	return n, err
 }
+
+// finite rejects the NaN/Inf values strconv.ParseFloat happily produces
+// from "NaN"/"Inf" tokens.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // lineScanner yields non-comment, non-empty lines.
 type lineScanner struct {
@@ -141,12 +181,17 @@ func Read(nodes, nets, pl io.Reader, scl io.Reader) (*netlist.Netlist, error) {
 			continue
 		default:
 			if len(f) < 3 {
-				return nil, fmt.Errorf("bookshelf: nodes line %d: want 'name w h [terminal]'", ls.line)
+				return nil, &ParseError{File: "nodes", Line: ls.line, Reason: "want 'name w h [terminal]'"}
 			}
 			w, err1 := strconv.ParseFloat(f[1], 64)
 			h, err2 := strconv.ParseFloat(f[2], 64)
 			if err1 != nil || err2 != nil {
-				return nil, fmt.Errorf("bookshelf: nodes line %d: bad size", ls.line)
+				return nil, &ParseError{File: "nodes", Line: ls.line, Reason: fmt.Sprintf("bad size %q x %q", f[1], f[2])}
+			}
+			// ParseFloat accepts "NaN" and "Inf"; a non-finite size would
+			// poison every downstream area computation.
+			if !finite(w) || !finite(h) {
+				return nil, &ParseError{File: "nodes", Line: ls.line, Reason: fmt.Sprintf("non-finite size %gx%g", w, h)}
 			}
 			info := nodeInfo{w: w, h: h}
 			if len(f) > 3 && strings.EqualFold(f[3], "terminal") {
@@ -172,7 +217,12 @@ func Read(nodes, nets, pl io.Reader, scl io.Reader) (*netlist.Netlist, error) {
 		x, err1 := strconv.ParseFloat(f[1], 64)
 		y, err2 := strconv.ParseFloat(f[2], 64)
 		if err1 != nil || err2 != nil {
+			// Lenient by design: .pl files carry header and orientation
+			// lines this subset does not model.
 			continue
+		}
+		if !finite(x) || !finite(y) {
+			return nil, &ParseError{File: "pl", Line: ls.line, Reason: fmt.Sprintf("non-finite position %g %g", x, y)}
 		}
 		pos[f[0]] = geom.Point{X: x, Y: y}
 		for _, tok := range f[3:] {
@@ -279,11 +329,11 @@ func Read(nodes, nets, pl io.Reader, scl io.Reader) (*netlist.Netlist, error) {
 			current = &netlist.Net{Name: name, Weight: 1}
 		default:
 			if current == nil {
-				return nil, fmt.Errorf("bookshelf: nets line %d: pin before NetDegree", ls.line)
+				return nil, &ParseError{File: "nets", Line: ls.line, Reason: "pin before NetDegree"}
 			}
 			id, ok := ids[f[0]]
 			if !ok {
-				return nil, fmt.Errorf("bookshelf: nets line %d: unknown node %q", ls.line, f[0])
+				return nil, &ParseError{File: "nets", Line: ls.line, Reason: fmt.Sprintf("unknown node %q", f[0])}
 			}
 			var off geom.Point
 			// Offsets appear as "name I : dx dy" (relative to the node
@@ -293,6 +343,9 @@ func Read(nodes, nets, pl io.Reader, scl io.Reader) (*netlist.Netlist, error) {
 					dx, e1 := strconv.ParseFloat(f[i+1], 64)
 					dy, e2 := strconv.ParseFloat(f[i+2], 64)
 					if e1 == nil && e2 == nil {
+						if !finite(dx) || !finite(dy) {
+							return nil, &ParseError{File: "nets", Line: ls.line, Reason: fmt.Sprintf("non-finite pin offset %g %g", dx, dy)}
+						}
 						off = geom.Point{X: dx, Y: dy}
 					}
 					break
@@ -354,6 +407,9 @@ func parseSCL(r io.Reader) ([]geom.Rect, float64, error) {
 			cur.siteWidth = val()
 		case key == "end" && cur.active:
 			w := cur.numSites * cur.siteWidth
+			if !finite(cur.subOrigin) || !finite(cur.coord) || !finite(w) || !finite(cur.height) {
+				return nil, 0, &ParseError{File: "scl", Line: ls.line, Reason: "non-finite row geometry"}
+			}
 			rows = append(rows, geom.Rect{
 				Xlo: cur.subOrigin, Ylo: cur.coord,
 				Xhi: cur.subOrigin + w, Yhi: cur.coord + cur.height,

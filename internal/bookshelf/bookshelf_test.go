@@ -1,6 +1,7 @@
 package bookshelf
 
 import (
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
@@ -103,6 +104,68 @@ func TestReadRejectsUnknownNode(t *testing.T) {
 		strings.NewReader(plSample), nil)
 	if err == nil {
 		t.Fatal("unknown node accepted")
+	}
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *ParseError, got %T: %v", err, err)
+	}
+	if pe.File != "nets" || pe.Line != 3 {
+		t.Fatalf("position = %s:%d, want nets:3", pe.File, pe.Line)
+	}
+}
+
+// TestReadRejectsBadInput: every malformed stream must be reported with a
+// structured ParseError naming the stream kind and 1-based line.
+func TestReadRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name            string
+		nodes, nets, pl string
+		file            string
+		line            int
+	}{
+		{"short nodes line", "UCLA nodes 1.0\na 2\n", netsSample, plSample, "nodes", 2},
+		{"bad node size", "UCLA nodes 1.0\na 2 oops\n", netsSample, plSample, "nodes", 2},
+		{"non-finite node size", "UCLA nodes 1.0\na NaN 1\n", netsSample, plSample, "nodes", 2},
+		{"pin before NetDegree", nodesSample, "UCLA nets 1.0\n\ta I : 0 0\n", plSample, "nets", 2},
+		{"non-finite pin offset", nodesSample, "UCLA nets 1.0\nNetDegree : 1\n\ta I : Inf 0\n", plSample, "nets", 3},
+		{"non-finite position", nodesSample, netsSample, "UCLA pl 1.0\na 2 Inf : N\n", "pl", 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Read(strings.NewReader(tc.nodes), strings.NewReader(tc.nets),
+				strings.NewReader(tc.pl), nil)
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("want *ParseError, got %T: %v", err, err)
+			}
+			if pe.File != tc.file || pe.Line != tc.line {
+				t.Fatalf("position = %s:%d, want %s:%d (%v)", pe.File, pe.Line, tc.file, tc.line, err)
+			}
+		})
+	}
+}
+
+// ReadAux must substitute real file paths into ParseError positions.
+func TestReadAuxReportsPath(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	write("x.nodes", "UCLA nodes 1.0\na 2 oops\n")
+	write("x.nets", netsSample)
+	write("x.pl", plSample)
+	aux := write("x.aux", "RowBasedPlacement : x.nodes x.nets x.pl\n")
+	_, err := ReadAux(aux)
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *ParseError, got %T: %v", err, err)
+	}
+	if pe.File != filepath.Join(dir, "x.nodes") || pe.Line != 2 {
+		t.Fatalf("position = %s:%d, want %s:2", pe.File, pe.Line, filepath.Join(dir, "x.nodes"))
 	}
 }
 

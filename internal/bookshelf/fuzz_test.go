@@ -1,0 +1,41 @@
+package bookshelf
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives Read with arbitrary .nodes/.nets/.pl/.scl streams. The
+// parser must never panic; failures must be structured (a *ParseError or a
+// wrapped netlist validation error, both prefixed "bookshelf:"); and any
+// accepted instance must satisfy the netlist's structural invariants.
+func FuzzParse(f *testing.F) {
+	f.Add(nodesSample, netsSample, plSample, sclSample)
+	f.Add(nodesSample, netsSample, plSample, "")
+	f.Add("UCLA nodes 1.0\na 2 1\n", "UCLA nets 1.0\nNetDegree : 1\n\ta I : 0 0\n", "UCLA pl 1.0\na 0 0 : N\n", "")
+	f.Add("a NaN 1\n", netsSample, plSample, "")
+	f.Add(nodesSample, "x I : 0 0\n", plSample, "")
+	f.Fuzz(func(t *testing.T, nodes, nets, pl, scl string) {
+		var sclR io.Reader
+		if scl != "" {
+			sclR = strings.NewReader(scl)
+		}
+		n, err := Read(strings.NewReader(nodes), strings.NewReader(nets),
+			strings.NewReader(pl), sclR)
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) && !strings.HasPrefix(err.Error(), "bookshelf:") {
+				t.Fatalf("unstructured error %T: %v", err, err)
+			}
+			if errors.As(err, &pe) && pe.Line < 0 {
+				t.Fatalf("negative line in %v", err)
+			}
+			return
+		}
+		if verr := n.Validate(0); verr != nil {
+			t.Fatalf("accepted instance fails Validate: %v", verr)
+		}
+	})
+}

@@ -17,6 +17,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -24,6 +25,19 @@ import (
 	"fbplace/internal/netlist"
 	"fbplace/internal/region"
 )
+
+// ParseError reports malformed chipio input with the 1-based line number
+// the parser stopped at. Semantic errors found after parsing (dangling PIN
+// references, bad movebound indices) are reported by netlist.Validate
+// instead and carry no line.
+type ParseError struct {
+	Line   int
+	Reason string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("chipio: line %d: %s", e.Line, e.Reason)
+}
 
 // Write serializes the netlist and movebounds.
 func Write(w io.Writer, n *netlist.Netlist, mbs []region.Movebound) error {
@@ -91,7 +105,7 @@ func Read(r io.Reader) (*netlist.Netlist, []region.Movebound, error) {
 		return nil, io.EOF
 	}
 	bad := func(msg string, args ...interface{}) error {
-		return fmt.Errorf("chipio: line %d: %s", line, fmt.Sprintf(msg, args...))
+		return &ParseError{Line: line, Reason: fmt.Sprintf(msg, args...)}
 	}
 
 	head, err := next()
@@ -104,8 +118,15 @@ func Read(r io.Reader) (*netlist.Netlist, []region.Movebound, error) {
 	}
 	f := func(s string) float64 {
 		v, e := strconv.ParseFloat(s, 64)
-		if e != nil && err == nil {
-			err = bad("bad number %q", s)
+		if err == nil {
+			switch {
+			case e != nil:
+				err = bad("bad number %q", s)
+			case math.IsNaN(v) || math.IsInf(v, 0):
+				// ParseFloat accepts "NaN" and "Inf"; neither has a meaning
+				// in any chipio field.
+				err = bad("non-finite number %q", s)
+			}
 		}
 		return v
 	}
@@ -208,7 +229,10 @@ func Read(r io.Reader) (*netlist.Netlist, []region.Movebound, error) {
 						return nil, nil, bad("truncated PIN")
 					}
 					ci, cerr := strconv.Atoi(fields[pos+1])
-					if cerr != nil || ci < 0 {
+					// The upper bound matters: CellID is int32, and a huge
+					// index would wrap negative and silently turn the pin
+					// into a pad instead of failing Validate.
+					if cerr != nil || ci < 0 || ci > math.MaxInt32 {
 						return nil, nil, bad("bad PIN cell %q", fields[pos+1])
 					}
 					net.Pins = append(net.Pins, netlist.Pin{Cell: netlist.CellID(ci), Offset: geom.Point{X: f(fields[pos+2]), Y: f(fields[pos+3])}})

@@ -2,6 +2,7 @@ package chipio
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -60,18 +61,41 @@ func TestRoundTrip(t *testing.T) {
 }
 
 func TestReadRejectsGarbage(t *testing.T) {
-	cases := map[string]string{
-		"no header":     "AREA 0 0 1 1 ROWHEIGHT 1\n",
-		"bad area":      "FBPLACE v1\nAREA 0 0 1\n",
-		"bad kind":      "FBPLACE v1\nAREA 0 0 10 10 ROWHEIGHT 1\nMOVEBOUND m sideways 1 0 0 1 1\n",
-		"bad record":    "FBPLACE v1\nAREA 0 0 10 10 ROWHEIGHT 1\nBLOB x\n",
-		"short cell":    "FBPLACE v1\nAREA 0 0 10 10 ROWHEIGHT 1\nCELL a 1 1\n",
-		"bad pin index": "FBPLACE v1\nAREA 0 0 10 10 ROWHEIGHT 1\nCELL a 1 1 5 5\nNET n 1 1 PIN x 0 0\n",
-		"bad pin ref":   "FBPLACE v1\nAREA 0 0 10 10 ROWHEIGHT 1\nCELL a 1 1 5 5\nNET n 1 1 PIN 7 0 0\n",
+	// line 0 means "rejected, but by post-parse validation, no position".
+	cases := map[string]struct {
+		input string
+		line  int
+	}{
+		"no header":       {"AREA 0 0 1 1 ROWHEIGHT 1\n", 1},
+		"bad area":        {"FBPLACE v1\nAREA 0 0 1\n", 2},
+		"non-finite area": {"FBPLACE v1\nAREA 0 0 Inf 10 ROWHEIGHT 1\n", 2},
+		"bad kind":        {"FBPLACE v1\nAREA 0 0 10 10 ROWHEIGHT 1\nMOVEBOUND m sideways 1 0 0 1 1\n", 3},
+		"bad record":      {"FBPLACE v1\nAREA 0 0 10 10 ROWHEIGHT 1\nBLOB x\n", 3},
+		"short cell":      {"FBPLACE v1\nAREA 0 0 10 10 ROWHEIGHT 1\nCELL a 1 1\n", 3},
+		"nan cell size":   {"FBPLACE v1\nAREA 0 0 10 10 ROWHEIGHT 1\nCELL a NaN 1 5 5\n", 3},
+		"bad pin index":   {"FBPLACE v1\nAREA 0 0 10 10 ROWHEIGHT 1\nCELL a 1 1 5 5\nNET n 1 1 PIN x 0 0\n", 4},
+		// A pin index past int32 would wrap negative in CellID and silently
+		// become a pad; it must be rejected at parse time.
+		"huge pin index": {"FBPLACE v1\nAREA 0 0 10 10 ROWHEIGHT 1\nCELL a 1 1 5 5\nNET n 1 1 PIN 4294967299 0 0\n", 4},
+		"bad pin ref":    {"FBPLACE v1\nAREA 0 0 10 10 ROWHEIGHT 1\nCELL a 1 1 5 5\nNET n 1 1 PIN 7 0 0\n", 0},
 	}
-	for name, input := range cases {
-		if _, _, err := Read(strings.NewReader(input)); err == nil {
+	for name, tc := range cases {
+		_, _, err := Read(strings.NewReader(tc.input))
+		if err == nil {
 			t.Errorf("%s: accepted", name)
+			continue
+		}
+		var pe *ParseError
+		if tc.line == 0 {
+			if errors.As(err, &pe) {
+				t.Errorf("%s: want validation error, got ParseError %v", name, err)
+			}
+			continue
+		}
+		if !errors.As(err, &pe) {
+			t.Errorf("%s: want *ParseError, got %T: %v", name, err, err)
+		} else if pe.Line != tc.line {
+			t.Errorf("%s: line = %d, want %d (%v)", name, pe.Line, tc.line, err)
 		}
 	}
 }

@@ -1,0 +1,45 @@
+package chipio
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzReadChip drives Read with arbitrary input. The parser must never
+// panic; failures must be structured ParseErrors or wrapped validation
+// errors; and any accepted instance must validate, survive a Write/Read
+// round trip, and keep its shape across it.
+func FuzzReadChip(f *testing.F) {
+	f.Add("FBPLACE v1\nAREA 0 0 10 10 ROWHEIGHT 1\nCELL a 1 1 5 5\nCELL b 2 1 3 3 FIXED\nNET n 2 2 PIN 0 0 0 PAD 1 1\n")
+	f.Add("FBPLACE v1\nAREA 0 0 20 20 ROWHEIGHT 2\nMOVEBOUND m inclusive 1 0 0 5 5\nCELL a 1 1 5 5 MB 0\n")
+	f.Add("FBPLACE v1\nAREA 0 0 1 1 ROWHEIGHT 1\n")
+	f.Add("FBPLACE v1\nAREA 0 0 10 10 ROWHEIGHT 1\nCELL a 1 1 5 5\nNET n 1 1 PIN 4294967299 0 0\n")
+	f.Add("# comment\nFBPLACE v1\nAREA 0 0 10 10 ROWHEIGHT NaN\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		n, mbs, err := Read(strings.NewReader(data))
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) && !strings.HasPrefix(err.Error(), "chipio:") {
+				t.Fatalf("unstructured error %T: %v", err, err)
+			}
+			return
+		}
+		if verr := n.Validate(len(mbs)); verr != nil {
+			t.Fatalf("accepted instance fails Validate: %v", verr)
+		}
+		var buf bytes.Buffer
+		if werr := Write(&buf, n, mbs); werr != nil {
+			t.Fatalf("rewrite failed: %v", werr)
+		}
+		n2, mbs2, rerr := Read(bytes.NewReader(buf.Bytes()))
+		if rerr != nil {
+			t.Fatalf("rewrite does not parse: %v\n%s", rerr, buf.Bytes())
+		}
+		if n2.NumCells() != n.NumCells() || n2.NumNets() != n.NumNets() || len(mbs2) != len(mbs) {
+			t.Fatalf("round trip changed shape: %d/%d cells, %d/%d nets, %d/%d movebounds",
+				n2.NumCells(), n.NumCells(), n2.NumNets(), n.NumNets(), len(mbs2), len(mbs))
+		}
+	})
+}

@@ -1,0 +1,347 @@
+// Package ckpt provides crash-safe checkpointing for the global placement
+// loop: a versioned, checksummed snapshot format and an on-disk store with
+// atomic generation rotation, so that a placement run killed mid-flight
+// (preemption, OOM, power loss) can resume from its last completed level
+// instead of starting over.
+//
+// Format. A snapshot file is
+//
+//	magic "FBPCKPT\x00" | uint32 version | uint32 CRC32-IEEE(payload) |
+//	uint64 len(payload) | payload
+//
+// with the payload a fixed-order encoding/binary (little-endian) dump of
+// the Snapshot fields. Positions are stored as raw float64 bits, so a
+// restored placement is bit-identical to the one captured — the property
+// the placer's kill-and-resume determinism tests rely on. Everything is
+// stdlib-only.
+//
+// Atomicity. Save writes to a temporary file in the same directory, fsyncs
+// it, and renames it to its final generation name (rename is atomic on
+// POSIX). The previous generation is retained, so a crash at any point —
+// including mid-write of the new generation — leaves at least one fully
+// valid snapshot on disk. Load walks generations newest-first and falls
+// back past any file that fails magic/version/CRC validation; callers can
+// tell a fallback happened from LoadInfo and record it as a degradation.
+//
+// Fault injection. Two faultsim sites cover the failure modes tests care
+// about: "ckpt.write" fails a Save outright (the placer records the skip
+// and keeps running), and "ckpt.corrupt" tears the write — a truncated
+// payload reaches the final file as if the process died between write and
+// fsync — so the loader's previous-generation fallback can be exercised
+// deterministically.
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"fbplace/internal/degrade"
+	"fbplace/internal/faultsim"
+	"fbplace/internal/fbp"
+	"fbplace/internal/obs"
+)
+
+// FormatVersion is the current snapshot payload version. Readers reject
+// snapshots with a different version rather than guessing at field layout.
+const FormatVersion = 1
+
+// magic identifies a snapshot file. The trailing NUL keeps the magic from
+// being a prefix of any plausible text format.
+const magic = "FBPCKPT\x00"
+
+const (
+	// genPrefix/genSuffix frame generation file names:
+	// ckpt-00000001.fbck, ckpt-00000002.fbck, ...
+	genPrefix = "ckpt-"
+	genSuffix = ".fbck"
+)
+
+// writeFault fails a Save before it touches the store, exercising the
+// placer's record-and-continue handling of checkpoint write errors.
+var writeFault = faultsim.Register("ckpt.write",
+	"a checkpoint save fails before touching the store")
+
+// corruptFault tears the current Save: only a prefix of the encoded
+// snapshot reaches the final generation file, as if the process died
+// between write and fsync. Save still reports success — the corruption is
+// only discovered by a later Load, which must fall back to the previous
+// generation.
+var corruptFault = faultsim.Register("ckpt.corrupt",
+	"a checkpoint write is torn: a truncated payload lands in the newest generation")
+
+// ErrNoCheckpoint is returned by Load when the directory holds no
+// generation files at all (as opposed to holding only invalid ones).
+var ErrNoCheckpoint = errors.New("ckpt: no checkpoint found")
+
+// FormatError reports a snapshot file that failed structural validation
+// (bad magic, unsupported version, CRC mismatch, or truncated payload).
+type FormatError struct {
+	// Path is the offending file, Reason what failed.
+	Path, Reason string
+}
+
+func (e *FormatError) Error() string {
+	return fmt.Sprintf("ckpt: %s: %s", e.Path, e.Reason)
+}
+
+// Snapshot is the global-loop state captured at a level boundary: enough
+// to re-enter the loop at the next level and reproduce the uninterrupted
+// run bit for bit. The loop itself is RNG-free — the anchors of level
+// lv+1 are recomputed from the restored positions — so positions plus the
+// level counter fully determine the continuation.
+type Snapshot struct {
+	// NetlistFP is the structural fingerprint of the netlist the snapshot
+	// belongs to (see Fingerprint); ConfigFP the placer's config hash.
+	// Resume refuses snapshots whose fingerprints do not match.
+	NetlistFP, ConfigFP uint64
+	// Level is the last completed partitioning level, Levels the total
+	// planned for the run.
+	Level, Levels int
+	// X, Y are the cell center positions after Level's anchored QP,
+	// restored bit-exact.
+	X, Y []float64
+	// QPSolves and CGIters are the accumulated top-level QP effort.
+	QPSolves, CGIters int64
+	// Relaxations accumulates the recursive baseline's capacity
+	// relaxations (0 in FBP mode).
+	Relaxations int
+	// GlobalElapsed is the wall clock spent in the global loop up to the
+	// snapshot, so a resumed run reports an honest total.
+	GlobalElapsed time.Duration
+	// FBPStats are the per-level flow statistics of the completed levels.
+	FBPStats []fbp.Stats
+	// Degradations are the solver fallbacks recorded up to the snapshot;
+	// a resumed run restores them so Report.Degradations covers the whole
+	// logical run, not just the post-resume tail.
+	Degradations []degrade.Event
+}
+
+// Store reads and writes snapshot generations in one directory.
+type Store struct {
+	// Dir is the checkpoint directory (created on first Save).
+	Dir string
+	// Obs, when non-nil, counts writes ("ckpt.writes"), restores
+	// ("ckpt.restores") and previous-generation fallbacks
+	// ("ckpt.fallbacks").
+	Obs *obs.Recorder
+	// Keep is how many newest generations Save retains (0 means the
+	// default of 2: the latest plus one fallback generation).
+	Keep int
+}
+
+func (s *Store) keep() int {
+	if s.Keep <= 0 {
+		return 2
+	}
+	return s.Keep
+}
+
+// generation is one on-disk snapshot file.
+type generation struct {
+	gen  uint64
+	path string
+}
+
+// generations lists the store's snapshot files sorted newest-first.
+// Temporary files and unrelated names are ignored.
+func (s *Store) generations() ([]generation, error) {
+	entries, err := os.ReadDir(s.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []generation
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, genPrefix) || !strings.HasSuffix(name, genSuffix) {
+			continue
+		}
+		num := name[len(genPrefix) : len(name)-len(genSuffix)]
+		g, perr := strconv.ParseUint(num, 10, 64)
+		if perr != nil {
+			continue
+		}
+		out = append(out, generation{gen: g, path: filepath.Join(s.Dir, name)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].gen > out[j].gen })
+	return out, nil
+}
+
+// Save writes snap as a new generation: encode, write to a temp file in
+// the store directory, fsync, rename to the final name, then prune all but
+// the newest Keep generations. A Save error leaves every existing
+// generation untouched, so the caller can record the failure and continue
+// the run.
+func (s *Store) Save(snap *Snapshot) error {
+	if err := writeFault.Check(); err != nil {
+		return err
+	}
+	data := encodeSnapshot(snap)
+	if corruptFault.Check() != nil {
+		// Torn write: a prefix of the encoded snapshot lands in the final
+		// file. Save still succeeds — the damage is only visible to Load,
+		// which must fall back to the previous generation.
+		data = data[:len(data)/2]
+	}
+	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	gens, err := s.generations()
+	if err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	next := uint64(1)
+	if len(gens) > 0 {
+		next = gens[0].gen + 1
+	}
+	final := filepath.Join(s.Dir, fmt.Sprintf("%s%08d%s", genPrefix, next, genSuffix))
+	tmp := final + ".tmp"
+	if err := writeFileSync(tmp, data); err != nil {
+		// Best effort: a half-written temp file is invisible to Load but
+		// should not linger.
+		_ = os.Remove(tmp)
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	syncDir(s.Dir)
+	// Prune: keep the newest Keep generations (the one just written plus
+	// fallbacks). Remove failures are tolerable — stale generations only
+	// cost disk and are skipped by Load's newest-first walk.
+	for i, g := range gens {
+		if i+1 >= s.keep() { // +1 accounts for the generation just written
+			_ = os.Remove(g.path)
+		}
+	}
+	s.Obs.Count("ckpt.writes", 1)
+	return nil
+}
+
+// writeFileSync writes data to path and fsyncs it before closing, so the
+// bytes are durable before the rename publishes them.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		// The write error is what the caller needs; Close on this path
+		// cannot add information.
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives a crash.
+// Errors are ignored: some filesystems reject directory fsync, and the
+// rename itself already happened.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	// Directory fsync support is platform-dependent; failure here does not
+	// undo the rename.
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+// LoadInfo describes where a loaded snapshot came from.
+type LoadInfo struct {
+	// Path is the generation file the snapshot was read from, Gen its
+	// generation number.
+	Path string
+	Gen  uint64
+	// FellBack is true when a newer generation existed but failed
+	// validation; Detail carries that generation's error.
+	FellBack bool
+	Detail   string
+}
+
+// Load returns the newest valid snapshot. Generations that fail
+// validation (torn writes, corruption) are skipped — never a panic — and
+// the skip is reported through LoadInfo so the caller can record a
+// degradation. ErrNoCheckpoint is returned when the directory has no
+// generation files; a distinct error when generations exist but none
+// validates.
+func (s *Store) Load() (*Snapshot, LoadInfo, error) {
+	gens, err := s.generations()
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, LoadInfo{}, fmt.Errorf("%w in %s", ErrNoCheckpoint, s.Dir)
+		}
+		return nil, LoadInfo{}, fmt.Errorf("ckpt: %w", err)
+	}
+	if len(gens) == 0 {
+		return nil, LoadInfo{}, fmt.Errorf("%w in %s", ErrNoCheckpoint, s.Dir)
+	}
+	info := LoadInfo{}
+	var firstErr error
+	for i, g := range gens {
+		snap, rerr := readSnapshotFile(g.path)
+		if rerr != nil {
+			if i == 0 {
+				info.Detail = rerr.Error()
+			}
+			if firstErr == nil {
+				firstErr = rerr
+			}
+			continue
+		}
+		info.Path, info.Gen = g.path, g.gen
+		info.FellBack = i > 0
+		s.Obs.Count("ckpt.restores", 1)
+		if info.FellBack {
+			s.Obs.Count("ckpt.fallbacks", 1)
+		}
+		return snap, info, nil
+	}
+	return nil, LoadInfo{}, fmt.Errorf("ckpt: all %d generations in %s invalid: %w", len(gens), s.Dir, firstErr)
+}
+
+// readSnapshotFile reads and fully validates one generation file.
+func readSnapshotFile(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	header := len(magic) + 4 + 4 + 8
+	if len(data) < header {
+		return nil, &FormatError{Path: path, Reason: fmt.Sprintf("file too short (%d bytes)", len(data))}
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, &FormatError{Path: path, Reason: "bad magic"}
+	}
+	d := &dec{b: data, off: len(magic)}
+	version := d.u32()
+	sum := d.u32()
+	plen := d.u64()
+	if version != FormatVersion {
+		return nil, &FormatError{Path: path, Reason: fmt.Sprintf("unsupported format version %d (want %d)", version, FormatVersion)}
+	}
+	if plen != uint64(len(data)-header) {
+		return nil, &FormatError{Path: path, Reason: fmt.Sprintf("payload length %d, file carries %d", plen, len(data)-header)}
+	}
+	payload := data[header:]
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, &FormatError{Path: path, Reason: fmt.Sprintf("CRC mismatch: stored %08x, computed %08x", sum, got)}
+	}
+	snap, derr := decodeSnapshot(payload)
+	if derr != nil {
+		return nil, &FormatError{Path: path, Reason: derr.Error()}
+	}
+	return snap, nil
+}

@@ -1,0 +1,257 @@
+package ckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"time"
+
+	"fbplace/internal/degrade"
+	"fbplace/internal/fbp"
+)
+
+// The payload is a fixed-order little-endian dump. All integers are
+// written as uint64/uint32, floats as their IEEE-754 bit patterns
+// (math.Float64bits), strings and slices length-prefixed with uint32.
+// The decoder is defensive: every read bounds-checks against the
+// remaining payload and every count is sanity-checked against the bytes
+// that could possibly back it, so a corrupted-but-CRC-colliding payload
+// degrades to an error, never a panic or a huge allocation.
+
+// enc accumulates the payload.
+type enc struct {
+	b []byte
+}
+
+func (e *enc) u32(v uint32) {
+	e.b = binary.LittleEndian.AppendUint32(e.b, v)
+}
+
+func (e *enc) u64(v uint64) {
+	e.b = binary.LittleEndian.AppendUint64(e.b, v)
+}
+
+func (e *enc) i64(v int64) {
+	e.u64(uint64(v))
+}
+
+func (e *enc) f64(v float64) {
+	e.u64(math.Float64bits(v))
+}
+
+func (e *enc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+
+func (e *enc) dur(d time.Duration) {
+	e.i64(int64(d))
+}
+
+// dec reads the payload with a sticky error.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(reason string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("payload: %s at offset %d", reason, d.off)
+	}
+}
+
+func (d *dec) remaining() int {
+	return len(d.b) - d.off
+}
+
+func (d *dec) u32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if d.remaining() < 4 {
+		d.fail("truncated uint32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.remaining() < 8 {
+		d.fail("truncated uint64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *dec) i64() int64 {
+	return int64(d.u64())
+}
+
+func (d *dec) f64() float64 {
+	return math.Float64frombits(d.u64())
+}
+
+func (d *dec) str() string {
+	n := int(d.u32())
+	if d.err != nil {
+		return ""
+	}
+	if n < 0 || n > d.remaining() {
+		d.fail("string length exceeds payload")
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *dec) dur() time.Duration {
+	return time.Duration(d.i64())
+}
+
+// count reads a uint32 element count and checks it against the bytes that
+// could back it at minBytes per element, bounding any allocation by the
+// actual payload size.
+func (d *dec) count(minBytes int) int {
+	n := int(d.u32())
+	if d.err != nil {
+		return 0
+	}
+	if n < 0 || (minBytes > 0 && n > d.remaining()/minBytes) {
+		d.fail("element count exceeds payload")
+		return 0
+	}
+	return n
+}
+
+// encodeSnapshot renders snap as a complete snapshot file image: header
+// (magic, version, CRC, payload length) followed by the payload.
+func encodeSnapshot(snap *Snapshot) []byte {
+	p := &enc{}
+	p.u64(snap.NetlistFP)
+	p.u64(snap.ConfigFP)
+	p.i64(int64(snap.Level))
+	p.i64(int64(snap.Levels))
+	p.i64(snap.QPSolves)
+	p.i64(snap.CGIters)
+	p.i64(int64(snap.Relaxations))
+	p.dur(snap.GlobalElapsed)
+	p.u32(uint32(len(snap.X)))
+	for _, v := range snap.X {
+		p.f64(v)
+	}
+	for _, v := range snap.Y {
+		p.f64(v)
+	}
+	p.u32(uint32(len(snap.FBPStats)))
+	for i := range snap.FBPStats {
+		encodeStats(p, &snap.FBPStats[i])
+	}
+	p.u32(uint32(len(snap.Degradations)))
+	for _, ev := range snap.Degradations {
+		p.str(ev.Stage)
+		p.str(ev.Fallback)
+		p.str(ev.Detail)
+	}
+
+	payload := p.b
+	h := &enc{b: make([]byte, 0, len(magic)+16+len(payload))}
+	h.b = append(h.b, magic...)
+	h.u32(FormatVersion)
+	h.u32(crc32.ChecksumIEEE(payload))
+	h.u64(uint64(len(payload)))
+	h.b = append(h.b, payload...)
+	return h.b
+}
+
+// decodeSnapshot parses a CRC-validated payload. It still bounds-checks
+// everything: CRC validation makes corruption unlikely, not impossible.
+func decodeSnapshot(payload []byte) (*Snapshot, error) {
+	d := &dec{b: payload}
+	snap := &Snapshot{}
+	snap.NetlistFP = d.u64()
+	snap.ConfigFP = d.u64()
+	snap.Level = int(d.i64())
+	snap.Levels = int(d.i64())
+	snap.QPSolves = d.i64()
+	snap.CGIters = d.i64()
+	snap.Relaxations = int(d.i64())
+	snap.GlobalElapsed = d.dur()
+	nc := d.count(16) // 8 bytes per coordinate, two coordinates per cell
+	if d.err == nil {
+		snap.X = make([]float64, nc)
+		for i := range snap.X {
+			snap.X[i] = d.f64()
+		}
+		snap.Y = make([]float64, nc)
+		for i := range snap.Y {
+			snap.Y[i] = d.f64()
+		}
+	}
+	ns := d.count(statsMinBytes)
+	if d.err == nil {
+		snap.FBPStats = make([]fbp.Stats, ns)
+		for i := range snap.FBPStats {
+			decodeStats(d, &snap.FBPStats[i])
+		}
+	}
+	nd := d.count(12) // three length prefixes per event
+	if d.err == nil {
+		snap.Degradations = make([]degrade.Event, nd)
+		for i := range snap.Degradations {
+			snap.Degradations[i].Stage = d.str()
+			snap.Degradations[i].Fallback = d.str()
+			snap.Degradations[i].Detail = d.str()
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("payload: %d trailing bytes", d.remaining())
+	}
+	return snap, nil
+}
+
+// statsMinBytes is the encoded size of one fbp.Stats record; keep in sync
+// with encodeStats.
+const statsMinBytes = 12 * 8
+
+func encodeStats(p *enc, s *fbp.Stats) {
+	p.i64(int64(s.NumNodes))
+	p.i64(int64(s.NumArcs))
+	p.i64(int64(s.NumWindows))
+	p.i64(int64(s.NumRegions))
+	p.i64(int64(s.NumExternals))
+	p.dur(s.BuildTime)
+	p.dur(s.SolveTime)
+	p.dur(s.RealizeTime)
+	p.i64(int64(s.Waves))
+	p.i64(int64(s.NSPivots))
+	p.i64(s.LocalQPSolves)
+	p.i64(s.LocalCGIters)
+}
+
+func decodeStats(d *dec, s *fbp.Stats) {
+	s.NumNodes = int(d.i64())
+	s.NumArcs = int(d.i64())
+	s.NumWindows = int(d.i64())
+	s.NumRegions = int(d.i64())
+	s.NumExternals = int(d.i64())
+	s.BuildTime = d.dur()
+	s.SolveTime = d.dur()
+	s.RealizeTime = d.dur()
+	s.Waves = int(d.i64())
+	s.NSPivots = int(d.i64())
+	s.LocalQPSolves = d.i64()
+	s.LocalCGIters = d.i64()
+}

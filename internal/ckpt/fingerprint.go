@@ -1,0 +1,61 @@
+package ckpt
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+
+	"fbplace/internal/netlist"
+)
+
+// Fingerprint hashes the structure of a netlist — cells (name, size,
+// fixedness, movebound), nets (name, weight, pins), chip area, and row
+// height — with FNV-1a. Positions are deliberately excluded: they are the
+// state a snapshot restores, not part of the instance's identity. Resume
+// compares this fingerprint so a snapshot is never applied to a different
+// circuit.
+func Fingerprint(n *netlist.Netlist) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		// fnv's Write never fails.
+		_, _ = h.Write(buf[:])
+	}
+	wf := func(v float64) { w64(math.Float64bits(v)) }
+	ws := func(s string) {
+		w64(uint64(len(s)))
+		_, _ = h.Write([]byte(s))
+	}
+	wf(n.Area.Xlo)
+	wf(n.Area.Ylo)
+	wf(n.Area.Xhi)
+	wf(n.Area.Yhi)
+	wf(n.RowHeight)
+	w64(uint64(len(n.Cells)))
+	for i := range n.Cells {
+		c := &n.Cells[i]
+		ws(c.Name)
+		wf(c.Width)
+		wf(c.Height)
+		fixed := uint64(0)
+		if c.Fixed {
+			fixed = 1
+		}
+		w64(fixed)
+		w64(uint64(int64(c.Movebound)))
+	}
+	w64(uint64(len(n.Nets)))
+	for i := range n.Nets {
+		net := &n.Nets[i]
+		ws(net.Name)
+		wf(net.Weight)
+		w64(uint64(len(net.Pins)))
+		for _, p := range net.Pins {
+			w64(uint64(int64(p.Cell)))
+			wf(p.Offset.X)
+			wf(p.Offset.Y)
+		}
+	}
+	return h.Sum64()
+}

@@ -63,6 +63,19 @@ func (l *Log) Add(stage, fallback, detail string) {
 	obsRec.Count("degrade."+stage, 1)
 }
 
+// Restore appends events recorded by a previous process (a checkpoint
+// snapshot being resumed) without bumping obs counters: the counters
+// describe this process's run, while restored events describe the logical
+// run being continued.
+func (l *Log) Restore(events []Event) {
+	if l == nil || len(events) == 0 {
+		return
+	}
+	l.mu.Lock()
+	l.events = append(l.events, events...)
+	l.mu.Unlock()
+}
+
 // Len returns the number of recorded events.
 func (l *Log) Len() int {
 	if l == nil {

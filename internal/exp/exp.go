@@ -250,7 +250,7 @@ func runPair(inst *gen.Instance, withMB bool) (CompareRow, error) {
 
 	// FBP placer (same cluster ratio).
 	fbpNet := inst.N.Clone()
-	rep, err := placer.PlaceCtx(harnessCtx(), fbpNet, placer.Config{
+	rep, err := runPlace(fbpNet, placer.Config{
 		Movebounds:   mbs,
 		ClusterRatio: clusterRatioFor(len(fbpNet.MovableIDs())),
 		Obs:          obsRec,

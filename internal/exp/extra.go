@@ -107,7 +107,7 @@ func AblationRecursive(scale float64) ([]AblationRow, error) {
 	}{{"FBP", placer.ModeFBP}, {"recursive", placer.ModeRecursive}} {
 		n := inst.N.Clone()
 		start := time.Now()
-		rep, err := placer.PlaceCtx(harnessCtx(), n, placer.Config{Mode: mode.mode, Movebounds: inst.Movebounds})
+		rep, err := runPlace(n, placer.Config{Mode: mode.mode, Movebounds: inst.Movebounds})
 		if err != nil {
 			return rows, fmt.Errorf("%s: %w", mode.name, err)
 		}
@@ -137,7 +137,7 @@ func AblationLocalQP(scale float64) ([]AblationRow, error) {
 				return rows, err
 			}
 			start := time.Now()
-			rep, err := placer.PlaceCtx(harnessCtx(), inst.N, placer.Config{NoLocalQP: cfg.noLocal})
+			rep, err := runPlace(inst.N, placer.Config{NoLocalQP: cfg.noLocal})
 			if err != nil {
 				return rows, fmt.Errorf("%s/%s: %w", cfg.name, spec.Name, err)
 			}

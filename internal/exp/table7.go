@@ -53,7 +53,7 @@ func Table7(scale float64) ([]T7Row, error) {
 
 		// BonnPlace FBP in "standard mode" (paper: BestChoice ratio 2).
 		fbpNet := inst.N.Clone()
-		rep, err := placer.PlaceCtx(harnessCtx(), fbpNet, placer.Config{TargetDensity: target, ClusterRatio: 2, Obs: obsRec})
+		rep, err := runPlace(fbpNet, placer.Config{TargetDensity: target, ClusterRatio: 2, Obs: obsRec})
 		if err != nil {
 			return rows, fmt.Errorf("%s: FBP: %w", spec.Name, err)
 		}

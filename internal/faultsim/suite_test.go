@@ -46,8 +46,9 @@ func suiteChip(t *testing.T) *gen.Instance {
 
 // place arms the given schedules (re-arming resets hit counters, so the
 // two worker-count runs of a case see identical hit numbering) and runs
-// the full pipeline.
-func place(t *testing.T, workers int, arm map[string]faultsim.Schedule) (*placer.Report, *netlist.Netlist, error) {
+// the full pipeline. A non-empty ckptDir enables per-level checkpointing,
+// so the ckpt.* sites sit in the run's write path.
+func place(t *testing.T, workers int, arm map[string]faultsim.Schedule, ckptDir string) (*placer.Report, *netlist.Netlist, error) {
 	t.Helper()
 	for name, sched := range arm {
 		if err := faultsim.Arm(name, sched); err != nil {
@@ -55,7 +56,9 @@ func place(t *testing.T, workers int, arm map[string]faultsim.Schedule) (*placer
 		}
 	}
 	inst := suiteChip(t)
-	rep, err := placer.Place(inst.N, placer.Config{Movebounds: inst.Movebounds, Workers: workers})
+	cfg := placer.Config{Movebounds: inst.Movebounds, Workers: workers,
+		Checkpoint: placer.Checkpoint{Dir: ckptDir}}
+	rep, err := placer.Place(inst.N, cfg)
 	return rep, inst.N, err
 }
 
@@ -95,6 +98,9 @@ var suiteCases = []struct {
 	// panics arms the primary point in panic mode (the failure must still
 	// come back as an error, with the recovered stack attached).
 	panics bool
+	// ckpt runs the case with per-level checkpointing enabled, putting the
+	// ckpt.* sites in the write path.
+	ckpt bool
 }{
 	{
 		name:     "cg non-convergence keeps the anchor solution",
@@ -149,6 +155,19 @@ var suiteCases = []struct {
 		arm:       map[string]faultsim.Schedule{"placer.level.fail": {}},
 		failPoint: "placer.level.fail",
 	},
+	{
+		// The first save is torn (ckpt.corrupt hit 0), every later save
+		// fails outright (ckpt.write, After 1): the run must keep placing
+		// and record each skipped write; torn-write *recovery* is proved by
+		// the resume tests in internal/placer and internal/ckpt.
+		name: "checkpoint write failures degrade, never abort",
+		arm: map[string]faultsim.Schedule{
+			"ckpt.corrupt": {Limit: 1},
+			"ckpt.write":   {After: 1},
+		},
+		degrades: []string{"ckpt.write -> skipped"},
+		ckpt:     true,
+	},
 }
 
 func TestInjectionSuite(t *testing.T) {
@@ -164,7 +183,11 @@ func TestInjectionSuite(t *testing.T) {
 			}
 			runs := map[int]outcome{}
 			for _, workers := range []int{1, 4} {
-				rep, n, err := place(t, workers, tc.arm)
+				dir := ""
+				if tc.ckpt {
+					dir = t.TempDir()
+				}
+				rep, n, err := place(t, workers, tc.arm, dir)
 				runs[workers] = outcome{rep, n, err}
 			}
 

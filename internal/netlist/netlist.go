@@ -314,8 +314,10 @@ func (n *Netlist) Clone() *Netlist {
 func (n *Netlist) Validate(numMovebounds int) error {
 	for i := range n.Cells {
 		c := &n.Cells[i]
-		if c.Width <= 0 || c.Height <= 0 {
-			return fmt.Errorf("netlist: cell %d (%s) has non-positive size %gx%g", i, c.Name, c.Width, c.Height)
+		// The negated comparison also catches NaN (NaN > 0 is false), which
+		// `Width <= 0` would let through.
+		if !(c.Width > 0) || !(c.Height > 0) || math.IsInf(c.Width, 1) || math.IsInf(c.Height, 1) {
+			return fmt.Errorf("netlist: cell %d (%s) has non-positive or non-finite size %gx%g", i, c.Name, c.Width, c.Height)
 		}
 		if c.Movebound != NoMovebound && (c.Movebound < 0 || c.Movebound >= numMovebounds) {
 			return fmt.Errorf("netlist: cell %d (%s) references movebound %d of %d", i, c.Name, c.Movebound, numMovebounds)

@@ -1,0 +1,79 @@
+package placer
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fbplace/internal/gen"
+	"fbplace/internal/geom"
+	"fbplace/internal/netlist"
+)
+
+// poison builds a fresh instance and applies f to its netlist before
+// placing, returning the placement error.
+func poison(t *testing.T, f func(n *netlist.Netlist)) error {
+	t.Helper()
+	inst, err := gen.Chip(gen.ChipSpec{Name: "poison", NumCells: 120, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f(inst.N)
+	_, perr := Place(inst.N, Config{})
+	return perr
+}
+
+// TestNumericGuard: NaN/Inf in net weights, pin offsets, pad positions or
+// cell positions must be rejected at entry with a structured NumericError
+// — CG would otherwise propagate the poison into every coordinate without
+// ever failing.
+func TestNumericGuard(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(n *netlist.Netlist)
+		kind string
+	}{
+		{"nan net weight", func(n *netlist.Netlist) { n.Nets[3].Weight = math.NaN() }, "net-weight"},
+		{"inf net weight", func(n *netlist.Netlist) { n.Nets[0].Weight = math.Inf(1) }, "net-weight"},
+		{"nan pin offset", func(n *netlist.Netlist) {
+			for i := range n.Nets {
+				for j := range n.Nets[i].Pins {
+					if !n.Nets[i].Pins[j].IsPad() {
+						n.Nets[i].Pins[j].Offset.X = math.NaN()
+						return
+					}
+				}
+			}
+		}, "pin-offset"},
+		{"inf pad position", func(n *netlist.Netlist) {
+			n.Nets[1].Pins = append(n.Nets[1].Pins,
+				netlist.Pin{Cell: -1, Offset: geom.Point{X: 1, Y: math.Inf(-1)}})
+		}, "pad-position"},
+		{"nan cell position", func(n *netlist.Netlist) { n.X[7] = math.NaN() }, "cell-position"},
+		{"inf cell position", func(n *netlist.Netlist) { n.Y[2] = math.Inf(1) }, "cell-position"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := poison(t, tc.f)
+			var ne *NumericError
+			if !errors.As(err, &ne) {
+				t.Fatalf("want *NumericError, got %v", err)
+			}
+			if ne.Kind != tc.kind {
+				t.Fatalf("kind = %q, want %q", ne.Kind, tc.kind)
+			}
+			if ne.Error() == "" {
+				t.Fatal("empty error message")
+			}
+		})
+	}
+	// A pristine instance must pass the guard.
+	if err := poison(t, func(*netlist.Netlist) {}); err != nil {
+		t.Fatalf("clean instance rejected: %v", err)
+	}
+	// Non-finite cell sizes are caught by netlist.Validate.
+	err := poison(t, func(n *netlist.Netlist) { n.Cells[4].Width = math.NaN() })
+	if err == nil || errors.As(err, new(*NumericError)) {
+		t.Fatalf("NaN cell size: want netlist validation error, got %v", err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"math"
 	"time"
 
+	"fbplace/internal/ckpt"
 	"fbplace/internal/cluster"
 	"fbplace/internal/degrade"
 	"fbplace/internal/detail"
@@ -78,6 +79,10 @@ type Config struct {
 	QP qp.Options
 	// Legalize are the legalization options.
 	Legalize legalize.Options
+	// Checkpoint, when Dir is set, makes the global loop emit crash-safe
+	// snapshots at level boundaries; Resume continues from them. See
+	// internal/ckpt and the Checkpoint type.
+	Checkpoint Checkpoint
 	// Obs, when non-nil, records phase spans, solver counters and gauges
 	// for the whole run (see internal/obs). A nil recorder disables
 	// observability at the cost of a nil check per call site.
@@ -129,6 +134,9 @@ func (c *Config) Validate() error {
 	if c.DetailPasses < 0 {
 		return &ConfigError{Field: "DetailPasses", Reason: fmt.Sprintf("negative pass count %d", c.DetailPasses)}
 	}
+	if c.Checkpoint.EveryLevel < 0 {
+		return &ConfigError{Field: "Checkpoint.EveryLevel", Reason: fmt.Sprintf("negative level stride %d", c.Checkpoint.EveryLevel)}
+	}
 	return nil
 }
 
@@ -177,6 +185,29 @@ func Place(n *netlist.Netlist, cfg Config) (*Report, error) {
 // and returns the context's error. Fallbacks taken by the solver chains
 // are collected in Report.Degradations.
 func PlaceCtx(ctx context.Context, n *netlist.Netlist, cfg Config) (*Report, error) {
+	return run(ctx, n, cfg, "")
+}
+
+// Resume continues a checkpointed placement from the newest valid
+// snapshot in dir (written by a run with Config.Checkpoint.Dir set). The
+// netlist must be the same instance in its load-time state: Resume
+// validates a structural fingerprint of the circuit and a hash of the
+// configuration, and refuses mismatches with a *ResumeError rather than
+// continuing a run that would diverge from the interrupted one. On
+// success the remaining levels, legalization and detail run as usual, and
+// the final placement is bit-identical to what the uninterrupted run
+// would have produced. Pre-crash degradations, per-level stats and solver
+// counters are restored into the Report.
+func Resume(ctx context.Context, n *netlist.Netlist, dir string, cfg Config) (*Report, error) {
+	if dir == "" {
+		return nil, &ResumeError{Dir: dir, Reason: "empty checkpoint directory"}
+	}
+	return run(ctx, n, cfg, dir)
+}
+
+// run is the shared body of PlaceCtx and Resume; resumeDir is empty for
+// fresh runs.
+func run(ctx context.Context, n *netlist.Netlist, cfg Config, resumeDir string) (*Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -184,6 +215,9 @@ func PlaceCtx(ctx context.Context, n *netlist.Netlist, cfg Config) (*Report, err
 		return nil, err
 	}
 	cfg.fill()
+	if err := validateNumerics(n); err != nil {
+		return nil, err
+	}
 	psp := cfg.Obs.StartSpan("place")
 	defer psp.End()
 	// Top-level QP effort feeds Report.QPSolves/CGIters; the realization
@@ -218,12 +252,36 @@ func PlaceCtx(ctx context.Context, n *netlist.Netlist, cfg Config) (*Report, err
 	// The degradation log fills regardless of how the run ends, so attach
 	// it on every path that hands the report out.
 	defer func() { report.Degradations = dl.Events() }()
-	gsp := cfg.Obs.StartSpan("global")
-	start := time.Now()
 
 	levels := levelsFor(n, cfg)
 	report.Levels = levels
+
+	// Checkpoint/resume: both sides key snapshots to the instance and the
+	// configuration, so a snapshot can never be applied to a different
+	// circuit or continued under a diverging trajectory.
+	var netFP, cfgFP uint64
+	if cfg.Checkpoint.Dir != "" || resumeDir != "" {
+		netFP = ckpt.Fingerprint(n)
+		cfgFP = configFingerprint(&cfg)
+	}
+	var snap *ckpt.Snapshot
+	if resumeDir != "" {
+		var rerr error
+		snap, rerr = loadResume(n, resumeDir, netFP, cfgFP, levels, dl, &qpStats, report, cfg.Obs)
+		if rerr != nil {
+			return nil, rerr
+		}
+	}
+
+	gsp := cfg.Obs.StartSpan("global")
+	start := time.Now()
+	var baseElapsed time.Duration
+	if snap != nil {
+		baseElapsed = snap.GlobalElapsed
+	}
+
 	startLevel := 1
+	freshQP := true
 	if cfg.KeepPlacement {
 		// Incremental placement (§IV motivation): the existing placement
 		// is already spread, so only the finest partitioning level runs —
@@ -231,24 +289,50 @@ func PlaceCtx(ctx context.Context, n *netlist.Netlist, cfg Config) (*Report, err
 		// placement, which is exactly what recursive approaches lack.
 		startLevel = levels
 		report.Levels = 1
+		freshQP = false
+	}
+	if snap != nil {
+		// The snapshot holds the positions after snap.Level's anchored QP;
+		// continue with the next level, from those positions (no fresh
+		// initial solve — it would discard them).
+		startLevel = snap.Level + 1
+		freshQP = false
+	}
+	var ck *ckptState
+	if cfg.Checkpoint.Dir != "" {
+		ck = &ckptState{
+			store:   &ckpt.Store{Dir: cfg.Checkpoint.Dir, Obs: cfg.Obs},
+			netFP:   netFP,
+			cfgFP:   cfgFP,
+			levels:  levels,
+			every:   cfg.Checkpoint.EveryLevel,
+			qpStats: &qpStats,
+			report:  report,
+			dl:      dl,
+			rec:     cfg.Obs,
+			start:   start,
+			base:    baseElapsed,
+		}
 	}
 	finishGlobal := func() {
-		report.GlobalTime = time.Since(start)
+		report.GlobalTime = baseElapsed + time.Since(start)
 		report.QPSolves = qpStats.Solves
 		report.CGIters = qpStats.CGIters
 		gsp.End()
 	}
-	if cfg.ClusterRatio > 1 && !cfg.KeepPlacement {
+	if cfg.ClusterRatio > 1 && !cfg.KeepPlacement && snap == nil {
 		// Multilevel flow as in the paper's experiments: BestChoice
 		// clusters carry the coarse partitioning levels, then the
 		// clustering is dissolved and the finest levels run on the flat
 		// netlist so intra-cluster detail is recovered by FBP itself.
+		// The coarse loop runs on a temporary clustered netlist and is not
+		// checkpointed; snapshots start with the first flat level.
 		cl := cluster.BestChoice(n, cluster.Options{Ratio: cfg.ClusterRatio})
 		coarseEnd := levels - 2
 		if coarseEnd < 1 {
 			coarseEnd = 1
 		}
-		if err := globalLoop(ctx, cl.Clustered, decomp, blockages, cfg, dl, report, 1, coarseEnd, true); err != nil {
+		if err := globalLoop(ctx, cl.Clustered, decomp, blockages, cfg, dl, report, 1, coarseEnd, true, nil); err != nil {
 			return nil, err
 		}
 		cl.Project()
@@ -256,11 +340,11 @@ func PlaceCtx(ctx context.Context, n *netlist.Netlist, cfg Config) (*Report, err
 		if fineStart > levels {
 			fineStart = levels
 		}
-		if err := globalLoop(ctx, n, decomp, blockages, cfg, dl, report, fineStart, levels, false); err != nil {
+		if err := globalLoop(ctx, n, decomp, blockages, cfg, dl, report, fineStart, levels, false, ck); err != nil {
 			return nil, err
 		}
 	} else {
-		if err := globalLoop(ctx, n, decomp, blockages, cfg, dl, report, startLevel, levels, !cfg.KeepPlacement); err != nil {
+		if err := globalLoop(ctx, n, decomp, blockages, cfg, dl, report, startLevel, levels, freshQP, ck); err != nil {
 			return nil, err
 		}
 	}
@@ -330,8 +414,9 @@ func levelsFor(n *netlist.Netlist, cfg Config) int {
 // globalLoop runs QP + partitioning over grids of level startLevel
 // through endLevel (2^lv x 2^lv windows). When freshQP is set, the loop
 // starts from an unconstrained quadratic solve; otherwise it continues
-// from the current placement.
-func globalLoop(ctx context.Context, n *netlist.Netlist, decomp *region.Decomposition, blockages geom.RectSet, cfg Config, dl *degrade.Log, report *Report, startLevel, endLevel int, freshQP bool) error {
+// from the current placement. A non-nil ck snapshots the loop state after
+// each completed level.
+func globalLoop(ctx context.Context, n *netlist.Netlist, decomp *region.Decomposition, blockages geom.RectSet, cfg Config, dl *degrade.Log, report *Report, startLevel, endLevel int, freshQP bool, ck *ckptState) error {
 	if freshQP {
 		qsp := cfg.Obs.StartSpan("qp.initial")
 		err := qp.Solve(n, nil, cfg.QP)
@@ -389,6 +474,7 @@ func globalLoop(ctx context.Context, n *netlist.Netlist, decomp *region.Decompos
 		if err != nil {
 			return fmt.Errorf("placer: level %d QP: %w", lv, err)
 		}
+		ck.afterLevel(n, lv, endLevel)
 	}
 	return nil
 }
