@@ -73,6 +73,43 @@ fi
 	-dump-hex "$ckdir/resumed.hex" >/dev/null
 cmp "$ckdir/full.hex" "$ckdir/resumed.hex"
 
+echo "== placement service e2e =="
+# Service gate: fbplaced must serve a placement over HTTP whose positions
+# are bit-identical to a direct fbplace run of the same instance, and a
+# duplicate submission must be served from the result cache without
+# running a second placement. See README "Placement as a service".
+go build -o "$ckdir/fbplaced" ./cmd/fbplaced
+"$ckdir/fbplace" -cells 800 -seed 11 -dump-hex "$ckdir/direct.hex" >/dev/null
+"$ckdir/fbplaced" -addr 127.0.0.1:0 -portfile "$ckdir/port" \
+	-dir "$ckdir/state" >"$ckdir/fbplaced.log" 2>&1 &
+daemon=$!
+for i in $(seq 1 100); do
+	[ -s "$ckdir/port" ] && break
+	sleep 0.1
+done
+base="http://$(cat "$ckdir/port")"
+body='{"chip":{"NumCells":800,"Seed":11}}'
+id=$(curl -sf -d "$body" "$base/jobs" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+[ -n "$id" ] || { echo "service e2e: submit returned no job id" >&2; exit 1; }
+for i in $(seq 1 300); do
+	state=$(curl -sf "$base/jobs/$id" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p')
+	case "$state" in done | failed | canceled) break ;; esac
+	sleep 0.1
+done
+[ "$state" = done ] || { echo "service e2e: job ended $state" >&2; exit 1; }
+curl -sf "$base/jobs/$id/result?format=hex" >"$ckdir/served.hex"
+cmp "$ckdir/direct.hex" "$ckdir/served.hex"
+# Duplicate submission: served from the cache, no second placement.
+curl -sf -d "$body" "$base/jobs" >/dev/null
+sleep 0.3
+stats=$(curl -sf "$base/stats")
+echo "$stats" | grep -q '"serve.cache.hits": 1' ||
+	{ echo "service e2e: duplicate was not a cache hit: $stats" >&2; exit 1; }
+echo "$stats" | grep -q '"serve.placements": 1' ||
+	{ echo "service e2e: duplicate ran a second placement: $stats" >&2; exit 1; }
+kill -TERM "$daemon"
+wait "$daemon" || { echo "service e2e: drain exited non-zero" >&2; exit 1; }
+
 echo "== fuzz smoke =="
 # A few seconds per fuzz target: enough to replay the seed corpora under
 # testdata/fuzz/ plus a short random exploration.

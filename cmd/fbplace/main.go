@@ -14,7 +14,6 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"strconv"
 	"strings"
 	"time"
 
@@ -50,7 +49,7 @@ func main() {
 	flag.Parse()
 
 	for _, spec := range faults {
-		if err := armFault(spec); err != nil {
+		if err := faultsim.ArmSpec(spec); err != nil {
 			fatal(err)
 		}
 	}
@@ -238,42 +237,6 @@ func load(path string, cells int, seed int64) (*fbplace.Netlist, []fbplace.Moveb
 	}
 	defer f.Close()
 	return chipio.Read(f)
-}
-
-// armFault parses "name[:k=v,...]" and arms the named injection site.
-// Keys mirror faultsim.Schedule: after, every, limit, prob, seed, panic.
-func armFault(spec string) error {
-	name, opts, _ := strings.Cut(spec, ":")
-	var sched faultsim.Schedule
-	if opts != "" {
-		for _, kv := range strings.Split(opts, ",") {
-			k, v, ok := strings.Cut(kv, "=")
-			if !ok {
-				return fmt.Errorf("fault %q: option %q is not k=v", name, kv)
-			}
-			var err error
-			switch k {
-			case "after":
-				sched.After, err = strconv.ParseUint(v, 10, 64)
-			case "every":
-				sched.Every, err = strconv.ParseUint(v, 10, 64)
-			case "limit":
-				sched.Limit, err = strconv.ParseUint(v, 10, 64)
-			case "prob":
-				sched.Prob, err = strconv.ParseFloat(v, 64)
-			case "seed":
-				sched.Seed, err = strconv.ParseUint(v, 10, 64)
-			case "panic":
-				sched.Panic, err = strconv.ParseBool(v)
-			default:
-				return fmt.Errorf("fault %q: unknown option %q", name, k)
-			}
-			if err != nil {
-				return fmt.Errorf("fault %q: option %s: %w", name, k, err)
-			}
-		}
-	}
-	return faultsim.Arm(name, sched)
 }
 
 // writeHexPositions dumps each cell's position as the hex float64 bit

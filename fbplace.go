@@ -148,6 +148,17 @@ func Resume(ctx context.Context, n *Netlist, dir string, cfg Config) (*Report, e
 	return placer.Resume(ctx, n, dir, cfg)
 }
 
+// ErrPreempted matches (with errors.Is) the *PreemptedError a preempted
+// run returns: the scheduler's Config.Preempt hook asked the global loop
+// to stop at a level boundary, and a durable snapshot was written first —
+// Resume continues the run bit-identically. See internal/serve for the
+// placement service built on this.
+var ErrPreempted = placer.ErrPreempted
+
+// PreemptedError reports where a run stopped in response to
+// Config.Preempt (always after its snapshot was durably written).
+type PreemptedError = placer.PreemptedError
+
 // FeasibilityReport is the result of CheckFeasibility.
 type FeasibilityReport = region.FeasibilityReport
 

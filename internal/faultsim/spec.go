@@ -1,0 +1,55 @@
+package faultsim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec parses the CLI fault syntax "name[:k=v,...]" shared by
+// cmd/fbplace, cmd/fbpbench and cmd/fbplaced into a site name and its
+// Schedule. Keys mirror the Schedule fields: after, every, limit, prob,
+// seed, panic.
+func ParseSpec(spec string) (string, Schedule, error) {
+	name, opts, _ := strings.Cut(spec, ":")
+	var sched Schedule
+	if opts == "" {
+		return name, sched, nil
+	}
+	for _, kv := range strings.Split(opts, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return "", Schedule{}, fmt.Errorf("fault %q: option %q is not k=v", name, kv)
+		}
+		var err error
+		switch k {
+		case "after":
+			sched.After, err = strconv.ParseUint(v, 10, 64)
+		case "every":
+			sched.Every, err = strconv.ParseUint(v, 10, 64)
+		case "limit":
+			sched.Limit, err = strconv.ParseUint(v, 10, 64)
+		case "prob":
+			sched.Prob, err = strconv.ParseFloat(v, 64)
+		case "seed":
+			sched.Seed, err = strconv.ParseUint(v, 10, 64)
+		case "panic":
+			sched.Panic, err = strconv.ParseBool(v)
+		default:
+			return "", Schedule{}, fmt.Errorf("fault %q: unknown option %q", name, k)
+		}
+		if err != nil {
+			return "", Schedule{}, fmt.Errorf("fault %q: option %s: %w", name, k, err)
+		}
+	}
+	return name, sched, nil
+}
+
+// ArmSpec parses and arms a CLI fault spec in one step.
+func ArmSpec(spec string) error {
+	name, sched, err := ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	return Arm(name, sched)
+}

@@ -685,3 +685,26 @@ func overlapSets(a, b geom.RectSet) bool {
 	}
 	return false
 }
+
+// LoadMix returns count chip specs for service load tests: sizes cycle
+// through a small/medium ladder, every third instance carries an inclusive
+// movebound, and each spec gets a distinct deterministic seed derived from
+// seed. The specs are small enough that a worker pool can churn through
+// dozens of them in seconds, yet still multi-level.
+func LoadMix(count int, seed int64) []ChipSpec {
+	sizes := []int{300, 600, 1200, 2000}
+	specs := make([]ChipSpec, count)
+	for i := range specs {
+		specs[i] = ChipSpec{
+			Name:     fmt.Sprintf("load-%03d", i),
+			NumCells: sizes[i%len(sizes)],
+			Seed:     seed + int64(i)*7919,
+		}
+		if i%3 == 2 {
+			specs[i].Movebounds = []MoveboundSpec{{
+				Kind: region.Inclusive, CellFraction: 0.2, Density: 0.8, NestedIn: -1,
+			}}
+		}
+	}
+	return specs
+}

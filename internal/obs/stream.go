@@ -1,0 +1,112 @@
+package obs
+
+import "sync"
+
+// Broadcast is a Sink that fans events out to any number of live
+// subscribers while retaining a bounded replay window, so a subscriber
+// attaching mid-run first sees the recent history and then the live tail.
+// It is the streaming backend of the placement service's per-job progress
+// feeds (internal/serve exposes it over SSE/JSONL).
+//
+// Emit never blocks: a subscriber whose channel is full loses the event
+// and the loss is counted (Dropped), because a slow progress consumer must
+// never stall the placement run producing the events.
+type Broadcast struct {
+	mu      sync.Mutex
+	retain  int
+	ring    []Event // retained events, oldest first
+	subs    map[int]chan Event
+	nextID  int
+	closed  bool
+	dropped int64
+}
+
+// DefaultRetain is the replay-window size used when NewBroadcast is given
+// a non-positive retention.
+const DefaultRetain = 1024
+
+// NewBroadcast returns a Broadcast retaining the last retain events for
+// replay (retain <= 0 selects DefaultRetain).
+func NewBroadcast(retain int) *Broadcast {
+	if retain <= 0 {
+		retain = DefaultRetain
+	}
+	return &Broadcast{retain: retain, subs: map[int]chan Event{}}
+}
+
+// Emit appends e to the replay window and offers it to every subscriber
+// without blocking. Events emitted after Close are discarded.
+func (b *Broadcast) Emit(e Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.ring = append(b.ring, e)
+	if len(b.ring) > b.retain {
+		// Shift rather than reslice so the backing array cannot grow
+		// without bound over a long run.
+		n := copy(b.ring, b.ring[len(b.ring)-b.retain:])
+		b.ring = b.ring[:n]
+	}
+	for _, ch := range b.subs {
+		select {
+		case ch <- e:
+		default:
+			b.dropped++
+		}
+	}
+}
+
+// Subscribe registers a new subscriber and returns a copy of the replay
+// window, the live channel, and a cancel function. The channel is closed
+// by cancel or by Close; buf sizes the channel (buf <= 0 selects the
+// retention size). After Close, Subscribe returns the final replay window
+// and an already-closed channel.
+func (b *Broadcast) Subscribe(buf int) ([]Event, <-chan Event, func()) {
+	if buf <= 0 {
+		buf = b.retain
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	replay := append([]Event(nil), b.ring...)
+	ch := make(chan Event, buf)
+	if b.closed {
+		close(ch)
+		return replay, ch, func() {}
+	}
+	b.nextID++
+	id := b.nextID
+	b.subs[id] = ch
+	cancel := func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if c, ok := b.subs[id]; ok {
+			delete(b.subs, id)
+			close(c)
+		}
+	}
+	return replay, ch, cancel
+}
+
+// Close closes every subscriber channel and makes further Emits no-ops.
+// Closing twice is safe.
+func (b *Broadcast) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for id, ch := range b.subs {
+		delete(b.subs, id)
+		close(ch)
+	}
+}
+
+// Dropped returns how many events were lost to full subscriber channels.
+func (b *Broadcast) Dropped() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}

@@ -1,0 +1,76 @@
+package obs
+
+import "testing"
+
+func ev(name string) Event { return Event{Type: "state", Name: name} }
+
+func TestBroadcastReplayWindow(t *testing.T) {
+	b := NewBroadcast(4)
+	for _, n := range []string{"a", "b", "c", "d", "e", "f"} {
+		b.Emit(ev(n))
+	}
+	replay, live, cancel := b.Subscribe(8)
+	defer cancel()
+	if len(replay) != 4 {
+		t.Fatalf("replay: got %d events, want the 4 retained", len(replay))
+	}
+	if replay[0].Name != "c" || replay[3].Name != "f" {
+		t.Fatalf("replay window: got %q..%q, want c..f", replay[0].Name, replay[3].Name)
+	}
+	b.Emit(ev("g"))
+	if got := (<-live).Name; got != "g" {
+		t.Fatalf("live event: got %q, want g", got)
+	}
+}
+
+func TestBroadcastDropsSlowSubscriber(t *testing.T) {
+	b := NewBroadcast(2)
+	_, live, cancel := b.Subscribe(1)
+	defer cancel()
+	b.Emit(ev("a"))
+	b.Emit(ev("b"))
+	b.Emit(ev("c"))
+	if d := b.Dropped(); d != 2 {
+		t.Fatalf("dropped: got %d, want 2 (buffer of 1, 3 events)", d)
+	}
+	if got := (<-live).Name; got != "a" {
+		t.Fatalf("buffered event: got %q, want a", got)
+	}
+}
+
+func TestBroadcastClose(t *testing.T) {
+	b := NewBroadcast(2)
+	b.Emit(ev("a"))
+	_, live, cancel := b.Subscribe(4)
+	defer cancel()
+	b.Close()
+	if _, open := <-live; open {
+		t.Fatal("live channel still open after Close")
+	}
+	b.Close()       // idempotent
+	b.Emit(ev("b")) // no-op, must not panic or grow the ring
+	replay, lateLive, lateCancel := b.Subscribe(4)
+	defer lateCancel()
+	if len(replay) != 1 || replay[0].Name != "a" {
+		t.Fatalf("late subscriber replay: got %v, want [a]", replay)
+	}
+	if _, open := <-lateLive; open {
+		t.Fatal("late subscriber got an open channel from a closed broadcast")
+	}
+}
+
+func TestBroadcastCancelStopsDelivery(t *testing.T) {
+	b := NewBroadcast(2)
+	_, live, cancel := b.Subscribe(1)
+	cancel()
+	b.Emit(ev("a"))
+	select {
+	case e, open := <-live:
+		if open {
+			t.Fatalf("canceled subscriber still received %q", e.Name)
+		}
+	default:
+		// Channel left open but unused is also acceptable; the contract
+		// is only that Emit never blocks and Dropped is not charged.
+	}
+}

@@ -2,6 +2,7 @@ package placer
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -30,6 +31,28 @@ type Checkpoint struct {
 	// both mean every level. The final level is always snapshotted.
 	EveryLevel int
 }
+
+// ErrPreempted is the sentinel wrapped by every *PreemptedError, so
+// schedulers can distinguish preemption from failure with errors.Is.
+var ErrPreempted = errors.New("placer: preempted at level boundary")
+
+// PreemptedError reports that a run stopped at a level boundary because
+// Config.Preempt asked it to, after durably snapshotting the completed
+// level. Resume from the same checkpoint directory continues the run
+// bit-identically, possibly in another process or on a different worker
+// count (Workers is excluded from the resume fingerprint by design).
+type PreemptedError struct {
+	// Level is the last completed (and snapshotted) level, Levels the
+	// total planned for the run.
+	Level, Levels int
+}
+
+func (e *PreemptedError) Error() string {
+	return fmt.Sprintf("placer: preempted after level %d/%d (snapshot written)", e.Level, e.Levels)
+}
+
+// Unwrap makes errors.Is(err, ErrPreempted) true.
+func (e *PreemptedError) Unwrap() error { return ErrPreempted }
 
 // ResumeError reports why a Resume refused or failed to continue from a
 // checkpoint directory. Fingerprint refusals are deliberate: restoring
@@ -112,11 +135,22 @@ func validateNumerics(n *netlist.Netlist) error {
 	return nil
 }
 
+// ConfigFingerprint is the exported form of configFingerprint for callers
+// that key caches on the placement trajectory (internal/serve): it first
+// applies the documented defaults, so a zero TargetDensity and an explicit
+// 0.97 hash identically — exactly as Resume sees them.
+func ConfigFingerprint(cfg *Config) uint64 {
+	c := *cfg
+	c.fill()
+	return configFingerprint(&c)
+}
+
 // configFingerprint hashes every Config field that influences the
 // placement trajectory, so Resume can refuse to continue a run under a
 // different configuration. Workers is deliberately excluded — the placer
 // guarantees bit-identical results across worker counts — as are Obs,
-// Checkpoint itself, and the QP plumbing fields (Obs/Stats/Ctx/Workspace/
+// Checkpoint itself, Preempt (a preempted-and-resumed run reproduces the
+// uninterrupted one), and the QP plumbing fields (Obs/Stats/Ctx/Workspace/
 // Degrade) the placer injects per run.
 func configFingerprint(cfg *Config) uint64 {
 	h := fnv.New64a()
@@ -190,16 +224,38 @@ type ckptState struct {
 	base  time.Duration
 }
 
-// afterLevel snapshots the loop state after level lv completed. A failed
-// save is recorded as a degradation and the run continues: checkpointing
-// must never turn a healthy placement into a failed one.
-func (ck *ckptState) afterLevel(n *netlist.Netlist, lv, endLevel int) {
+// boundary is the per-level checkpoint/preemption point: it snapshots the
+// loop state after level lv completed (subject to the EveryLevel stride)
+// and honors a pending preemption request. A failed save is recorded as a
+// degradation and the run continues: checkpointing must never turn a
+// healthy placement into a failed one. Preemption stops the run with a
+// *PreemptedError only once the level's snapshot is durably on disk —
+// when the forced save fails, the preemption is skipped (recorded as
+// "preempt" -> "kept-running") and the victim keeps running.
+func (ck *ckptState) boundary(n *netlist.Netlist, lv, endLevel int, preempt func() bool) error {
 	if ck == nil {
-		return
+		return nil
 	}
-	if ck.every > 1 && lv%ck.every != 0 && lv != endLevel {
-		return
+	want := preempt != nil && preempt()
+	stride := ck.every <= 1 || lv%ck.every == 0 || lv == endLevel
+	if !want && !stride {
+		return nil
 	}
+	if err := ck.save(n, lv); err != nil {
+		ck.dl.Add("ckpt.write", "skipped", err.Error())
+		if want {
+			ck.dl.Add("preempt", "kept-running", err.Error())
+		}
+		return nil
+	}
+	if want {
+		return &PreemptedError{Level: lv, Levels: ck.levels}
+	}
+	return nil
+}
+
+// save writes one snapshot generation for the state after level lv.
+func (ck *ckptState) save(n *netlist.Netlist, lv int) error {
 	sp := ck.rec.StartSpan("ckpt.write")
 	defer sp.End()
 	snap := &ckpt.Snapshot{
@@ -216,9 +272,7 @@ func (ck *ckptState) afterLevel(n *netlist.Netlist, lv, endLevel int) {
 		FBPStats:      append([]fbp.Stats(nil), ck.report.FBPStats...),
 		Degradations:  ck.dl.Events(),
 	}
-	if err := ck.store.Save(snap); err != nil {
-		ck.dl.Add("ckpt.write", "skipped", err.Error())
-	}
+	return ck.store.Save(snap)
 }
 
 // loadResume loads the newest valid snapshot from dir, refuses it unless

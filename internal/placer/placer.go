@@ -83,6 +83,17 @@ type Config struct {
 	// snapshots at level boundaries; Resume continues from them. See
 	// internal/ckpt and the Checkpoint type.
 	Checkpoint Checkpoint
+	// Preempt, when non-nil, is polled once per completed level of the
+	// checkpointed (flat) global loop. When it returns true and the
+	// level's snapshot is safely on disk, the run stops with a
+	// *PreemptedError instead of continuing — Resume later picks up from
+	// that snapshot bit-identically, which is what makes preemption safe
+	// (see internal/serve). When the snapshot cannot be written the
+	// preemption is skipped and recorded as a degradation ("preempt" ->
+	// "kept-running"): a preemption request must never corrupt or lose a
+	// healthy run. Preempt is ignored without Checkpoint.Dir and during
+	// the clustered coarse levels (which are never snapshotted).
+	Preempt func() bool
 	// Obs, when non-nil, records phase spans, solver counters and gauges
 	// for the whole run (see internal/obs). A nil recorder disables
 	// observability at the cost of a nil check per call site.
@@ -474,7 +485,9 @@ func globalLoop(ctx context.Context, n *netlist.Netlist, decomp *region.Decompos
 		if err != nil {
 			return fmt.Errorf("placer: level %d QP: %w", lv, err)
 		}
-		ck.afterLevel(n, lv, endLevel)
+		if err := ck.boundary(n, lv, endLevel, cfg.Preempt); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is the idempotency cache: an LRU over finished placements
+// keyed by the (netlist, config) trajectory fingerprints. A hit returns
+// the stored positions without burning a worker; correctness rests on the
+// placer's determinism contract — equal fingerprints imply bit-identical
+// placements, proven by the checkpoint/resume oracle tests.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[cacheKey]*list.Element
+}
+
+type cacheEntry struct {
+	key cacheKey
+	res *Result
+}
+
+// newResultCache returns an LRU holding up to capacity results
+// (capacity <= 0 disables caching: every get misses, every put drops).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, ll: list.New(), items: map[cacheKey]*list.Element{}}
+}
+
+// get returns the cached result for key and marks it most recently used.
+func (c *resultCache) get(key cacheKey) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put stores res under key, evicting the least recently used entry when
+// the cache is full. It returns how many entries were evicted.
+func (c *resultCache) put(key cacheKey, res *Result) int {
+	if c.cap <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return 0
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	evicted := 0
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		evicted++
+	}
+	return evicted
+}
+
+// len returns the number of cached results.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

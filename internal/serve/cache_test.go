@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+)
+
+func k(i uint64) cacheKey { return cacheKey{net: i, cfg: i * 31} }
+
+func r(hpwl float64) *Result { return &Result{HPWL: hpwl} }
+
+func TestCacheHitMiss(t *testing.T) {
+	c := newResultCache(4)
+	if _, ok := c.get(k(1)); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.put(k(1), r(10))
+	res, ok := c.get(k(1))
+	if !ok || res.HPWL != 10 {
+		t.Fatalf("get after put: ok=%v res=%v", ok, res)
+	}
+	if c.len() != 1 {
+		t.Fatalf("len: got %d, want 1", c.len())
+	}
+}
+
+func TestCacheEvictionOrder(t *testing.T) {
+	c := newResultCache(3)
+	c.put(k(1), r(1))
+	c.put(k(2), r(2))
+	c.put(k(3), r(3))
+	// Touch 1 so 2 becomes the least recently used.
+	if _, ok := c.get(k(1)); !ok {
+		t.Fatal("lost key 1")
+	}
+	if ev := c.put(k(4), r(4)); ev != 1 {
+		t.Fatalf("eviction count: got %d, want 1", ev)
+	}
+	if _, ok := c.get(k(2)); ok {
+		t.Fatal("key 2 should have been evicted (least recently used)")
+	}
+	for _, key := range []cacheKey{k(1), k(3), k(4)} {
+		if _, ok := c.get(key); !ok {
+			t.Fatalf("key %v should have survived", key)
+		}
+	}
+}
+
+func TestCacheUpdateMovesToFront(t *testing.T) {
+	c := newResultCache(2)
+	c.put(k(1), r(1))
+	c.put(k(2), r(2))
+	// Re-putting key 1 must refresh both its value and its recency.
+	if ev := c.put(k(1), r(11)); ev != 0 {
+		t.Fatalf("re-put evicted %d entries", ev)
+	}
+	c.put(k(3), r(3))
+	if _, ok := c.get(k(2)); ok {
+		t.Fatal("key 2 should have been evicted, not re-put key 1")
+	}
+	res, ok := c.get(k(1))
+	if !ok || res.HPWL != 11 {
+		t.Fatalf("updated entry: ok=%v res=%v, want HPWL 11", ok, res)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newResultCache(-1)
+	if ev := c.put(k(1), r(1)); ev != 0 {
+		t.Fatalf("disabled cache evicted %d", ev)
+	}
+	if _, ok := c.get(k(1)); ok {
+		t.Fatal("disabled cache reported a hit")
+	}
+	if c.len() != 0 {
+		t.Fatalf("disabled cache len %d", c.len())
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := newResultCache(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := k(uint64(i % 16))
+				c.put(key, r(float64(i)))
+				c.get(key)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.len() > 8 {
+		t.Fatalf("cache overflowed its capacity: %d > 8", c.len())
+	}
+}

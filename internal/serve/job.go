@@ -1,0 +1,383 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fbplace/internal/chipio"
+	"fbplace/internal/ckpt"
+	"fbplace/internal/degrade"
+	"fbplace/internal/gen"
+	"fbplace/internal/netlist"
+	"fbplace/internal/obs"
+	"fbplace/internal/placer"
+	"fbplace/internal/region"
+)
+
+// State is a job's lifecycle state. Preempted jobs go back to StateQueued
+// (with their checkpoint retained), so the states a client observes are a
+// simple submit -> queued -> running -> terminal progression, possibly
+// cycling queued/running while the job is preempted and resumed.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether a job in this state will never run again.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Spec is one job submission: exactly one instance source (an inline
+// synthetic chip spec, a server-side FBPLACE v1 file reference, or the
+// instance text itself) plus the placer knobs and scheduling attributes.
+type Spec struct {
+	// Chip generates a synthetic instance (deterministic per Seed).
+	Chip *gen.ChipSpec `json:"chip,omitempty"`
+	// File references an FBPLACE v1 instance file on the server.
+	File string `json:"file,omitempty"`
+	// Netlist is an inline FBPLACE v1 instance text.
+	Netlist string `json:"netlist,omitempty"`
+	// Knobs tune the placer for this job.
+	Knobs Knobs `json:"knobs"`
+	// Priority orders the queue; higher runs first and may preempt a
+	// running lower-priority job. Default 0.
+	Priority int `json:"priority"`
+	// TimeoutMS bounds the job's wall clock from submission (0 = none).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// NoCache bypasses the result cache and single-flight coalescing:
+	// the job always runs its own placement and its result is not stored.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// Knobs is the JSON-friendly subset of placer.Config a job may set.
+// Fields the scheduler owns (Workers, Obs, Checkpoint, Preempt) are
+// deliberately absent. Zero values select the placer's documented
+// defaults, and hash identically to them in the cache key.
+type Knobs struct {
+	// Mode is "fbp" (default) or "recursive".
+	Mode string `json:"mode,omitempty"`
+	// TargetDensity, ClusterRatio, MaxLevels, DetailPasses,
+	// SkipLegalization and NoLocalQP mirror placer.Config.
+	TargetDensity    float64 `json:"target_density,omitempty"`
+	ClusterRatio     float64 `json:"cluster_ratio,omitempty"`
+	MaxLevels        int     `json:"max_levels,omitempty"`
+	DetailPasses     int     `json:"detail_passes,omitempty"`
+	SkipLegalization bool    `json:"skip_legalization,omitempty"`
+	NoLocalQP        bool    `json:"no_local_qp,omitempty"`
+}
+
+// SpecError reports a structurally invalid job submission.
+type SpecError struct {
+	// Field names the offending Spec field, Reason the constraint.
+	Field, Reason string
+}
+
+func (e *SpecError) Error() string {
+	return fmt.Sprintf("serve: invalid Spec.%s: %s", e.Field, e.Reason)
+}
+
+// config compiles the knobs into a canonical placer.Config over the
+// instance's movebounds. The scheduler later injects its own plumbing
+// (Workers, Obs, Checkpoint, Preempt) per attempt — none of which is part
+// of the trajectory fingerprint.
+func (k Knobs) config(mbs []region.Movebound) (placer.Config, error) {
+	cfg := placer.Config{
+		TargetDensity:    k.TargetDensity,
+		ClusterRatio:     k.ClusterRatio,
+		MaxLevels:        k.MaxLevels,
+		DetailPasses:     k.DetailPasses,
+		SkipLegalization: k.SkipLegalization,
+		NoLocalQP:        k.NoLocalQP,
+		Movebounds:       mbs,
+	}
+	switch k.Mode {
+	case "", "fbp":
+		cfg.Mode = placer.ModeFBP
+	case "recursive":
+		cfg.Mode = placer.ModeRecursive
+	default:
+		return cfg, &SpecError{Field: "Knobs.Mode", Reason: fmt.Sprintf("unknown mode %q", k.Mode)}
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, fmt.Errorf("serve: %w", err)
+	}
+	return cfg, nil
+}
+
+// cacheKey identifies a placement trajectory: the PR 5 netlist and config
+// fingerprints. Two submissions with equal keys produce bit-identical
+// placements, which is what makes the result cache and single-flight
+// coalescing sound.
+type cacheKey struct {
+	net, cfg uint64
+}
+
+func (k cacheKey) String() string { return fmt.Sprintf("%016x-%016x", k.net, k.cfg) }
+
+// Result is a finished placement: final positions (bit-exact) plus the
+// report fields clients care about. Results are immutable once built and
+// may be shared between coalesced jobs and the LRU cache.
+type Result struct {
+	X, Y         []float64
+	HPWL         float64
+	Levels       int
+	Violations   int
+	Overlaps     int
+	GlobalTime   time.Duration
+	LegalTime    time.Duration
+	Degradations []degrade.Event
+}
+
+// Job is one submission's full lifecycle. All mutable fields are guarded
+// by mu; the instance (n, mbs, cfg, key) is immutable after load.
+type Job struct {
+	// ID is the job identifier ("j00000001"), Seq its submission number.
+	ID  string
+	Seq uint64
+
+	spec Spec
+	n    *netlist.Netlist
+	mbs  []region.Movebound
+	cfg  placer.Config
+	key  cacheKey
+	// x0, y0 are the load-time positions, restored before any fresh
+	// (non-resume) attempt so a retried run starts from the same state
+	// the first attempt saw — the bit-identity contract depends on it.
+	x0, y0 []float64
+	// dir is the job's state directory ("" disables persistence).
+	dir string
+
+	ctx     context.Context
+	cancel  context.CancelFunc
+	preempt atomic.Bool
+	bc      *obs.Broadcast
+	done    chan struct{}
+
+	mu            sync.Mutex
+	state         State
+	errText       string
+	userCanceled  bool
+	resumable     bool
+	preemptions   int
+	levelsDone    int
+	levelsPlanned int
+	cached        bool
+	coalesced     bool
+	submitted     time.Time
+	result        *Result
+}
+
+// Status is the JSON view of a job.
+type Status struct {
+	ID            string  `json:"id"`
+	State         State   `json:"state"`
+	Priority      int     `json:"priority"`
+	Preemptions   int     `json:"preemptions"`
+	LevelsDone    int     `json:"levels_done"`
+	LevelsPlanned int     `json:"levels_planned,omitempty"`
+	Cached        bool    `json:"cached,omitempty"`
+	Coalesced     bool    `json:"coalesced,omitempty"`
+	Error         string  `json:"error,omitempty"`
+	HPWL          float64 `json:"hpwl,omitempty"`
+	SubmittedUnix int64   `json:"submitted_unix,omitempty"`
+}
+
+// Status returns a consistent snapshot of the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:            j.ID,
+		State:         j.state,
+		Priority:      j.spec.Priority,
+		Preemptions:   j.preemptions,
+		LevelsDone:    j.levelsDone,
+		LevelsPlanned: j.levelsPlanned,
+		Cached:        j.cached,
+		Coalesced:     j.coalesced,
+		Error:         j.errText,
+		SubmittedUnix: j.submitted.Unix(),
+	}
+	if j.result != nil {
+		st.HPWL = j.result.HPWL
+	}
+	return st
+}
+
+// State returns the job's current state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Priority returns the job's submission priority.
+func (j *Job) Priority() int { return j.spec.Priority }
+
+// Preemptions returns how many times the job was preempted so far.
+func (j *Job) Preemptions() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.preemptions
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the finished placement, or an error while the job is not
+// done (including recovered historical jobs whose result predates this
+// process).
+func (j *Job) Result() (*Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case j.state == StateDone && j.result != nil:
+		return j.result, nil
+	case j.state == StateDone:
+		return nil, fmt.Errorf("serve: job %s finished before this process started; its result was not retained", j.ID)
+	case j.state.Terminal():
+		return nil, fmt.Errorf("serve: job %s %s: %s", j.ID, j.state, j.errText)
+	default:
+		return nil, fmt.Errorf("serve: job %s is %s", j.ID, j.state)
+	}
+}
+
+// Events returns the replay window and live event channel of the job's
+// progress stream (obs spans/counters plus "state" transition events).
+func (j *Job) Events(buf int) ([]obs.Event, <-chan obs.Event, func()) {
+	return j.bc.Subscribe(buf)
+}
+
+// setState transitions the job, emits a "state" event into the progress
+// stream, and closes the stream and done channel on terminal states. The
+// caller must not hold j.mu.
+func (j *Job) setState(st State) {
+	j.mu.Lock()
+	prev := j.state
+	j.state = st
+	j.mu.Unlock()
+	if prev == st {
+		return
+	}
+	j.bc.Emit(obs.Event{Type: "state", Name: string(st)})
+	if st.Terminal() {
+		j.bc.Close()
+		close(j.done)
+	}
+}
+
+// noteLevel records one completed partitioning level for progress
+// reporting.
+func (j *Job) noteLevel() {
+	j.mu.Lock()
+	j.levelsDone++
+	j.mu.Unlock()
+}
+
+// ckptDir is the per-job checkpoint directory preemption snapshots into.
+func (j *Job) ckptDir() string { return filepath.Join(j.dir, "ckpt") }
+
+// jobSink forwards a placement attempt's obs events into the job's
+// broadcast and mines them for progress (completed "level" spans).
+type jobSink struct{ j *Job }
+
+func (s jobSink) Emit(e obs.Event) {
+	if e.Type == obs.EventSpan && e.Name == "level" {
+		s.j.noteLevel()
+	}
+	s.j.bc.Emit(e)
+}
+
+// loadInstance resolves the spec's instance source into a netlist and its
+// movebounds.
+func loadInstance(spec *Spec) (*netlist.Netlist, []region.Movebound, error) {
+	sources := 0
+	if spec.Chip != nil {
+		sources++
+	}
+	if spec.File != "" {
+		sources++
+	}
+	if spec.Netlist != "" {
+		sources++
+	}
+	if sources != 1 {
+		return nil, nil, &SpecError{Field: "Chip/File/Netlist", Reason: fmt.Sprintf("exactly one instance source required, got %d", sources)}
+	}
+	switch {
+	case spec.Chip != nil:
+		inst, err := gen.Chip(*spec.Chip)
+		if err != nil {
+			return nil, nil, fmt.Errorf("serve: %w", err)
+		}
+		return inst.N, inst.Movebounds, nil
+	case spec.File != "":
+		f, err := os.Open(spec.File)
+		if err != nil {
+			return nil, nil, fmt.Errorf("serve: %w", err)
+		}
+		defer f.Close()
+		n, mbs, err := chipio.Read(f)
+		if err != nil {
+			return nil, nil, fmt.Errorf("serve: %s: %w", spec.File, err)
+		}
+		return n, mbs, nil
+	default:
+		n, mbs, err := chipio.Read(strings.NewReader(spec.Netlist))
+		if err != nil {
+			return nil, nil, fmt.Errorf("serve: inline netlist: %w", err)
+		}
+		return n, mbs, nil
+	}
+}
+
+// newJob loads the instance, compiles the config and computes the cache
+// key. The context (deadline, cancel) is installed by the scheduler.
+func newJob(id string, seq uint64, spec Spec, retain int) (*Job, error) {
+	n, mbs, err := loadInstance(&spec)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := spec.Knobs.config(mbs)
+	if err != nil {
+		return nil, err
+	}
+	j := &Job{
+		ID:   id,
+		Seq:  seq,
+		spec: spec,
+		n:    n,
+		mbs:  mbs,
+		cfg:  cfg,
+		x0:   append([]float64(nil), n.X...),
+		y0:   append([]float64(nil), n.Y...),
+		bc:   obs.NewBroadcast(retain),
+		done: make(chan struct{}),
+		key: cacheKey{
+			net: ckpt.Fingerprint(n),
+			cfg: placer.ConfigFingerprint(&cfg),
+		},
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	return j, nil
+}
+
+// restoreStart rewinds the job's netlist to its load-time positions, so a
+// fresh (non-resume) attempt is bit-identical to a first attempt.
+func (j *Job) restoreStart() {
+	copy(j.n.X, j.x0)
+	copy(j.n.Y, j.y0)
+}

@@ -1,0 +1,30 @@
+package serve
+
+// jobQueue is a max-heap of queued jobs ordered by (priority desc,
+// submission sequence asc): among equal priorities the oldest submission
+// runs first, and a preempted job keeps its original sequence number so a
+// resume does not jump the line it already waited in.
+type jobQueue []*Job
+
+func (q jobQueue) Len() int { return len(q) }
+
+func (q jobQueue) Less(i, j int) bool {
+	if q[i].spec.Priority != q[j].spec.Priority {
+		return q[i].spec.Priority > q[j].spec.Priority
+	}
+	return q[i].Seq < q[j].Seq
+}
+
+func (q jobQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+// Push and Pop implement container/heap.
+func (q *jobQueue) Push(x any) { *q = append(*q, x.(*Job)) }
+
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return j
+}

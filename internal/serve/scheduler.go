@@ -1,0 +1,865 @@
+// Package serve turns the placer into a placement service: a bounded
+// worker pool multiplexes many concurrent placement jobs submitted over a
+// job API (Scheduler for library callers, Server for HTTP/JSON — see
+// cmd/fbplaced).
+//
+// Three properties carry the design, all inherited from earlier layers:
+//
+//   - Preemption is safe because checkpoints are bit-identical. When a
+//     higher-priority job arrives and no worker is free, the scheduler
+//     asks the lowest-priority running job to stop at its next level
+//     boundary (placer.Config.Preempt). The victim snapshots via
+//     internal/ckpt, requeues, and later resumes — on any worker, since
+//     the worker count is excluded from the resume fingerprint — and its
+//     final positions are bit-for-bit what an uninterrupted run produces.
+//   - Caching is safe because placement is deterministic. Results are
+//     cached in an LRU keyed by the netlist and config fingerprints of
+//     internal/ckpt; identical submissions return the cached placement
+//     (and concurrent identical submissions coalesce into one run).
+//   - Degradation is graceful because failures are structured. A failed
+//     preemption snapshot keeps the victim running (recorded in the
+//     degradation log), a failed checkpoint never aborts a run, and
+//     worker-pool shutdown drains through the same snapshot machinery so
+//     a restarted scheduler resumes the interrupted jobs.
+package serve
+
+import (
+	"container/heap"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"sync"
+
+	"fbplace/internal/faultsim"
+	"fbplace/internal/obs"
+	"fbplace/internal/placer"
+)
+
+// acceptFault rejects a job at admission, exercising structured 503
+// handling under concurrent load (the fault-suite satellite).
+var acceptFault = faultsim.Register("serve.accept",
+	"a job submission is rejected at admission")
+
+// ErrShuttingDown is returned by Submit once Shutdown has begun.
+var ErrShuttingDown = errors.New("serve: scheduler is shutting down")
+
+// ErrUnknownJob is returned for job IDs the scheduler does not know.
+var ErrUnknownJob = errors.New("serve: unknown job")
+
+// Options configures a Scheduler. The zero value is usable: two workers,
+// sequential per-job realization, a 64-entry cache, and an ephemeral
+// state directory.
+type Options struct {
+	// Workers is the worker-pool size (concurrent placements). Default 2.
+	Workers int
+	// JobWorkers bounds each placement's internal realization
+	// parallelism (placer.Config.Workers). Default 1: the pool, not the
+	// job, owns the machine's parallelism. Results are bit-identical
+	// across any value by the placer's determinism contract.
+	JobWorkers int
+	// CacheEntries sizes the LRU result cache. 0 selects the default of
+	// 64; negative disables caching entirely.
+	CacheEntries int
+	// StateDir is where per-job state (job.json, checkpoints) lives, so
+	// a restarted scheduler resumes interrupted jobs. Empty selects a
+	// fresh temporary directory (no cross-restart recovery).
+	StateDir string
+	// Retain is each job's progress-stream replay window (events kept
+	// for late subscribers). 0 selects obs.DefaultRetain.
+	Retain int
+	// Obs receives the scheduler's serve.* counters and gauges. Nil
+	// creates an internal recorder (always available via Stats).
+	Obs *obs.Recorder
+}
+
+func (o *Options) fill() {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.JobWorkers <= 0 {
+		o.JobWorkers = 1
+	}
+	if o.CacheEntries == 0 {
+		o.CacheEntries = 64
+	}
+}
+
+// Scheduler multiplexes placement jobs over a bounded worker pool with
+// priorities, preemption, an idempotent result cache and crash-safe
+// per-job state. Create with NewScheduler; stop with Shutdown.
+type Scheduler struct {
+	opt      Options
+	rec      *obs.Recorder
+	stateDir string
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    jobQueue
+	jobs     map[string]*Job
+	order    []*Job
+	running  map[string]*Job
+	flights  map[cacheKey]*flight
+	seq      uint64
+	idle     int
+	shutdown bool
+
+	wg    sync.WaitGroup
+	cache *resultCache
+}
+
+// flight tracks one in-progress placement and the identical submissions
+// coalesced onto it (single-flight): followers wait for the leader's
+// result instead of burning workers on a placement that is already
+// running.
+type flight struct {
+	leader    *Job
+	followers []*Job
+}
+
+// NewScheduler creates the state directory, recovers any persisted
+// non-terminal jobs from a previous process, and starts the worker pool.
+func NewScheduler(opt Options) (*Scheduler, error) {
+	opt.fill()
+	rec := opt.Obs
+	if rec == nil {
+		rec = obs.New(nil)
+	}
+	dir := opt.StateDir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "fbplaced-")
+		if err != nil {
+			return nil, fmt.Errorf("serve: state dir: %w", err)
+		}
+		dir = d
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("serve: state dir: %w", err)
+	}
+	s := &Scheduler{
+		opt:      opt,
+		rec:      rec,
+		stateDir: dir,
+		jobs:     map[string]*Job{},
+		running:  map[string]*Job{},
+		flights:  map[cacheKey]*flight{},
+		cache:    newResultCache(opt.CacheEntries),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	s.wg.Add(opt.Workers)
+	for i := 0; i < opt.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// StateDir returns the scheduler's state directory.
+func (s *Scheduler) StateDir() string { return s.stateDir }
+
+// Obs returns the recorder carrying the serve.* counters and gauges.
+func (s *Scheduler) Obs() *obs.Recorder { return s.rec }
+
+// Submit admits one job: it loads the instance, consults the result cache
+// and in-flight placements, and either finishes the job immediately
+// (cache hit), attaches it to an identical running placement
+// (single-flight), or enqueues it — possibly asking a lower-priority
+// running job to preempt itself at its next level boundary.
+func (s *Scheduler) Submit(spec Spec) (*Job, error) {
+	if err := acceptFault.Check(); err != nil {
+		s.rec.Count("serve.rejected", 1)
+		return nil, fmt.Errorf("serve: admission: %w", err)
+	}
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	s.seq++
+	seq := s.seq
+	s.mu.Unlock()
+
+	j, err := newJob(fmt.Sprintf("j%08d", seq), seq, spec, s.opt.Retain)
+	if err != nil {
+		s.rec.Count("serve.badspec", 1)
+		return nil, err
+	}
+	j.dir = filepath.Join(s.stateDir, "jobs", j.ID)
+	if err := os.MkdirAll(j.dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: job dir: %w", err)
+	}
+	s.installContext(j)
+	s.rec.Count("serve.submitted", 1)
+
+	var hit *Result
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j)
+	j.bc.Emit(obs.Event{Type: "state", Name: string(StateQueued)})
+	if spec.NoCache {
+		s.rec.Count("serve.cache.bypassed", 1)
+		heap.Push(&s.queue, j)
+		s.cond.Signal()
+		s.maybePreemptLocked(j.Priority())
+	} else if res, ok := s.cache.get(j.key); ok {
+		s.rec.Count("serve.cache.hits", 1)
+		hit = res
+	} else {
+		s.rec.Count("serve.cache.misses", 1)
+		if fl, ok := s.flights[j.key]; ok {
+			j.mu.Lock()
+			j.coalesced = true
+			j.mu.Unlock()
+			fl.followers = append(fl.followers, j)
+			s.rec.Count("serve.coalesced", 1)
+		} else {
+			s.flights[j.key] = &flight{leader: j}
+			heap.Push(&s.queue, j)
+			s.cond.Signal()
+			s.maybePreemptLocked(j.Priority())
+		}
+	}
+	s.updateGaugesLocked()
+	s.mu.Unlock()
+
+	if hit != nil {
+		j.mu.Lock()
+		j.cached = true
+		j.mu.Unlock()
+		s.finishDone(j, hit)
+	} else {
+		s.persist(j)
+	}
+	return j, nil
+}
+
+// installContext wires the job's cancellation (and deadline, measured
+// from submission) context.
+func (s *Scheduler) installContext(j *Job) {
+	ctx := context.Background()
+	if j.spec.TimeoutMS > 0 {
+		j.ctx, j.cancel = context.WithTimeout(ctx, time.Duration(j.spec.TimeoutMS)*time.Millisecond)
+	} else {
+		j.ctx, j.cancel = context.WithCancel(ctx)
+	}
+}
+
+// maybePreemptLocked asks the weakest running job to yield when a job of
+// higher priority has to wait for a worker. The victim is the running job
+// with the lowest priority strictly below pri (newest submission on
+// ties), and the request takes effect at the victim's next level
+// boundary, once its snapshot is durably on disk.
+func (s *Scheduler) maybePreemptLocked(pri int) {
+	if s.idle > 0 {
+		return
+	}
+	var victim *Job
+	for _, r := range s.running {
+		if r.Priority() >= pri || r.preempt.Load() {
+			continue
+		}
+		if victim == nil || r.Priority() < victim.Priority() ||
+			(r.Priority() == victim.Priority() && r.Seq > victim.Seq) {
+			victim = r
+		}
+	}
+	if victim != nil {
+		victim.preempt.Store(true)
+		s.rec.Count("serve.preempt.requests", 1)
+	}
+}
+
+// Job returns a submitted job by ID.
+func (s *Scheduler) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns all known jobs in submission order.
+func (s *Scheduler) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Job(nil), s.order...)
+}
+
+// Cancel stops a job: a queued job finishes as canceled immediately, a
+// running job's context is canceled and the worker finishes it. Canceling
+// a terminal job is a no-op.
+func (s *Scheduler) Cancel(id string) error {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	if j.State().Terminal() {
+		s.mu.Unlock()
+		return nil
+	}
+	j.mu.Lock()
+	j.userCanceled = true
+	j.mu.Unlock()
+	if _, isRunning := s.running[j.ID]; isRunning {
+		s.mu.Unlock()
+		j.cancel()
+		return nil
+	}
+	// Queued (in the heap, or coalesced onto a flight): finalize now.
+	// The heap entry, if any, is skipped by the worker's state check;
+	// a follower entry is detached from its flight.
+	if fl, ok := s.flights[j.key]; ok && fl.leader != j {
+		kept := fl.followers[:0]
+		for _, f := range fl.followers {
+			if f != j {
+				kept = append(kept, f)
+			}
+		}
+		fl.followers = kept
+	}
+	j.mu.Lock()
+	j.errText = "canceled while queued"
+	j.mu.Unlock()
+	j.setState(StateCanceled)
+	s.updateGaugesLocked()
+	s.mu.Unlock()
+	j.cancel()
+	s.rec.Count("serve.canceled", 1)
+	s.persist(j)
+	s.cleanupCkpt(j)
+	return nil
+}
+
+// worker is one pool goroutine: it claims the highest-priority queued job
+// and runs it to its next terminal (or preempted) transition.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		j := s.next()
+		if j == nil {
+			return
+		}
+		s.runJob(j)
+	}
+}
+
+// next blocks until a runnable job or shutdown. Jobs canceled while
+// queued are skipped here.
+func (s *Scheduler) next() *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.shutdown {
+			return nil
+		}
+		for s.queue.Len() > 0 {
+			j := heap.Pop(&s.queue).(*Job)
+			if j.State() != StateQueued {
+				continue
+			}
+			s.running[j.ID] = j
+			s.updateGaugesLocked()
+			return j
+		}
+		s.idle++
+		s.cond.Wait()
+		s.idle--
+	}
+}
+
+// runJob executes one placement attempt: resume from the job's checkpoint
+// when one exists (preempted or recovered jobs), fresh otherwise, with the
+// scheduler's plumbing (obs stream, per-job checkpoint dir, preemption
+// poll) injected into the config.
+func (s *Scheduler) runJob(j *Job) {
+	if j.State().Terminal() {
+		// Canceled between dequeue and here; just release the slot.
+		s.release(j)
+		return
+	}
+	j.setState(StateRunning)
+	s.persist(j)
+	rec := obs.New(jobSink{j})
+	cfg := j.cfg
+	cfg.Obs = rec
+	cfg.Workers = s.opt.JobWorkers
+	cfg.Checkpoint = placer.Checkpoint{Dir: j.ckptDir()}
+	cfg.Preempt = j.preempt.Load
+	s.rec.Count("serve.placements", 1)
+
+	j.mu.Lock()
+	resume := j.resumable
+	j.mu.Unlock()
+	var rep *placer.Report
+	var err error
+	if resume {
+		rep, err = placer.Resume(j.ctx, j.n, j.ckptDir(), cfg)
+		var re *placer.ResumeError
+		if errors.As(err, &re) {
+			// No usable snapshot (all generations torn, or the directory
+			// vanished): fall back to a fresh run. Determinism makes the
+			// fresh result bit-identical to the resumed one.
+			s.rec.Count("serve.resume.fallbacks", 1)
+			j.restoreStart()
+			rep, err = placer.PlaceCtx(j.ctx, j.n, cfg)
+		} else if err == nil || errors.Is(err, placer.ErrPreempted) {
+			s.rec.Count("serve.resumes", 1)
+		}
+	} else {
+		j.restoreStart()
+		rep, err = placer.PlaceCtx(j.ctx, j.n, cfg)
+	}
+	rec.Flush()
+
+	var pe *placer.PreemptedError
+	switch {
+	case err == nil:
+		s.rec.Count("serve.degradations", float64(len(rep.Degradations)))
+		s.release(j)
+		s.completeFlight(j, buildResult(j, rep))
+	case errors.As(err, &pe):
+		s.requeuePreempted(j)
+	case j.ctx.Err() != nil && errors.Is(err, j.ctx.Err()):
+		s.finishInterrupted(j)
+	default:
+		s.release(j)
+		s.failFlight(j, err.Error())
+	}
+}
+
+// release drops the job from the running set.
+func (s *Scheduler) release(j *Job) {
+	s.mu.Lock()
+	delete(s.running, j.ID)
+	s.updateGaugesLocked()
+	s.mu.Unlock()
+}
+
+// buildResult captures the final (bit-exact) positions and report.
+func buildResult(j *Job, rep *placer.Report) *Result {
+	j.mu.Lock()
+	j.levelsPlanned = rep.Levels
+	j.mu.Unlock()
+	return &Result{
+		X:            append([]float64(nil), j.n.X...),
+		Y:            append([]float64(nil), j.n.Y...),
+		HPWL:         rep.HPWL,
+		Levels:       rep.Levels,
+		Violations:   rep.Violations,
+		Overlaps:     rep.Overlaps,
+		GlobalTime:   rep.GlobalTime,
+		LegalTime:    rep.LegalTime,
+		Degradations: rep.Degradations,
+	}
+}
+
+// completeFlight finishes a successful leader: the result is cached
+// (unless bypassed) and every coalesced follower finishes with it too.
+func (s *Scheduler) completeFlight(j *Job, res *Result) {
+	var followers []*Job
+	s.mu.Lock()
+	if fl, ok := s.flights[j.key]; ok && fl.leader == j {
+		followers = fl.followers
+		delete(s.flights, j.key)
+	}
+	if !j.spec.NoCache {
+		if ev := s.cache.put(j.key, res); ev > 0 {
+			s.rec.Count("serve.cache.evictions", float64(ev))
+		}
+	}
+	s.mu.Unlock()
+	s.finishDone(j, res)
+	for _, f := range followers {
+		if f.State().Terminal() {
+			continue
+		}
+		s.finishDone(f, res)
+	}
+}
+
+// failFlight finishes a failed leader and re-enqueues its followers as
+// independent jobs: a follower must not inherit a failure (deadline,
+// cancellation mid-run) that belongs to the leader alone.
+func (s *Scheduler) failFlight(j *Job, msg string) {
+	var followers []*Job
+	s.mu.Lock()
+	if fl, ok := s.flights[j.key]; ok && fl.leader == j {
+		followers = fl.followers
+		delete(s.flights, j.key)
+	}
+	s.mu.Unlock()
+	s.finishFailed(j, msg)
+	s.promote(followers)
+}
+
+// promote re-enqueues detached followers, the first as the new leader of
+// the rest.
+func (s *Scheduler) promote(followers []*Job) {
+	live := followers[:0]
+	for _, f := range followers {
+		if !f.State().Terminal() {
+			live = append(live, f)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	s.mu.Lock()
+	lead := live[0]
+	s.flights[lead.key] = &flight{leader: lead, followers: live[1:]}
+	heap.Push(&s.queue, lead)
+	s.cond.Signal()
+	s.updateGaugesLocked()
+	s.mu.Unlock()
+}
+
+// requeuePreempted puts a preempted job (its snapshot durably written)
+// back in the queue to be resumed later, possibly by another worker.
+func (s *Scheduler) requeuePreempted(j *Job) {
+	j.preempt.Store(false)
+	j.mu.Lock()
+	j.preemptions++
+	j.resumable = true
+	j.mu.Unlock()
+	s.rec.Count("serve.preemptions", 1)
+	s.mu.Lock()
+	delete(s.running, j.ID)
+	heap.Push(&s.queue, j)
+	s.cond.Signal()
+	s.updateGaugesLocked()
+	s.mu.Unlock()
+	j.setState(StateQueued)
+	s.persist(j)
+}
+
+// finishInterrupted handles a context-aborted run: a user cancellation
+// finishes the job, a deadline fails it, and a shutdown hard-cancel
+// requeues it (persisted as queued, resumable from its last level-stride
+// snapshot) for the next process.
+func (s *Scheduler) finishInterrupted(j *Job) {
+	j.mu.Lock()
+	user := j.userCanceled
+	j.mu.Unlock()
+	s.mu.Lock()
+	drain := s.shutdown
+	s.mu.Unlock()
+	switch {
+	case user:
+		s.release(j)
+		j.mu.Lock()
+		j.errText = "canceled"
+		j.mu.Unlock()
+		j.setState(StateCanceled)
+		s.rec.Count("serve.canceled", 1)
+		s.persist(j)
+		s.cleanupCkpt(j)
+		s.detachFlight(j)
+	case drain:
+		j.preempt.Store(false)
+		j.mu.Lock()
+		j.resumable = hasCheckpoint(j.ckptDir())
+		j.mu.Unlock()
+		s.release(j)
+		j.setState(StateQueued)
+		s.persist(j)
+	default:
+		s.release(j)
+		s.failFlight(j, "deadline exceeded: "+j.ctx.Err().Error())
+	}
+}
+
+// detachFlight removes a canceled leader's flight and promotes its
+// followers.
+func (s *Scheduler) detachFlight(j *Job) {
+	var followers []*Job
+	s.mu.Lock()
+	if fl, ok := s.flights[j.key]; ok && fl.leader == j {
+		followers = fl.followers
+		delete(s.flights, j.key)
+	}
+	s.mu.Unlock()
+	s.promote(followers)
+}
+
+// finishDone finalizes a successful (or cache-served) job.
+func (s *Scheduler) finishDone(j *Job, res *Result) {
+	j.mu.Lock()
+	j.result = res
+	j.levelsPlanned = res.Levels
+	j.mu.Unlock()
+	j.setState(StateDone)
+	s.rec.Count("serve.done", 1)
+	s.persist(j)
+	s.cleanupCkpt(j)
+}
+
+// finishFailed finalizes a failed job.
+func (s *Scheduler) finishFailed(j *Job, msg string) {
+	j.mu.Lock()
+	j.errText = msg
+	j.mu.Unlock()
+	j.setState(StateFailed)
+	s.rec.Count("serve.failed", 1)
+	s.persist(j)
+	s.cleanupCkpt(j)
+}
+
+// cleanupCkpt drops a terminal job's snapshots; they exist only to resume
+// interrupted work. Removal failures cost disk, nothing else.
+func (s *Scheduler) cleanupCkpt(j *Job) {
+	if j.dir == "" {
+		return
+	}
+	_ = os.RemoveAll(j.ckptDir())
+}
+
+// Shutdown drains the scheduler: submissions are refused, idle workers
+// exit, and every running job is asked to checkpoint at its next level
+// boundary and requeue (persisted for the next process). When ctx expires
+// before the drain completes, the still-running jobs are hard-canceled —
+// they remain resumable from their last per-level snapshot — and a
+// non-nil error reports the overrun.
+func (s *Scheduler) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.shutdown {
+		s.shutdown = true
+		s.rec.Count("serve.shutdowns", 1)
+		s.cond.Broadcast()
+	}
+	running := make([]*Job, 0, len(s.running))
+	for _, j := range s.running {
+		running = append(running, j)
+	}
+	s.mu.Unlock()
+	for _, j := range running {
+		j.preempt.Store(true)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		still := make([]*Job, 0, len(s.running))
+		for _, j := range s.running {
+			still = append(still, j)
+		}
+		s.mu.Unlock()
+		for _, j := range still {
+			j.cancel()
+		}
+		<-done
+		return fmt.Errorf("serve: drain deadline exceeded, %d running jobs hard-canceled (resumable from their last level snapshot): %w",
+			len(still), ctx.Err())
+	}
+}
+
+// Stats is the /stats snapshot.
+type Stats struct {
+	// Counters and Gauges are the serve.* metrics (queue depth, running,
+	// preemptions, cache hits/misses, degradations, ...).
+	Counters map[string]float64 `json:"counters"`
+	Gauges   map[string]float64 `json:"gauges"`
+	// Jobs counts known jobs by state.
+	Jobs map[string]int `json:"jobs"`
+	// CacheEntries is the current LRU population, Workers the pool size.
+	CacheEntries int `json:"cache_entries"`
+	Workers      int `json:"workers"`
+}
+
+// Stats returns a consistent snapshot of the scheduler's metrics.
+func (s *Scheduler) Stats() Stats {
+	st := Stats{
+		Counters:     s.rec.Counters(),
+		Gauges:       s.rec.Gauges(),
+		Jobs:         map[string]int{},
+		CacheEntries: s.cache.len(),
+		Workers:      s.opt.Workers,
+	}
+	for _, j := range s.Jobs() {
+		st.Jobs[string(j.State())]++
+	}
+	return st
+}
+
+func (s *Scheduler) updateGaugesLocked() {
+	s.rec.Gauge("serve.queue.depth", float64(s.queue.Len()))
+	s.rec.Gauge("serve.running", float64(len(s.running)))
+}
+
+// jobFile is the persisted form of a job (StateDir/jobs/<id>/job.json),
+// enough for a restarted scheduler to resume it: the full spec (instances
+// reload deterministically — synthetic chips regenerate from their seed,
+// file references re-read) plus the lifecycle state.
+type jobFile struct {
+	ID          string `json:"id"`
+	Seq         uint64 `json:"seq"`
+	State       State  `json:"state"`
+	Preemptions int    `json:"preemptions"`
+	Error       string `json:"error,omitempty"`
+	Spec        Spec   `json:"spec"`
+}
+
+// persist writes the job's state file atomically (temp + rename). A
+// persist failure is counted, never fatal: the in-memory job keeps
+// running, only restartability of this one job is lost.
+func (s *Scheduler) persist(j *Job) {
+	if j.dir == "" {
+		return
+	}
+	j.mu.Lock()
+	jf := jobFile{
+		ID:          j.ID,
+		Seq:         j.Seq,
+		State:       j.state,
+		Preemptions: j.preemptions,
+		Error:       j.errText,
+		Spec:        j.spec,
+	}
+	j.mu.Unlock()
+	data, err := json.MarshalIndent(&jf, "", "  ")
+	if err == nil {
+		tmp := filepath.Join(j.dir, "job.json.tmp")
+		err = os.WriteFile(tmp, data, 0o644)
+		if err == nil {
+			err = os.Rename(tmp, filepath.Join(j.dir, "job.json"))
+		}
+	}
+	if err != nil {
+		s.rec.Count("serve.persist.errors", 1)
+	}
+}
+
+// hasCheckpoint reports whether dir holds at least one snapshot
+// generation file.
+func hasCheckpoint(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if len(name) > 5 && name[len(name)-5:] == ".fbck" {
+			return true
+		}
+	}
+	return false
+}
+
+// recover reloads persisted jobs from a previous process: non-terminal
+// jobs re-enter the queue (resuming from their checkpoints when present),
+// terminal ones come back as historical records without results.
+func (s *Scheduler) recover() error {
+	dir := filepath.Join(s.stateDir, "jobs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("serve: recover: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		data, rerr := os.ReadFile(filepath.Join(dir, e.Name(), "job.json"))
+		if rerr != nil {
+			continue // half-created job dir; nothing recoverable
+		}
+		var jf jobFile
+		if json.Unmarshal(data, &jf) != nil || jf.ID == "" {
+			continue
+		}
+		if jf.Seq > s.seq {
+			s.seq = jf.Seq
+		}
+		if jf.State.Terminal() {
+			s.adopt(tombstoneJob(jf, jf.Error))
+			continue
+		}
+		j, jerr := newJob(jf.ID, jf.Seq, jf.Spec, s.opt.Retain)
+		if jerr != nil {
+			// The instance no longer loads (file reference gone): the job
+			// cannot be resumed, record why.
+			s.adopt(failedTombstone(jf, jerr.Error()))
+			s.rec.Count("serve.failed", 1)
+			continue
+		}
+		j.dir = filepath.Join(dir, e.Name())
+		j.mu.Lock()
+		j.preemptions = jf.Preemptions
+		j.resumable = hasCheckpoint(j.ckptDir())
+		j.mu.Unlock()
+		s.installContext(j)
+		s.rec.Count("serve.recovered", 1)
+		s.mu.Lock()
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j)
+		j.bc.Emit(obs.Event{Type: "state", Name: string(StateQueued)})
+		if fl, ok := s.flights[j.key]; ok && !j.spec.NoCache {
+			j.mu.Lock()
+			j.coalesced = true
+			j.mu.Unlock()
+			fl.followers = append(fl.followers, j)
+			s.rec.Count("serve.coalesced", 1)
+		} else {
+			if !j.spec.NoCache {
+				s.flights[j.key] = &flight{leader: j}
+			}
+			heap.Push(&s.queue, j)
+		}
+		s.updateGaugesLocked()
+		s.mu.Unlock()
+		s.persist(j)
+	}
+	return nil
+}
+
+// adopt registers a recovered terminal job.
+func (s *Scheduler) adopt(j *Job) {
+	s.mu.Lock()
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j)
+	s.mu.Unlock()
+}
+
+// tombstoneJob rebuilds a terminal job record (no result: results are not
+// persisted across restarts, only lifecycle state is).
+func tombstoneJob(jf jobFile, errText string) *Job {
+	bc := obs.NewBroadcast(1)
+	bc.Close()
+	done := make(chan struct{})
+	close(done)
+	j := &Job{
+		ID:        jf.ID,
+		Seq:       jf.Seq,
+		spec:      jf.Spec,
+		bc:        bc,
+		done:      done,
+		state:     jf.State,
+		errText:   errText,
+		submitted: time.Now(),
+	}
+	j.preemptions = jf.Preemptions
+	j.ctx, j.cancel = context.WithCancel(context.Background())
+	j.cancel()
+	return j
+}
+
+// failedTombstone marks a recovered job that can no longer run.
+func failedTombstone(jf jobFile, reason string) *Job {
+	jf.State = StateFailed
+	return tombstoneJob(jf, "recovery: "+reason)
+}

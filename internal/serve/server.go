@@ -1,0 +1,294 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"fbplace/internal/faultsim"
+	"fbplace/internal/obs"
+	"fbplace/internal/plot"
+)
+
+// Server is the HTTP/JSON face of a Scheduler. Routes:
+//
+//	POST /jobs               submit a Spec, returns the job's Status (202)
+//	GET  /jobs               list all jobs
+//	GET  /jobs/{id}          one job's Status
+//	GET  /jobs/{id}/events   progress stream: SSE, or JSON lines with
+//	                         ?format=jsonl (replay window then live events)
+//	POST /jobs/{id}/cancel   cancel a job
+//	GET  /jobs/{id}/result   finished placement as JSON; ?format=hex dumps
+//	                         "xbits ybits" hex float64 lines (bit-exact)
+//	GET  /jobs/{id}/svg      render the finished placement
+//	GET  /stats              scheduler counters, gauges and job states
+//	GET  /healthz            liveness probe
+type Server struct {
+	s   *Scheduler
+	mux *http.ServeMux
+}
+
+// NewServer wraps sched in an http.Handler.
+func NewServer(sched *Scheduler) *Server {
+	sv := &Server{s: sched, mux: http.NewServeMux()}
+	sv.mux.HandleFunc("POST /jobs", sv.submit)
+	sv.mux.HandleFunc("GET /jobs", sv.list)
+	sv.mux.HandleFunc("GET /jobs/{id}", sv.status)
+	sv.mux.HandleFunc("GET /jobs/{id}/events", sv.events)
+	sv.mux.HandleFunc("POST /jobs/{id}/cancel", sv.cancel)
+	sv.mux.HandleFunc("GET /jobs/{id}/result", sv.result)
+	sv.mux.HandleFunc("GET /jobs/{id}/svg", sv.svg)
+	sv.mux.HandleFunc("GET /stats", sv.stats)
+	sv.mux.HandleFunc("GET /healthz", sv.healthz)
+	return sv
+}
+
+func (sv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	sv.mux.ServeHTTP(w, r)
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// A failed write means the client went away; there is nobody left to
+	// report it to.
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+// submitCode maps a Submit error to its HTTP status: client mistakes are
+// 400s, admission pressure and shutdown are 503s.
+func submitCode(err error) int {
+	var se *SpecError
+	switch {
+	case errors.As(err, &se):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrShuttingDown), errors.Is(err, faultsim.ErrInjected):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (sv *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
+		return
+	}
+	j, err := sv.s.Submit(spec)
+	if err != nil {
+		writeError(w, submitCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (sv *Server) list(w http.ResponseWriter, _ *http.Request) {
+	jobs := sv.s.Jobs()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// job resolves the {id} path value, answering 404 itself when unknown.
+func (sv *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, ok := sv.s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w: %s", ErrUnknownJob, r.PathValue("id")))
+	}
+	return j, ok
+}
+
+func (sv *Server) status(w http.ResponseWriter, r *http.Request) {
+	if j, ok := sv.job(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (sv *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := sv.job(w, r)
+	if !ok {
+		return
+	}
+	if err := sv.s.Cancel(j.ID); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// events streams the job's progress events — the replay window first, then
+// live events until the job ends or the client disconnects. SSE frames by
+// default ("event: <type>", JSON data), plain JSON lines with
+// ?format=jsonl.
+func (sv *Server) events(w http.ResponseWriter, r *http.Request) {
+	j, ok := sv.job(w, r)
+	if !ok {
+		return
+	}
+	jsonl := r.URL.Query().Get("format") == "jsonl"
+	if jsonl {
+		w.Header().Set("Content-Type", "application/jsonl")
+	} else {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	replay, live, cancel := j.Events(64)
+	defer cancel()
+	emit := func(e obs.Event) bool {
+		data, err := json.Marshal(e)
+		if err != nil {
+			return false
+		}
+		if jsonl {
+			_, err = fmt.Fprintf(w, "%s\n", data)
+		} else {
+			_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data)
+		}
+		if err != nil {
+			return false // client went away
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	for _, e := range replay {
+		if !emit(e) {
+			return
+		}
+	}
+	for {
+		select {
+		case e, open := <-live:
+			if !open {
+				return // job reached a terminal state
+			}
+			if !emit(e) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// resultOf fetches the job's result, answering the error response itself
+// when it is not available.
+func (sv *Server) resultOf(w http.ResponseWriter, j *Job) (*Result, bool) {
+	res, err := j.Result()
+	if err != nil {
+		code := http.StatusConflict // terminal without result
+		if !j.State().Terminal() {
+			code = http.StatusAccepted // still queued/running: retry later
+		}
+		writeError(w, code, err)
+		return nil, false
+	}
+	return res, true
+}
+
+// resultJSON is the wire form of a finished placement.
+type resultJSON struct {
+	ID           string    `json:"id"`
+	HPWL         float64   `json:"hpwl"`
+	Levels       int       `json:"levels"`
+	Violations   int       `json:"violations"`
+	Overlaps     int       `json:"overlaps"`
+	GlobalMS     int64     `json:"global_ms"`
+	LegalMS      int64     `json:"legal_ms"`
+	Degradations []string  `json:"degradations,omitempty"`
+	X            []float64 `json:"x"`
+	Y            []float64 `json:"y"`
+}
+
+func (sv *Server) result(w http.ResponseWriter, r *http.Request) {
+	j, ok := sv.job(w, r)
+	if !ok {
+		return
+	}
+	res, ok := sv.resultOf(w, j)
+	if !ok {
+		return
+	}
+	if r.URL.Query().Get("format") == "hex" {
+		w.Header().Set("Content-Type", "text/plain")
+		w.WriteHeader(http.StatusOK)
+		for i := range res.X {
+			if _, err := fmt.Fprintf(w, "%016x %016x\n",
+				math.Float64bits(res.X[i]), math.Float64bits(res.Y[i])); err != nil {
+				return // client went away
+			}
+		}
+		return
+	}
+	out := resultJSON{
+		ID: j.ID, HPWL: res.HPWL, Levels: res.Levels,
+		Violations: res.Violations, Overlaps: res.Overlaps,
+		GlobalMS: res.GlobalTime.Milliseconds(), LegalMS: res.LegalTime.Milliseconds(),
+		X: res.X, Y: res.Y,
+	}
+	for _, d := range res.Degradations {
+		out.Degradations = append(out.Degradations,
+			fmt.Sprintf("%s -> %s (%s)", d.Stage, d.Fallback, d.Detail))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (sv *Server) svg(w http.ResponseWriter, r *http.Request) {
+	j, ok := sv.job(w, r)
+	if !ok {
+		return
+	}
+	res, ok := sv.resultOf(w, j)
+	if !ok {
+		return
+	}
+	if j.n == nil {
+		// A job recovered in a terminal state has no instance loaded.
+		writeError(w, http.StatusConflict, fmt.Errorf("serve: job %s predates this process; no geometry retained", j.ID))
+		return
+	}
+	// Render from the result's positions: the job's netlist may since have
+	// been rewound or reused, the result never changes.
+	nn := j.n.Clone()
+	copy(nn.X, res.X)
+	copy(nn.Y, res.Y)
+	w.Header().Set("Content-Type", "image/svg+xml")
+	w.WriteHeader(http.StatusOK)
+	// Mid-stream failures mean a disconnected client; the status is sent.
+	_ = plot.SVG(w, nn, j.mbs, plot.Options{Title: j.ID})
+}
+
+func (sv *Server) stats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, sv.s.Stats())
+}
+
+func (sv *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write([]byte("ok " + strconv.FormatInt(time.Now().Unix(), 10) + "\n")); err != nil {
+		return
+	}
+}

@@ -1,0 +1,272 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testServer(t *testing.T) (*Scheduler, *httptest.Server) {
+	t.Helper()
+	s := testSched(t, Options{Workers: 1})
+	ts := httptest.NewServer(NewServer(s))
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func getBody(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func submitHTTP(t *testing.T, base, body string) Status {
+	t.Helper()
+	resp, data := postJSON(t, base+"/jobs", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, data)
+	}
+	var st Status
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatalf("submit response: %v: %s", err, data)
+	}
+	return st
+}
+
+func pollDone(t *testing.T, base, id string, timeout time.Duration) Status {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, data := getBody(t, base+"/jobs/"+id)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %s: %d: %s", id, resp.StatusCode, data)
+		}
+		var st Status
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s not terminal within %v", id, timeout)
+	return Status{}
+}
+
+func TestHTTPSubmitPollResult(t *testing.T) {
+	_, ts := testServer(t)
+	st := submitHTTP(t, ts.URL, `{"chip":{"NumCells":500,"Seed":2}}`)
+	if st.ID == "" || st.State == "" {
+		t.Fatalf("submit status: %+v", st)
+	}
+	final := pollDone(t, ts.URL, st.ID, 60*time.Second)
+	if final.State != StateDone {
+		t.Fatalf("final state: %s (%s)", final.State, final.Error)
+	}
+
+	resp, data := getBody(t, ts.URL+"/jobs/"+st.ID+"/result")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: %d: %s", resp.StatusCode, data)
+	}
+	var res resultJSON
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.X) == 0 || res.HPWL <= 0 || len(res.X) != len(res.Y) {
+		t.Fatalf("implausible result: HPWL %g, %d/%d positions", res.HPWL, len(res.X), len(res.Y))
+	}
+
+	// Hex dump: one "xbits ybits" line per cell, parseable and complete.
+	resp, hex := getBody(t, ts.URL+"/jobs/"+st.ID+"/result?format=hex")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hex result: %d", resp.StatusCode)
+	}
+	lines := bytes.Count(hex, []byte("\n"))
+	if lines != len(res.X) {
+		t.Fatalf("hex dump: %d lines for %d cells", lines, len(res.X))
+	}
+
+	// SVG render of the finished placement.
+	resp, svg := getBody(t, ts.URL+"/jobs/"+st.ID+"/svg")
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(svg, []byte("<svg")) {
+		t.Fatalf("svg: %d, body starts %.40q", resp.StatusCode, svg)
+	}
+
+	// Job listing includes it.
+	resp, data = getBody(t, ts.URL+"/jobs")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list: %d", resp.StatusCode)
+	}
+	var list []Status
+	if err := json.Unmarshal(data, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != st.ID {
+		t.Fatalf("list: %+v", list)
+	}
+}
+
+func TestHTTPEventsJSONL(t *testing.T) {
+	_, ts := testServer(t)
+	st := submitHTTP(t, ts.URL, `{"chip":{"NumCells":500,"Seed":3}}`)
+	resp, err := http.Get(ts.URL + "/jobs/" + st.ID + "/events?format=jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: %d", resp.StatusCode)
+	}
+	// The stream ends when the job reaches a terminal state; collect it
+	// all and check the event shapes.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var states []string
+	levels := 0
+	for sc.Scan() {
+		var e struct {
+			Type string `json:"type"`
+			Name string `json:"name"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		if e.Type == "state" {
+			states = append(states, e.Name)
+		}
+		if e.Type == "span" && e.Name == "level" {
+			levels++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(states) == 0 || states[len(states)-1] != string(StateDone) {
+		t.Fatalf("state events: %v, want trailing done", states)
+	}
+	if levels == 0 {
+		t.Fatal("no per-level progress events streamed")
+	}
+}
+
+func TestHTTPEventsSSE(t *testing.T) {
+	_, ts := testServer(t)
+	st := submitHTTP(t, ts.URL, `{"chip":{"NumCells":300,"Seed":4}}`)
+	resp, err := http.Get(ts.URL + "/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type: %s", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(body, []byte("event: state\n")) || !bytes.Contains(body, []byte("data: {")) {
+		t.Fatalf("not SSE-framed: %.120q", body)
+	}
+}
+
+func TestHTTPCancelAndErrors(t *testing.T) {
+	_, ts := testServer(t)
+	// Occupy the worker, then cancel a queued job over HTTP.
+	filler := submitHTTP(t, ts.URL, `{"chip":{"NumCells":2000,"Seed":5},"priority":9,"knobs":{"max_levels":4}}`)
+	queued := submitHTTP(t, ts.URL, `{"chip":{"NumCells":400,"Seed":6}}`)
+	resp, data := postJSON(t, ts.URL+"/jobs/"+queued.ID+"/cancel", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %d: %s", resp.StatusCode, data)
+	}
+	if st := pollDone(t, ts.URL, queued.ID, 10*time.Second); st.State != StateCanceled {
+		t.Fatalf("canceled job state: %s", st.State)
+	}
+	// Result of a canceled job: 409, not 200/202.
+	resp, _ = getBody(t, ts.URL+"/jobs/"+queued.ID+"/result")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("canceled result: %d, want 409", resp.StatusCode)
+	}
+	// Unknown job: 404. Bad spec: 400.
+	if resp, _ := getBody(t, ts.URL+"/jobs/nope"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/jobs", `{"knobs":{"mode":"annealing"},"chip":{"NumCells":10}}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad mode: %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/jobs", `{"bogus_field":1}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: %d, want 400", resp.StatusCode)
+	}
+	pollDone(t, ts.URL, filler.ID, 120*time.Second)
+}
+
+func TestHTTPStatsAndHealth(t *testing.T) {
+	_, ts := testServer(t)
+	st := submitHTTP(t, ts.URL, `{"chip":{"NumCells":300,"Seed":7}}`)
+	pollDone(t, ts.URL, st.ID, 60*time.Second)
+	// Duplicate submission must show up as a cache hit in /stats.
+	dup := submitHTTP(t, ts.URL, `{"chip":{"NumCells":300,"Seed":7}}`)
+	if fin := pollDone(t, ts.URL, dup.ID, 10*time.Second); !fin.Cached {
+		t.Fatalf("duplicate not served from cache: %+v", fin)
+	}
+	resp, data := getBody(t, ts.URL+"/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %d", resp.StatusCode)
+	}
+	var stats Stats
+	if err := json.Unmarshal(data, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Counters["serve.cache.hits"] != 1 || stats.Counters["serve.placements"] != 1 {
+		t.Fatalf("stats counters: hits=%g placements=%g, want 1 and 1 (dup served from cache)",
+			stats.Counters["serve.cache.hits"], stats.Counters["serve.placements"])
+	}
+	if stats.Jobs[string(StateDone)] != 2 || stats.CacheEntries != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if resp, body := getBody(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK || !bytes.HasPrefix(body, []byte("ok")) {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestHTTPResultBeforeDone(t *testing.T) {
+	_, ts := testServer(t)
+	filler := submitHTTP(t, ts.URL, `{"chip":{"NumCells":2000,"Seed":8},"knobs":{"max_levels":4}}`)
+	resp, data := getBody(t, ts.URL+"/jobs/"+filler.ID+"/result")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("early result fetch: %d (%s), want 202 retry-later", resp.StatusCode, data)
+	}
+	var ae apiError
+	if err := json.Unmarshal(data, &ae); err != nil || ae.Error == "" {
+		t.Fatalf("error envelope: %v %q", err, data)
+	}
+	pollDone(t, ts.URL, filler.ID, 120*time.Second)
+}

@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"fbplace/internal/gen"
+)
+
+// TestShutdownDrainsAndRestartResumes is the graceful-shutdown oracle: a
+// scheduler draining mid-placement persists the job (checkpoint included),
+// and a fresh scheduler over the same state directory resumes it to a
+// result bit-identical to an uninterrupted run.
+func TestShutdownDrainsAndRestartResumes(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewScheduler(Options{Workers: 1, StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := s1.Submit(Spec{
+		Chip:  &gen.ChipSpec{NumCells: 2000, Seed: 21},
+		Knobs: Knobs{MaxLevels: 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitLevel(t, j1)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful drain failed: %v", err)
+	}
+	if st := j1.State(); st != StateQueued {
+		t.Fatalf("drained job state: got %s, want queued (checkpointed, awaiting restart)", st)
+	}
+
+	// "Restart the daemon": a new scheduler over the same state dir.
+	s2, err := NewScheduler(Options{Workers: 1, StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		c, cc := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cc()
+		if err := s2.Shutdown(c); err != nil {
+			t.Errorf("s2 shutdown: %v", err)
+		}
+	})
+	if got := s2.Obs().Counter("serve.recovered"); got != 1 {
+		t.Fatalf("serve.recovered: got %g, want 1", got)
+	}
+	j2, ok := s2.Job(j1.ID)
+	if !ok {
+		t.Fatalf("job %s not recovered", j1.ID)
+	}
+	waitDone(t, j2, 120*time.Second)
+	if j2.State() != StateDone {
+		t.Fatalf("recovered job state: got %s (%s), want done", j2.State(), j2.Status().Error)
+	}
+	if got := s2.Obs().Counter("serve.resumes"); got < 1 {
+		t.Fatalf("serve.resumes: got %g, want >= 1 (job had a checkpoint)", got)
+	}
+	ok2, err := verifyDirect(context.Background(), j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok2 {
+		t.Fatal("drain-restart-resume placement differs from an uninterrupted run")
+	}
+}
+
+// TestShutdownDeadlineHardCancels exercises the unhappy drain: the budget
+// expires, running jobs are hard-canceled, Shutdown reports the overrun —
+// and the jobs still resume bit-identically on restart from their last
+// level snapshot.
+func TestShutdownDeadlineHardCancels(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewScheduler(Options{Workers: 1, StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := s1.Submit(Spec{
+		Chip:  &gen.ChipSpec{NumCells: 2000, Seed: 22},
+		Knobs: Knobs{MaxLevels: 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitLevel(t, j1)
+	expired, cancel := context.WithCancel(context.Background())
+	cancel() // zero drain budget: force the hard-cancel path
+	if err := s1.Shutdown(expired); err == nil {
+		t.Fatal("Shutdown with an expired drain budget reported success")
+	}
+	if st := j1.State(); st != StateQueued {
+		t.Fatalf("hard-canceled job state: got %s, want queued (persisted for restart)", st)
+	}
+
+	s2, err := NewScheduler(Options{Workers: 1, StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		c, cc := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cc()
+		if err := s2.Shutdown(c); err != nil {
+			t.Errorf("s2 shutdown: %v", err)
+		}
+	})
+	j2, ok := s2.Job(j1.ID)
+	if !ok {
+		t.Fatalf("job %s not recovered", j1.ID)
+	}
+	waitDone(t, j2, 120*time.Second)
+	if j2.State() != StateDone {
+		t.Fatalf("recovered job state: got %s (%s), want done", j2.State(), j2.Status().Error)
+	}
+	ok2, err := verifyDirect(context.Background(), j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok2 {
+		t.Fatal("hard-cancel-restart placement differs from an uninterrupted run")
+	}
+}
+
+// TestRecoveryTerminalTombstones checks that finished jobs survive a
+// restart as historical records (status visible, result not retained).
+func TestRecoveryTerminalTombstones(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewScheduler(Options{Workers: 1, StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := s1.Submit(chipSpec(300, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j1, 60*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := NewScheduler(Options{Workers: 1, StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		c, cc := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cc()
+		_ = s2.Shutdown(c)
+	})
+	j2, ok := s2.Job(j1.ID)
+	if !ok {
+		t.Fatalf("terminal job %s lost across restart", j1.ID)
+	}
+	if j2.State() != StateDone {
+		t.Fatalf("tombstone state: got %s, want done", j2.State())
+	}
+	if _, err := j2.Result(); err == nil {
+		t.Fatal("tombstone returned a result; results are not persisted")
+	}
+}
