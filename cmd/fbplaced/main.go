@@ -38,6 +38,7 @@ func run() int {
 	workers := flag.Int("workers", 2, "concurrent placement workers")
 	jobWorkers := flag.Int("job-workers", 1, "realization parallelism inside each placement")
 	dir := flag.String("dir", "", "state directory for job persistence and checkpoints (empty = temporary)")
+	root := flag.String("root", "", "instance root that \"file\" job specs resolve under (empty = file references disabled)")
 	cacheN := flag.Int("cache", 64, "result cache entries (negative disables)")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget before hard-canceling running jobs")
 	portFile := flag.String("portfile", "", "write the bound address to this file once listening")
@@ -59,6 +60,7 @@ func run() int {
 		JobWorkers:   *jobWorkers,
 		CacheEntries: *cacheN,
 		StateDir:     *dir,
+		FileRoot:     *root,
 	}
 
 	if *selftest {

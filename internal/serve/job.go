@@ -45,7 +45,10 @@ func (s State) Terminal() bool {
 type Spec struct {
 	// Chip generates a synthetic instance (deterministic per Seed).
 	Chip *gen.ChipSpec `json:"chip,omitempty"`
-	// File references an FBPLACE v1 instance file on the server.
+	// File references an FBPLACE v1 instance file on the server, as a
+	// relative path under the configured instance root (Options.FileRoot,
+	// fbplaced -root). File references are rejected when no root is
+	// configured.
 	File string `json:"file,omitempty"`
 	// Netlist is an inline FBPLACE v1 instance text.
 	Netlist string `json:"netlist,omitempty"`
@@ -158,6 +161,9 @@ type Job struct {
 	x0, y0 []float64
 	// dir is the job's state directory ("" disables persistence).
 	dir string
+	// fileRoot is the instance root Spec.File resolved under, retained so
+	// verification reloads see the same file.
+	fileRoot string
 
 	ctx     context.Context
 	cancel  context.CancelFunc
@@ -300,9 +306,23 @@ func (s jobSink) Emit(e obs.Event) {
 	s.j.bc.Emit(e)
 }
 
+// resolveFile confines a Spec.File reference to the instance root: the
+// reference must be a local (relative, non-escaping) path and an empty
+// root disables file references entirely, so an HTTP client can never
+// make the daemon open an arbitrary server path.
+func resolveFile(root, name string) (string, error) {
+	if root == "" {
+		return "", &SpecError{Field: "File", Reason: "file references are disabled (no instance root configured)"}
+	}
+	if !filepath.IsLocal(filepath.Clean(filepath.FromSlash(name))) {
+		return "", &SpecError{Field: "File", Reason: fmt.Sprintf("%q escapes the instance root", name)}
+	}
+	return filepath.Join(root, filepath.FromSlash(name)), nil
+}
+
 // loadInstance resolves the spec's instance source into a netlist and its
-// movebounds.
-func loadInstance(spec *Spec) (*netlist.Netlist, []region.Movebound, error) {
+// movebounds. fileRoot confines Spec.File references (see resolveFile).
+func loadInstance(spec *Spec, fileRoot string) (*netlist.Netlist, []region.Movebound, error) {
 	sources := 0
 	if spec.Chip != nil {
 		sources++
@@ -324,7 +344,11 @@ func loadInstance(spec *Spec) (*netlist.Netlist, []region.Movebound, error) {
 		}
 		return inst.N, inst.Movebounds, nil
 	case spec.File != "":
-		f, err := os.Open(spec.File)
+		path, err := resolveFile(fileRoot, spec.File)
+		if err != nil {
+			return nil, nil, err
+		}
+		f, err := os.Open(path)
 		if err != nil {
 			return nil, nil, fmt.Errorf("serve: %w", err)
 		}
@@ -345,8 +369,8 @@ func loadInstance(spec *Spec) (*netlist.Netlist, []region.Movebound, error) {
 
 // newJob loads the instance, compiles the config and computes the cache
 // key. The context (deadline, cancel) is installed by the scheduler.
-func newJob(id string, seq uint64, spec Spec, retain int) (*Job, error) {
-	n, mbs, err := loadInstance(&spec)
+func newJob(id string, seq uint64, spec Spec, retain int, fileRoot string) (*Job, error) {
+	n, mbs, err := loadInstance(&spec, fileRoot)
 	if err != nil {
 		return nil, err
 	}
@@ -355,16 +379,17 @@ func newJob(id string, seq uint64, spec Spec, retain int) (*Job, error) {
 		return nil, err
 	}
 	j := &Job{
-		ID:   id,
-		Seq:  seq,
-		spec: spec,
-		n:    n,
-		mbs:  mbs,
-		cfg:  cfg,
-		x0:   append([]float64(nil), n.X...),
-		y0:   append([]float64(nil), n.Y...),
-		bc:   obs.NewBroadcast(retain),
-		done: make(chan struct{}),
+		ID:       id,
+		Seq:      seq,
+		spec:     spec,
+		fileRoot: fileRoot,
+		n:        n,
+		mbs:      mbs,
+		cfg:      cfg,
+		x0:       append([]float64(nil), n.X...),
+		y0:       append([]float64(nil), n.Y...),
+		bc:       obs.NewBroadcast(retain),
+		done:     make(chan struct{}),
 		key: cacheKey{
 			net: ckpt.Fingerprint(n),
 			cfg: placer.ConfigFingerprint(&cfg),

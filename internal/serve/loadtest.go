@@ -170,7 +170,7 @@ func verifyDirect(ctx context.Context, j *Job) (bool, error) {
 		return false, err
 	}
 	spec := j.spec
-	n, mbs, err := loadInstance(&spec)
+	n, mbs, err := loadInstance(&spec, j.fileRoot)
 	if err != nil {
 		return false, err
 	}

@@ -69,6 +69,11 @@ type Options struct {
 	// a restarted scheduler resumes interrupted jobs. Empty selects a
 	// fresh temporary directory (no cross-restart recovery).
 	StateDir string
+	// FileRoot is the directory Spec.File references resolve under.
+	// Empty (the default) disables file references: a submission naming a
+	// file is rejected rather than allowed to open arbitrary server
+	// paths.
+	FileRoot string
 	// Retain is each job's progress-stream replay window (events kept
 	// for late subscribers). 0 selects obs.DefaultRetain.
 	Retain int
@@ -185,7 +190,7 @@ func (s *Scheduler) Submit(spec Spec) (*Job, error) {
 	seq := s.seq
 	s.mu.Unlock()
 
-	j, err := newJob(fmt.Sprintf("j%08d", seq), seq, spec, s.opt.Retain)
+	j, err := newJob(fmt.Sprintf("j%08d", seq), seq, spec, s.opt.Retain, s.opt.FileRoot)
 	if err != nil {
 		s.rec.Count("serve.badspec", 1)
 		return nil, err
@@ -201,6 +206,10 @@ func (s *Scheduler) Submit(spec Spec) (*Job, error) {
 	s.mu.Lock()
 	if s.shutdown {
 		s.mu.Unlock()
+		// The job never became visible: release its deadline timer and
+		// drop the just-created state dir so a drain leaves nothing behind.
+		j.cancel()
+		_ = os.RemoveAll(j.dir)
 		return nil, ErrShuttingDown
 	}
 	s.jobs[j.ID] = j
@@ -317,21 +326,38 @@ func (s *Scheduler) Cancel(id string) error {
 		return nil
 	}
 	// Queued (in the heap, or coalesced onto a flight): finalize now.
-	// The heap entry, if any, is skipped by the worker's state check;
-	// a follower entry is detached from its flight.
-	if fl, ok := s.flights[j.key]; ok && fl.leader != j {
-		kept := fl.followers[:0]
-		for _, f := range fl.followers {
-			if f != j {
-				kept = append(kept, f)
+	// A follower detaches from its flight; a canceled leader's flight
+	// dissolves and its followers are promoted — in this same critical
+	// section, so a concurrent identical Submit either still sees the
+	// old flight or the promoted one, never a window with neither. The
+	// heap entry, if any, is pruned so the queue-depth gauge stays
+	// honest (the worker's state check still skips any stragglers).
+	var orphans []*Job
+	if fl, ok := s.flights[j.key]; ok {
+		if fl.leader == j {
+			delete(s.flights, j.key)
+			orphans = fl.followers
+		} else {
+			kept := fl.followers[:0]
+			for _, f := range fl.followers {
+				if f != j {
+					kept = append(kept, f)
+				}
 			}
+			fl.followers = kept
 		}
-		fl.followers = kept
+	}
+	for i, qj := range s.queue {
+		if qj == j {
+			heap.Remove(&s.queue, i)
+			break
+		}
 	}
 	j.mu.Lock()
 	j.errText = "canceled while queued"
 	j.mu.Unlock()
 	j.setState(StateCanceled)
+	s.promoteLocked(orphans)
 	s.updateGaugesLocked()
 	s.mu.Unlock()
 	j.cancel()
@@ -492,20 +518,24 @@ func (s *Scheduler) completeFlight(j *Job, res *Result) {
 // independent jobs: a follower must not inherit a failure (deadline,
 // cancellation mid-run) that belongs to the leader alone.
 func (s *Scheduler) failFlight(j *Job, msg string) {
-	var followers []*Job
 	s.mu.Lock()
 	if fl, ok := s.flights[j.key]; ok && fl.leader == j {
-		followers = fl.followers
 		delete(s.flights, j.key)
+		s.promoteLocked(fl.followers)
 	}
 	s.mu.Unlock()
 	s.finishFailed(j, msg)
-	s.promote(followers)
 }
 
-// promote re-enqueues detached followers, the first as the new leader of
-// the rest.
-func (s *Scheduler) promote(followers []*Job) {
+// promoteLocked re-enqueues detached followers, the first live one as the
+// new leader of the rest. The caller holds s.mu and has already removed
+// the old flight in the same critical section: a concurrent identical
+// Submit can therefore never register a flight between the detach and
+// this re-registration. Should one already exist for the key (the old
+// flight was removed in an earlier critical section, as completeFlight's
+// is), the followers merge into it instead of overwriting it — an
+// overwrite would orphan that flight's leader and strand its followers.
+func (s *Scheduler) promoteLocked(followers []*Job) {
 	live := followers[:0]
 	for _, f := range followers {
 		if !f.State().Terminal() {
@@ -515,13 +545,15 @@ func (s *Scheduler) promote(followers []*Job) {
 	if len(live) == 0 {
 		return
 	}
-	s.mu.Lock()
 	lead := live[0]
+	if fl, ok := s.flights[lead.key]; ok {
+		fl.followers = append(fl.followers, live...)
+		return
+	}
 	s.flights[lead.key] = &flight{leader: lead, followers: live[1:]}
 	heap.Push(&s.queue, lead)
 	s.cond.Signal()
 	s.updateGaugesLocked()
-	s.mu.Unlock()
 }
 
 // requeuePreempted puts a preempted job (its snapshot durably written)
@@ -580,16 +612,14 @@ func (s *Scheduler) finishInterrupted(j *Job) {
 }
 
 // detachFlight removes a canceled leader's flight and promotes its
-// followers.
+// followers (in one critical section; see promoteLocked).
 func (s *Scheduler) detachFlight(j *Job) {
-	var followers []*Job
 	s.mu.Lock()
 	if fl, ok := s.flights[j.key]; ok && fl.leader == j {
-		followers = fl.followers
 		delete(s.flights, j.key)
+		s.promoteLocked(fl.followers)
 	}
 	s.mu.Unlock()
-	s.promote(followers)
 }
 
 // finishDone finalizes a successful (or cache-served) job.
@@ -789,7 +819,7 @@ func (s *Scheduler) recover() error {
 			s.adopt(tombstoneJob(jf, jf.Error))
 			continue
 		}
-		j, jerr := newJob(jf.ID, jf.Seq, jf.Spec, s.opt.Retain)
+		j, jerr := newJob(jf.ID, jf.Seq, jf.Spec, s.opt.Retain, s.opt.FileRoot)
 		if jerr != nil {
 			// The instance no longer loads (file reference gone): the job
 			// cannot be resumed, record why.

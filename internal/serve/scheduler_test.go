@@ -1,11 +1,15 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"errors"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
+	"fbplace/internal/chipio"
 	"fbplace/internal/gen"
 	"fbplace/internal/obs"
 )
@@ -334,6 +338,101 @@ func TestBadSpecs(t *testing.T) {
 	_, err := s.Submit(Spec{})
 	if !errors.As(err, &se) {
 		t.Fatalf("missing source: got %v, want *SpecError", err)
+	}
+}
+
+// TestCancelQueuedLeaderPromotesFollowers covers flight dissolution:
+// canceling a queued leader must promote its coalesced followers to a
+// flight of their own (they finish with a real result) and free the key
+// so later identical submissions do not coalesce onto a dead flight.
+func TestCancelQueuedLeaderPromotesFollowers(t *testing.T) {
+	s := testSched(t, Options{Workers: 1})
+	filler, err := s.Submit(Spec{
+		Chip: &gen.ChipSpec{NumCells: 2000, Seed: 14}, Priority: 9,
+		Knobs: Knobs{MaxLevels: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitLevel(t, filler)
+	lead, err := s.Submit(chipSpec(400, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := s.Submit(chipSpec(400, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := s.Submit(chipSpec(400, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f1.Status().Coalesced || !f2.Status().Coalesced {
+		t.Fatal("followers did not coalesce onto the queued leader")
+	}
+	if err := s.Cancel(lead.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, lead, 10*time.Second)
+	if lead.State() != StateCanceled {
+		t.Fatalf("leader state: got %s, want canceled", lead.State())
+	}
+	if got := s.Obs().Gauges()["serve.queue.depth"]; got != 1 {
+		t.Fatalf("queue depth after canceling queued leader: got %g, want 1 (the promoted follower)", got)
+	}
+	waitDone(t, f1, 120*time.Second)
+	waitDone(t, f2, 120*time.Second)
+	if f1.State() != StateDone || f2.State() != StateDone {
+		t.Fatalf("follower states: %s, %s", f1.State(), f2.State())
+	}
+	if ra, rb := mustResult(t, f1), mustResult(t, f2); ra != rb {
+		t.Fatal("promoted followers should share one Result")
+	}
+	late, err := s.Submit(chipSpec(400, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, late, 120*time.Second)
+	if late.State() != StateDone {
+		t.Fatalf("late duplicate state: got %s, want done", late.State())
+	}
+	waitDone(t, filler, 120*time.Second)
+}
+
+// TestFileSpecConfinedToRoot covers Spec.File confinement: references
+// resolve under Options.FileRoot, escapes are rejected, and file
+// references are disabled entirely when no root is configured.
+func TestFileSpecConfinedToRoot(t *testing.T) {
+	root := t.TempDir()
+	inst, err := gen.Chip(gen.ChipSpec{NumCells: 300, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := chipio.Write(&buf, inst.N, inst.Movebounds); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "inst.fbp"), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := testSched(t, Options{Workers: 1, FileRoot: root})
+	j, err := s.Submit(Spec{File: "inst.fbp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j, 60*time.Second)
+	if j.State() != StateDone {
+		t.Fatalf("file job state: got %s, want done", j.State())
+	}
+	var se *SpecError
+	for _, name := range []string{"../inst.fbp", "/etc/passwd", filepath.Join(root, "inst.fbp")} {
+		if _, err := s.Submit(Spec{File: name}); !errors.As(err, &se) {
+			t.Errorf("escaping file %q: got %v, want *SpecError", name, err)
+		}
+	}
+	noRoot := testSched(t, Options{Workers: 1})
+	if _, err := noRoot.Submit(Spec{File: "inst.fbp"}); !errors.As(err, &se) {
+		t.Errorf("file reference without a root: got %v, want *SpecError", err)
 	}
 }
 
