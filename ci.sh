@@ -33,7 +33,10 @@ go vet ./...
 echo "== fbpvet =="
 # Repo-specific invariants: map-order determinism in solver packages,
 # no float equality in numeric kernels, obs spans always ended, no
-# dropped errors, no global/time-seeded RNG. See README "Static analysis".
+# dropped errors, no global/time-seeded RNG, plus the concurrency family
+# (mutexguard, ctxrelease, goroleak, atomicmix, walltime). Any finding
+# without an //fbpvet:allow (or per-analyzer) suppression fails CI here.
+# See README "Static analysis".
 go run ./cmd/fbpvet ./...
 
 echo "== go build =="
@@ -109,6 +112,13 @@ echo "$stats" | grep -q '"serve.placements": 1' ||
 	{ echo "service e2e: duplicate ran a second placement: $stats" >&2; exit 1; }
 kill -TERM "$daemon"
 wait "$daemon" || { echo "service e2e: drain exited non-zero" >&2; exit 1; }
+
+echo "== serve/obs race gate =="
+# The scheduler and broadcast layers are the repo's concurrency hot spots
+# (preemption, single-flight, fan-out); run them under the race detector
+# unconditionally — even with -quick — so lock-discipline regressions
+# cannot slip through a fast iteration loop.
+go test -race -timeout 10m ./internal/serve/... ./internal/obs/...
 
 echo "== fuzz smoke =="
 # A few seconds per fuzz target: enough to replay the seed corpora under

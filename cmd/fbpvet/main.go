@@ -7,29 +7,42 @@
 // type-check. It is wired into ci.sh between `go vet` and the build, so
 // the repo-specific invariants — no map-order dependence in solver code,
 // no float equality in numeric kernels, no dangling obs spans, no dropped
-// errors, no global RNG — are enforced on every CI run.
+// errors, no global RNG, and the concurrency contracts (guarded fields,
+// released contexts and timers, bounded goroutines, atomic discipline,
+// wall-clock-free deterministic packages) — are enforced on every CI run.
 //
 // Usage:
 //
-//	fbpvet [-list] [packages]
+//	fbpvet [-list] [-json] [-only names] [-skip names] [packages]
 //
 // With no patterns it analyzes ./... . -list prints the analyzers and
-// their documentation instead of running.
+// their documentation instead of running. -json emits one JSON object per
+// finding (file/line/col/analyzer/message) for editors and CI tooling.
+// -only and -skip take comma-separated analyzer names and restrict the
+// run; naming an unknown analyzer is an error (exit 2), so a typo cannot
+// silently skip a gate.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 
 	"fbplace/internal/analyze"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and their documentation, then exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON objects, one per line")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	skip := flag.String("skip", "", "comma-separated analyzer names to exclude")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: fbpvet [-list] [packages]\n\nRuns fbplace's custom static analyzers. Exit status: 0 clean, 1 findings, 2 load error.\n\nFlags:\n")
+		fmt.Fprintf(os.Stderr, "usage: fbpvet [-list] [-json] [-only names] [-skip names] [packages]\n\nRuns fbplace's custom static analyzers. Exit status: 0 clean, 1 findings, 2 load error.\n\nFlags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -39,6 +52,12 @@ func main() {
 			fmt.Printf("%s (suppress: //fbpvet:%s)\n    %s\n", a.Name, a.Directive, a.Doc)
 		}
 		return
+	}
+
+	analyzers, err := selectAnalyzers(analyze.All(), *only, *skip)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fbpvet: %v\n", err)
+		os.Exit(2)
 	}
 
 	patterns := flag.Args()
@@ -51,17 +70,108 @@ func main() {
 		os.Exit(2)
 	}
 	cwd, _ := os.Getwd()
-	found := 0
+	var diags []analyze.Diagnostic
 	for _, pkg := range pkgs {
-		for _, d := range analyze.Run(pkg, analyze.All()) {
-			found++
-			fmt.Printf("%s:%d: %s: %s\n", relPath(cwd, d.Pos.Filename), d.Pos.Line, d.Analyzer, d.Message)
+		diags = append(diags, analyze.Run(pkg, analyzers)...)
+	}
+	for i := range diags {
+		diags[i].Pos.Filename = relPath(cwd, diags[i].Pos.Filename)
+	}
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "fbpvet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d: %s: %s\n", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
 		}
 	}
-	if found > 0 {
-		fmt.Fprintf(os.Stderr, "fbpvet: %d finding(s)\n", found)
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "fbpvet: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// selectAnalyzers applies the -only and -skip filters to the registry.
+// Unknown names are an error rather than a silent no-op.
+func selectAnalyzers(all []*analyze.Analyzer, only, skip string) ([]*analyze.Analyzer, error) {
+	byName := map[string]*analyze.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	parse := func(flagName, csv string) (map[string]bool, error) {
+		if csv == "" {
+			return nil, nil
+		}
+		set := map[string]bool{}
+		for _, name := range strings.Split(csv, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if byName[name] == nil {
+				known := make([]string, 0, len(byName))
+				for n := range byName {
+					known = append(known, n)
+				}
+				sort.Strings(known)
+				return nil, fmt.Errorf("-%s: unknown analyzer %q (known: %s)", flagName, name, strings.Join(known, ", "))
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	onlySet, err := parse("only", only)
+	if err != nil {
+		return nil, err
+	}
+	skipSet, err := parse("skip", skip)
+	if err != nil {
+		return nil, err
+	}
+	var out []*analyze.Analyzer
+	for _, a := range all {
+		if onlySet != nil && !onlySet[a.Name] {
+			continue
+		}
+		if skipSet[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-only/-skip left no analyzers to run")
+	}
+	return out, nil
+}
+
+// jsonFinding is the machine-readable shape of one diagnostic.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON emits one compact JSON object per finding, newline-separated
+// (JSONL), in the same file/line order as the text output.
+func writeJSON(w io.Writer, diags []analyze.Diagnostic) error {
+	enc := json.NewEncoder(w)
+	for _, d := range diags {
+		f := jsonFinding{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}
+		if err := enc.Encode(f); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // relPath shortens file names to cwd-relative where possible.

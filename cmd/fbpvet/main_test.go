@@ -1,12 +1,18 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
+	"go/token"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"regexp"
+	"strings"
 	"testing"
+
+	"fbplace/internal/analyze"
 )
 
 // TestEndToEnd builds the fbpvet binary, runs it against a scratch module
@@ -83,5 +89,150 @@ func main() {
 	out, code = run()
 	if code != 0 || out != "" {
 		t.Fatalf("clean module: exit code = %d, output %q; want 0 and empty", code, out)
+	}
+}
+
+// TestEndToEndFlags exercises -json, -only and -skip against a scratch
+// module with one known seededrand violation.
+func TestEndToEndFlags(t *testing.T) {
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "fbpvet")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building fbpvet: %v\n%s", err, out)
+	}
+	mod := filepath.Join(tmp, "scratch")
+	if err := os.MkdirAll(mod, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(mod, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratch\n\ngo 1.22\n")
+	write("main.go", `package main
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+func main() {
+	fmt.Println(rand.Intn(10))
+}
+`)
+	run := func(args ...string) (string, int) {
+		t.Helper()
+		cmd := exec.Command(bin, append(args, "./...")...)
+		cmd.Dir = mod
+		out, err := cmd.Output()
+		if err == nil {
+			return string(out), 0
+		}
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("running fbpvet: %v", err)
+		}
+		return string(out), ee.ExitCode()
+	}
+
+	// -json: one decodable object, with the expected fields.
+	out, code := run("-json")
+	if code != 1 {
+		t.Fatalf("-json exit code = %d, want 1; output:\n%s", code, out)
+	}
+	var f struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(strings.TrimSpace(out)), &f); err != nil {
+		t.Fatalf("-json output not a JSON object: %v\n%s", err, out)
+	}
+	if f.File != "main.go" || f.Line != 9 || f.Col == 0 || f.Analyzer != "seededrand" || f.Message == "" {
+		t.Fatalf("-json finding fields: %+v", f)
+	}
+
+	// -only with an analyzer that cannot fire here: clean exit.
+	out, code = run("-only", "maporder")
+	if code != 0 || out != "" {
+		t.Fatalf("-only maporder: exit code = %d, output %q; want 0 and empty", code, out)
+	}
+	// -only with the firing analyzer still finds it.
+	if _, code = run("-only", "seededrand"); code != 1 {
+		t.Fatalf("-only seededrand: exit code = %d, want 1", code)
+	}
+	// -skip removes the firing analyzer: clean exit.
+	if out, code = run("-skip", "seededrand"); code != 0 {
+		t.Fatalf("-skip seededrand: exit code = %d, output:\n%s; want 0", code, out)
+	}
+	// Unknown analyzer name: exit 2, not a silent no-op.
+	if _, code = run("-only", "nosuchanalyzer"); code != 2 {
+		t.Fatalf("-only nosuchanalyzer: exit code = %d, want 2", code)
+	}
+}
+
+// TestWriteJSON unit-tests the JSONL encoder: order preserved, one object
+// per line, fields round-trip.
+func TestWriteJSON(t *testing.T) {
+	diags := []analyze.Diagnostic{
+		{Pos: token.Position{Filename: "a.go", Line: 3, Column: 7}, Analyzer: "mutexguard", Message: `s.seq is guarded by s.mu`},
+		{Pos: token.Position{Filename: "b.go", Line: 9, Column: 2}, Analyzer: "walltime", Message: "time.Now in deterministic package"},
+	}
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	for i, line := range lines {
+		var f jsonFinding
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("line %d not JSON: %v", i, err)
+		}
+		want := diags[i]
+		if f.File != want.Pos.Filename || f.Line != want.Pos.Line || f.Col != want.Pos.Column ||
+			f.Analyzer != want.Analyzer || f.Message != want.Message {
+			t.Fatalf("line %d round-trip mismatch: got %+v want %+v", i, f, want)
+		}
+	}
+}
+
+// TestSelectAnalyzers unit-tests the -only/-skip filter logic.
+func TestSelectAnalyzers(t *testing.T) {
+	all := analyze.All()
+	names := func(as []*analyze.Analyzer) string {
+		var ns []string
+		for _, a := range as {
+			ns = append(ns, a.Name)
+		}
+		return strings.Join(ns, ",")
+	}
+
+	got, err := selectAnalyzers(all, "", "")
+	if err != nil || len(got) != len(all) {
+		t.Fatalf("no filters: %v, %s", err, names(got))
+	}
+	got, err = selectAnalyzers(all, "mutexguard,walltime", "")
+	if err != nil || names(got) != "mutexguard,walltime" {
+		t.Fatalf("-only: %v, %s", err, names(got))
+	}
+	got, err = selectAnalyzers(all, "mutexguard,walltime", "walltime")
+	if err != nil || names(got) != "mutexguard" {
+		t.Fatalf("-only + -skip: %v, %s", err, names(got))
+	}
+	if _, err = selectAnalyzers(all, "bogus", ""); err == nil {
+		t.Fatal("unknown -only name: want error")
+	}
+	if _, err = selectAnalyzers(all, "", "bogus"); err == nil {
+		t.Fatal("unknown -skip name: want error")
+	}
+	if _, err = selectAnalyzers(all, "mutexguard", "mutexguard"); err == nil {
+		t.Fatal("filters eliminating every analyzer: want error")
 	}
 }

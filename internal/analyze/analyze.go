@@ -15,8 +15,9 @@
 //	for k, v := range usage { total += v }
 //
 // Each analyzer owns one directive suffix (maporder → orderok, floatcmp →
-// floatok, spanend → spanok, errdrop → errok, seededrand → randok,
-// panicfree → allow);
+// floatok, spanend → spanok, errdrop → errok, seededrand → randok;
+// panicfree and the concurrency family — mutexguard, ctxrelease, goroleak,
+// atomicmix, walltime — share the generic allow);
 // //fbpvet:ignore suppresses every analyzer on its line. Directives should
 // carry a reason after the tag, like nolint comments in production Go
 // services.
@@ -181,5 +182,8 @@ func directiveIndex(fset *token.FileSet, files []*ast.File) map[suppressKey]bool
 
 // All returns every registered analyzer in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{MapOrder, FloatCmp, SpanEnd, ErrDrop, SeededRand, PanicFree}
+	return []*Analyzer{
+		MapOrder, FloatCmp, SpanEnd, ErrDrop, SeededRand, PanicFree,
+		MutexGuard, CtxRelease, GoroLeak, AtomicMix, WallTime,
+	}
 }

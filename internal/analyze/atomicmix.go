@@ -1,0 +1,142 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicMix enforces all-or-nothing atomicity: once a variable or struct
+// field is accessed through sync/atomic anywhere in the package, every
+// other access to it must also go through sync/atomic. A mixed access is
+// a data race even when it "only reads a counter" — the racy read tears
+// on 32-bit platforms and licenses the compiler to cache the value across
+// loop iterations. qp.SolveStats is the in-repo example: its counters are
+// atomically incremented on the solver hot path and must therefore be
+// atomically loaded everywhere, including checkpoint snapshots.
+//
+// Scope is the package under analysis: the analyzer collects every
+// `&x` argument to an sync/atomic Add/Load/Store/Swap/CompareAndSwap
+// call, resolves the addressed field or variable to its types.Object,
+// then reports any other use of that object that is not itself inside an
+// atomic call's argument list. Cross-package mixing is the API's job to
+// prevent — export atomic accessor methods instead of raw fields.
+var AtomicMix = &Analyzer{
+	Name:      "atomicmix",
+	Directive: "allow",
+	Doc: "a field or variable accessed via sync/atomic must never be " +
+		"accessed non-atomically in the same package; suppress with " +
+		"//fbpvet:allow <reason>",
+	Run: runAtomicMix,
+}
+
+func runAtomicMix(p *Pass) {
+	// Pass 1: objects addressed in atomic calls, and the source ranges of
+	// those calls (any identifier inside one is an atomic access).
+	type span struct{ lo, hi int }
+	var atomicSpans []span
+	atomicObjs := map[types.Object]string{} // object -> atomic func name seen
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !isAtomicOp(fn.Name()) {
+				return true
+			}
+			atomicSpans = append(atomicSpans, span{int(call.Pos()), int(call.End())})
+			if len(call.Args) == 0 {
+				return true
+			}
+			// First argument is *T: &x.f or &v.
+			ue, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			if obj := addressedObject(p, ue.X); obj != nil {
+				if _, seen := atomicObjs[obj]; !seen {
+					atomicObjs[obj] = "atomic." + fn.Name()
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return
+	}
+	inAtomic := func(pos int) bool {
+		for _, s := range atomicSpans {
+			if pos >= s.lo && pos < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pass 2: every other access to those objects must sit inside an
+	// atomic call.
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				sel := p.Info.Selections[e]
+				if sel == nil || sel.Kind() != types.FieldVal {
+					return true
+				}
+				if what, ok := atomicObjs[sel.Obj()]; ok && !inAtomic(int(e.Pos())) {
+					p.Reportf(e.Sel.Pos(), "%s is accessed with %s elsewhere in this package; this non-atomic access races with it",
+						e.Sel.Name, what)
+				}
+			case *ast.Ident:
+				obj := p.Info.Uses[e]
+				if obj == nil {
+					return true
+				}
+				if _, isVar := obj.(*types.Var); !isVar || obj.Parent() != p.Pkg.Scope() {
+					return true // only package-level vars; field idents come via SelectorExpr
+				}
+				if what, ok := atomicObjs[obj]; ok && !inAtomic(int(e.Pos())) {
+					p.Reportf(e.Pos(), "%s is accessed with %s elsewhere in this package; this non-atomic access races with it",
+						e.Name, what)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// addressedObject resolves the operand of a unary & in an atomic call's
+// first argument to the field or package-var object it addresses.
+func addressedObject(p *Pass, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel := p.Info.Selections[x]; sel != nil && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+	case *ast.Ident:
+		if obj := p.Info.Uses[x]; obj != nil {
+			if _, isVar := obj.(*types.Var); isVar {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// isAtomicOp matches the sync/atomic functions that take a pointer to the
+// shared word: AddInt64, LoadUint32, StorePointer, SwapInt32,
+// CompareAndSwapInt64, ... Typed atomics (atomic.Int64) enforce
+// themselves and are out of scope.
+func isAtomicOp(name string) bool {
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}

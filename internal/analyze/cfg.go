@@ -1,0 +1,480 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the shared control-flow scaffolding for the concurrency and
+// lifecycle analyzers (mutexguard, ctxrelease). golang.org/x/tools/go/cfg
+// is unavailable by policy — the repo is stdlib-only — so the block graph
+// is built directly over go/ast, the same way the loader type-checks from
+// source instead of importing export data.
+//
+// The graph is deliberately simple: a block is a straight-line run of
+// statement (and branch-condition) nodes with successor edges. Composite
+// statements are decomposed — an *ast.IfStmt contributes its Init and Cond
+// to the current block and its branches become separate blocks — so a
+// node list never contains the body of a nested control structure, and a
+// dataflow transfer function can treat each node as executing exactly at
+// its position in the block. Function literals are NOT part of the
+// enclosing function's graph (they execute at some other time, or never);
+// analyzers walk node subtrees with inspectShallow to stay out of them and
+// analyze each literal as its own function.
+//
+// Unmodeled exits keep the analyses conservative rather than wrong: panics
+// and calls that never return are treated as falling through, and a goto
+// is treated as an opaque jump to the function exit.
+
+// blk is one basic block: nodes executed in order, then a jump to one of
+// succs. The virtual exit block has no nodes and no successors.
+type blk struct {
+	nodes []ast.Node
+	succs []*blk
+}
+
+// funcCFG is the control-flow graph of one function body.
+type funcCFG struct {
+	entry  *blk
+	exit   *blk
+	blocks []*blk // entry first; exit included
+}
+
+// cfgBuilder carries the break/continue resolution state during the walk.
+type cfgBuilder struct {
+	g *funcCFG
+	// breakTo / continueTo are stacks of enclosing targets.
+	breakTo    []*blk
+	continueTo []*blk
+	// labels maps a label name to its statement's break/continue targets.
+	labelBreak    map[string]*blk
+	labelContinue map[string]*blk
+	// pendingLabel is the label naming the next loop/switch encountered.
+	pendingLabel string
+}
+
+// buildCFG constructs the block graph of body.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	g := &funcCFG{}
+	b := &cfgBuilder{
+		g:             g,
+		labelBreak:    map[string]*blk{},
+		labelContinue: map[string]*blk{},
+	}
+	g.exit = &blk{}
+	g.entry = b.newBlock()
+	end := b.stmts(body.List, g.entry)
+	if end != nil {
+		b.edge(end, g.exit)
+	}
+	g.blocks = append(g.blocks, g.exit)
+	return g
+}
+
+func (b *cfgBuilder) newBlock() *blk {
+	nb := &blk{}
+	b.g.blocks = append(b.g.blocks, nb)
+	return nb
+}
+
+func (b *cfgBuilder) edge(from, to *blk) {
+	for _, s := range from.succs {
+		if s == to {
+			return
+		}
+	}
+	from.succs = append(from.succs, to)
+}
+
+// stmts threads the statement list through cur, returning the block that
+// falls out of the list (nil when every path has jumped away).
+func (b *cfgBuilder) stmts(list []ast.Stmt, cur *blk) *blk {
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable code after a terminating statement: give it its
+			// own disconnected block so its nodes still exist, but nothing
+			// flows into it.
+			cur = b.newBlock()
+		}
+		cur = b.stmt(s, cur)
+	}
+	return cur
+}
+
+// stmt adds one statement to cur and returns the fall-through block.
+func (b *cfgBuilder) stmt(s ast.Stmt, cur *blk) *blk {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(st.List, cur)
+
+	case *ast.LabeledStmt:
+		b.pendingLabel = st.Label.Name
+		next := b.stmt(st.Stmt, cur)
+		b.pendingLabel = ""
+		return next
+
+	case *ast.ReturnStmt:
+		cur.nodes = append(cur.nodes, st)
+		b.edge(cur, b.g.exit)
+		return nil
+
+	case *ast.BranchStmt:
+		cur.nodes = append(cur.nodes, st)
+		var target *blk
+		switch st.Tok {
+		case token.BREAK:
+			if st.Label != nil {
+				target = b.labelBreak[st.Label.Name]
+			} else if len(b.breakTo) > 0 {
+				target = b.breakTo[len(b.breakTo)-1]
+			}
+		case token.CONTINUE:
+			if st.Label != nil {
+				target = b.labelContinue[st.Label.Name]
+			} else if len(b.continueTo) > 0 {
+				target = b.continueTo[len(b.continueTo)-1]
+			}
+		case token.GOTO:
+			// Conservative: an opaque jump; route to exit so facts proven
+			// "on every path" never rely on code a goto may skip.
+			target = b.g.exit
+		case token.FALLTHROUGH:
+			// Handled by the switch builder (the next case block is the
+			// fall-through successor); treat as plain fall-through here.
+			return cur
+		}
+		if target == nil {
+			target = b.g.exit
+		}
+		b.edge(cur, target)
+		return nil
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			cur.nodes = append(cur.nodes, st.Init)
+		}
+		cur.nodes = append(cur.nodes, st.Cond)
+		after := b.newBlock()
+		thenB := b.newBlock()
+		b.edge(cur, thenB)
+		if end := b.stmt(st.Body, thenB); end != nil {
+			b.edge(end, after)
+		}
+		if st.Else != nil {
+			elseB := b.newBlock()
+			b.edge(cur, elseB)
+			if end := b.stmt(st.Else, elseB); end != nil {
+				b.edge(end, after)
+			}
+		} else {
+			b.edge(cur, after)
+		}
+		return after
+
+	case *ast.ForStmt:
+		if st.Init != nil {
+			cur.nodes = append(cur.nodes, st.Init)
+		}
+		head := b.newBlock()
+		b.edge(cur, head)
+		if st.Cond != nil {
+			head.nodes = append(head.nodes, st.Cond)
+		}
+		after := b.newBlock()
+		post := head
+		if st.Post != nil {
+			post = b.newBlock()
+			post.nodes = append(post.nodes, st.Post)
+			b.edge(post, head)
+		}
+		if st.Cond != nil {
+			b.edge(head, after)
+		}
+		b.pushLoop(after, post)
+		body := b.newBlock()
+		b.edge(head, body)
+		if end := b.stmt(st.Body, body); end != nil {
+			b.edge(end, post)
+		}
+		b.popLoop()
+		return after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.edge(cur, head)
+		head.nodes = append(head.nodes, st.X)
+		after := b.newBlock()
+		b.edge(head, after)
+		b.pushLoop(after, head)
+		body := b.newBlock()
+		b.edge(head, body)
+		if end := b.stmt(st.Body, body); end != nil {
+			b.edge(end, head)
+		}
+		b.popLoop()
+		return after
+
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			cur.nodes = append(cur.nodes, st.Init)
+		}
+		if st.Tag != nil {
+			cur.nodes = append(cur.nodes, st.Tag)
+		}
+		return b.caseBodies(st.Body, cur, switchClauseBodies(st.Body))
+
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			cur.nodes = append(cur.nodes, st.Init)
+		}
+		cur.nodes = append(cur.nodes, st.Assign)
+		return b.caseBodies(st.Body, cur, switchClauseBodies(st.Body))
+
+	case *ast.SelectStmt:
+		var clauses []clauseBody
+		hasDefault := false
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CommClause)
+			cb := clauseBody{body: cc.Body}
+			if cc.Comm != nil {
+				cb.lead = cc.Comm
+			} else {
+				hasDefault = true
+			}
+			clauses = append(clauses, cb)
+		}
+		// A select without a default blocks until some case is ready, so
+		// control cannot skip past it. With a default it can (the default
+		// clause is just another branch, already in clauses).
+		_ = hasDefault
+		return b.caseBodies(st.Body, cur, clauses)
+
+	default:
+		// Plain nodes: Assign, Decl, Expr, Send, IncDec, Defer, Go, Empty.
+		cur.nodes = append(cur.nodes, s)
+		return cur
+	}
+}
+
+// clauseBody is one case of a switch/select: an optional lead statement
+// (a select's communication op) plus the body.
+type clauseBody struct {
+	lead ast.Stmt
+	body []ast.Stmt
+}
+
+func switchClauseBodies(body *ast.BlockStmt) []clauseBody {
+	var out []clauseBody
+	for _, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		out = append(out, clauseBody{body: cc.Body})
+	}
+	return out
+}
+
+// caseBodies wires the clause blocks of a switch/select: every clause is a
+// successor of cur, each clause end falls through to the common after
+// block, and break targets after. A clause ending in fallthrough also gets
+// an edge to the next clause's block. cur additionally flows straight to
+// after (a switch may match nothing); this extra edge is harmless for the
+// conservative analyses built on this graph.
+func (b *cfgBuilder) caseBodies(body *ast.BlockStmt, cur *blk, clauses []clauseBody) *blk {
+	after := b.newBlock()
+	b.pushBreak(after)
+	blocks := make([]*blk, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(cur, blocks[i])
+	}
+	b.edge(cur, after)
+	for i, cl := range clauses {
+		start := blocks[i]
+		if cl.lead != nil {
+			start.nodes = append(start.nodes, cl.lead)
+		}
+		end := b.stmts(cl.body, start)
+		if end != nil {
+			b.edge(end, after)
+		}
+		if fallsThrough(cl.body) && i+1 < len(blocks) {
+			b.edge(end, blocks[i+1])
+		}
+	}
+	b.popBreak()
+	return after
+}
+
+// fallsThrough reports whether a case body ends in a fallthrough.
+func fallsThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+func (b *cfgBuilder) pushLoop(brk, cont *blk) {
+	b.breakTo = append(b.breakTo, brk)
+	b.continueTo = append(b.continueTo, cont)
+	if b.pendingLabel != "" {
+		b.labelBreak[b.pendingLabel] = brk
+		b.labelContinue[b.pendingLabel] = cont
+		b.pendingLabel = ""
+	}
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breakTo = b.breakTo[:len(b.breakTo)-1]
+	b.continueTo = b.continueTo[:len(b.continueTo)-1]
+}
+
+func (b *cfgBuilder) pushBreak(brk *blk) {
+	b.breakTo = append(b.breakTo, brk)
+	b.continueTo = append(b.continueTo, nil)
+	if b.pendingLabel != "" {
+		b.labelBreak[b.pendingLabel] = brk
+		b.pendingLabel = ""
+	}
+}
+
+func (b *cfgBuilder) popBreak() { b.popLoop() }
+
+// facts is a dataflow fact set keyed by any comparable value (analyzers
+// use small structs of types.Object plus a field name).
+type facts map[any]bool
+
+func copyFacts(f facts) facts {
+	out := make(facts, len(f))
+	for k := range f {
+		out[k] = true
+	}
+	return out
+}
+
+func equalFacts(a, b facts) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// flowMode selects the meet operator of a forward analysis.
+type flowMode int
+
+const (
+	// mustIntersect keeps only facts that hold on EVERY path into a block
+	// (used by mutexguard: "this mutex is definitely held here").
+	mustIntersect flowMode = iota
+	// mayUnion keeps facts that hold on ANY path into a block (used by
+	// ctxrelease: "an unreleased obligation may reach here").
+	mayUnion
+)
+
+// flow runs a forward dataflow analysis to fixpoint. transfer updates the
+// fact set in place for one node; after convergence, visit (may be nil) is
+// called for every reachable node with the facts holding immediately
+// before it. The returned set is the facts at the virtual function exit
+// (nil when the exit is unreachable, e.g. `for {}` with no break).
+func (g *funcCFG) flow(mode flowMode, transfer func(n ast.Node, f facts), visit func(n ast.Node, f facts)) facts {
+	in := map[*blk]facts{g.entry: {}}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.blocks {
+			inF, ok := in[b]
+			if !ok {
+				continue
+			}
+			out := copyFacts(inF)
+			for _, n := range b.nodes {
+				transfer(n, out)
+			}
+			for _, s := range b.succs {
+				prev, seen := in[s]
+				if !seen {
+					in[s] = copyFacts(out)
+					changed = true
+					continue
+				}
+				merged := merge(mode, prev, out)
+				if !equalFacts(merged, prev) {
+					in[s] = merged
+					changed = true
+				}
+			}
+		}
+	}
+	if visit != nil {
+		for _, b := range g.blocks {
+			inF, ok := in[b]
+			if !ok {
+				continue
+			}
+			f := copyFacts(inF)
+			for _, n := range b.nodes {
+				visit(n, f)
+				transfer(n, f)
+			}
+		}
+	}
+	return in[g.exit]
+}
+
+func merge(mode flowMode, a, b facts) facts {
+	out := facts{}
+	switch mode {
+	case mustIntersect:
+		for k := range a {
+			if b[k] {
+				out[k] = true
+			}
+		}
+	case mayUnion:
+		for k := range a {
+			out[k] = true
+		}
+		for k := range b {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// inspectShallow walks the subtree of n like ast.Inspect but does not
+// descend into function literals: a nested func body executes at another
+// time (or never), so its statements must not be attributed to the
+// enclosing function's control flow. Analyzers handle literals as separate
+// functions via eachFunc.
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, isLit := m.(*ast.FuncLit); isLit && m != n {
+			return false
+		}
+		return fn(m)
+	})
+}
+
+// eachFunc invokes fn for every function body in the file: declared
+// functions and methods, plus every function literal at any nesting depth
+// (each literal is its own analysis unit). name is the declared function's
+// name for declarations and "" for literals — name-based conventions like
+// the "...Locked" suffix apply only to declarations.
+func eachFunc(f *ast.File, fn func(name string, body *ast.BlockStmt)) {
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		fn(fd.Name.Name, fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				fn("", lit.Body)
+			}
+			return true
+		})
+	}
+}

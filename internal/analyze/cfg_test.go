@@ -1,0 +1,211 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses a function body from source and returns it.
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc gen()\nfunc kill()\nfunc other()\nfunc f(cond bool) " + body
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return fd.Body
+		}
+	}
+	t.Fatal("no func f")
+	return nil
+}
+
+// flowFixture runs the dataflow engine with a transfer that adds the fact
+// "x" at `gen()` calls and removes it at `kill()` calls, returning the
+// exit facts.
+func flowFixture(t *testing.T, mode flowMode, body string) facts {
+	t.Helper()
+	g := buildCFG(parseBody(t, body))
+	transfer := func(n ast.Node, f facts) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				switch id.Name {
+				case "gen":
+					f["x"] = true
+				case "kill":
+					delete(f, "x")
+				}
+			}
+			return true
+		})
+	}
+	return g.flow(mode, transfer, nil)
+}
+
+func TestFlowMustDropsBranchOnlyFacts(t *testing.T) {
+	// gen on one branch only: a must-analysis cannot keep the fact.
+	exit := flowFixture(t, mustIntersect, `{
+		if cond {
+			gen()
+		}
+		other()
+	}`)
+	if exit["x"] {
+		t.Fatal("must-intersect kept a fact generated on only one branch")
+	}
+}
+
+func TestFlowMustKeepsBothBranchFacts(t *testing.T) {
+	exit := flowFixture(t, mustIntersect, `{
+		if cond {
+			gen()
+		} else {
+			gen()
+		}
+		other()
+	}`)
+	if !exit["x"] {
+		t.Fatal("must-intersect dropped a fact generated on every branch")
+	}
+}
+
+func TestFlowMayKeepsBranchOnlyFacts(t *testing.T) {
+	// gen on one branch only: a may-analysis must keep the fact — this is
+	// the ctxrelease "leaked on some path" semantics.
+	exit := flowFixture(t, mayUnion, `{
+		if cond {
+			gen()
+		}
+		other()
+	}`)
+	if !exit["x"] {
+		t.Fatal("may-union lost a fact generated on one branch")
+	}
+}
+
+func TestFlowKillOnOnePathStillLeaksInMay(t *testing.T) {
+	// Acquired everywhere, released on one branch: may-analysis keeps the
+	// outstanding obligation from the other branch.
+	exit := flowFixture(t, mayUnion, `{
+		gen()
+		if cond {
+			kill()
+		}
+		other()
+	}`)
+	if !exit["x"] {
+		t.Fatal("may-union lost an obligation still live on the no-kill path")
+	}
+}
+
+func TestFlowEarlyReturnPathReachesExit(t *testing.T) {
+	// The early return carries the live obligation to the exit even though
+	// the fall-through path kills it.
+	exit := flowFixture(t, mayUnion, `{
+		gen()
+		if cond {
+			return
+		}
+		kill()
+	}`)
+	if !exit["x"] {
+		t.Fatal("early-return path did not propagate its facts to the exit")
+	}
+}
+
+func TestFlowLoopBackEdgeConverges(t *testing.T) {
+	exit := flowFixture(t, mustIntersect, `{
+		gen()
+		for i := 0; i < 3; i++ {
+			other()
+		}
+		other()
+	}`)
+	if !exit["x"] {
+		t.Fatal("fact generated before a loop was lost across the back edge")
+	}
+}
+
+func TestFlowUnreachableExit(t *testing.T) {
+	exit := flowFixture(t, mustIntersect, `{
+		for {
+			other()
+		}
+	}`)
+	if exit != nil {
+		t.Fatalf("infinite loop: exit facts should be nil (unreachable), got %v", exit)
+	}
+}
+
+func TestInspectShallowSkipsFuncLits(t *testing.T) {
+	body := parseBody(t, `{
+		gen()
+		g := func() {
+			kill()
+		}
+		g()
+	}`)
+	var names []string
+	inspectShallow(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				names = append(names, id.Name)
+			}
+		}
+		return true
+	})
+	joined := strings.Join(names, ",")
+	if strings.Contains(joined, "kill") {
+		t.Fatalf("inspectShallow descended into a FuncLit: %s", joined)
+	}
+	if !strings.Contains(joined, "gen") || !strings.Contains(joined, "g") {
+		t.Fatalf("inspectShallow missed top-level calls: %s", joined)
+	}
+}
+
+func TestEachFuncVisitsDeclsAndLiterals(t *testing.T) {
+	src := `package p
+
+func named() {
+	f := func() {
+		g := func() {}
+		g()
+	}
+	f()
+}
+
+func otherNamed() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "each_test.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decls, lits := 0, 0
+	eachFunc(f, func(name string, body *ast.BlockStmt) {
+		if body == nil {
+			t.Fatalf("nil body for %q", name)
+		}
+		if name == "" {
+			lits++
+		} else {
+			decls++
+		}
+	})
+	if decls != 2 {
+		t.Fatalf("visited %d declared functions, want 2", decls)
+	}
+	if lits != 2 {
+		t.Fatalf("visited %d function literals (incl. nested), want 2", lits)
+	}
+}

@@ -1,0 +1,232 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxRelease flags cancel functions and timers that can leak: every
+// context.WithCancel / WithTimeout / WithDeadline cancel func and every
+// time.NewTimer / time.AfterFunc timer must be released (cancel() called,
+// timer.Stop() called, or the value handed to another owner) on every
+// return path. This is exactly the PR 6 bug class: a job admitted with a
+// deadline whose error path returned without releasing the deadline timer
+// kept the timer (and its context) alive until the deadline fired.
+//
+// The check is a may-analysis over the function CFG (cfg.go): acquiring a
+// cancel/timer creates an obligation fact; the fact dies when the value is
+// used — called, deferred, Stop()ped, received from (a fired timer needs
+// no Stop), passed, stored or returned (the new owner releases it). An
+// obligation still live at the function exit means some path from the
+// acquisition reached a return without releasing, and the acquisition is
+// reported. Assigning the cancel func or timer to `_`, or discarding a
+// NewTimer result outright, is always an error.
+//
+// Storing into a struct field at the acquisition ("j.ctx, j.cancel = ...")
+// transfers ownership immediately and is not tracked — the owner's
+// lifecycle (and mutexguard) covers it. Test files are exempt.
+var CtxRelease = &Analyzer{
+	Name:      "ctxrelease",
+	Directive: "allow",
+	Doc: "context cancel funcs and time.NewTimer/AfterFunc timers must be " +
+		"released (called / Stop()ped / deferred / handed off) on every " +
+		"return path; suppress deliberate leaks with //fbpvet:allow <reason>",
+	Run: runCtxRelease,
+}
+
+// obligation tracks one acquired cancel func or timer.
+type obligation struct {
+	obj   types.Object
+	pos   ast.Node // acquisition site, for reporting
+	timer bool     // time.NewTimer/AfterFunc (Stop releases) vs cancel func (any call releases)
+	what  string   // "context.WithTimeout", "time.NewTimer", ...
+}
+
+func runCtxRelease(p *Pass) {
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		eachFunc(f, func(_ string, body *ast.BlockStmt) {
+			checkFuncReleases(p, body)
+		})
+	}
+}
+
+func checkFuncReleases(p *Pass, body *ast.BlockStmt) {
+	// Pass 1: find acquisitions in this function body (excluding nested
+	// literals, which are their own analysis units).
+	obligations := map[*ast.AssignStmt][]*obligation{}
+	tracked := map[types.Object]*obligation{}
+	inspectShallow(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if what, timer := acquisitionCall(p, call); what != "" && timer {
+					p.Reportf(call.Pos(), "result of %s is discarded; the timer is never stopped", what)
+				}
+			}
+		case *ast.AssignStmt:
+			if len(st.Rhs) != 1 {
+				return true
+			}
+			call, ok := st.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			what, timer := acquisitionCall(p, call)
+			if what == "" {
+				return true
+			}
+			// The releasable value is the timer (single result) or the
+			// cancel func (second result of the context constructors).
+			idx := 0
+			if !timer {
+				idx = 1
+			}
+			if idx >= len(st.Lhs) {
+				return true
+			}
+			lhs := st.Lhs[idx]
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				return true // stored into a field/index: ownership transferred
+			}
+			if id.Name == "_" {
+				noun := "cancel func"
+				verb := "called"
+				if timer {
+					noun = "timer"
+					verb = "stopped"
+				}
+				p.Reportf(call.Pos(), "%s from %s is assigned to _; it is never %s", noun, what, verb)
+				return true
+			}
+			obj := p.Info.Defs[id]
+			if obj == nil {
+				obj = p.Info.Uses[id]
+			}
+			if obj == nil {
+				return true
+			}
+			ob := &obligation{obj: obj, pos: call, timer: timer, what: what}
+			obligations[st] = append(obligations[st], ob)
+			tracked[obj] = ob
+		}
+		return true
+	})
+	if len(tracked) == 0 {
+		return
+	}
+
+	g := buildCFG(body)
+	transfer := func(n ast.Node, f facts) {
+		// Releases first, then acquisitions: the acquisition statement's
+		// own LHS identifier must not count as a releasing use.
+		acquired := obligations[asAssign(n)]
+		inspectShallow(n, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[id]
+			ob := tracked[obj]
+			if ob == nil {
+				return true
+			}
+			if ob.timer && !timerReleasingUse(body, id) {
+				return true // t.C / t.Reset: a use that does not release
+			}
+			delete(f, ob)
+			return true
+		})
+		for _, ob := range acquired {
+			f[ob] = true
+		}
+	}
+	exit := g.flow(mayUnion, transfer, nil)
+	for ob := range exit {
+		o := ob.(*obligation)
+		if o.timer {
+			p.Reportf(o.pos.Pos(), "timer %s from %s is not stopped on every return path; defer %s.Stop() or stop it before each return",
+				o.obj.Name(), o.what, o.obj.Name())
+		} else {
+			p.Reportf(o.pos.Pos(), "cancel func %s from %s is not called on every return path; defer %s() or call it before each return",
+				o.obj.Name(), o.what, o.obj.Name())
+		}
+	}
+}
+
+func asAssign(n ast.Node) *ast.AssignStmt {
+	as, _ := n.(*ast.AssignStmt)
+	return as
+}
+
+// acquisitionCall classifies a call as a cancel-func or timer acquisition.
+func acquisitionCall(p *Pass, call *ast.CallExpr) (what string, timer bool) {
+	fn := calleeFunc(p, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	switch fn.Pkg().Path() {
+	case "context":
+		switch fn.Name() {
+		case "WithCancel", "WithTimeout", "WithDeadline", "WithCancelCause":
+			return "context." + fn.Name(), false
+		}
+	case "time":
+		switch fn.Name() {
+		case "NewTimer", "AfterFunc":
+			return "time." + fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+// timerReleasingUse reports whether this identifier use of a tracked timer
+// releases the obligation. t.Stop()/t.Reset in any position and a receive
+// from t.C release it (Reset implies the caller manages the lifecycle; a
+// fired timer needs no Stop); any use of t NOT through a field/method
+// selector (passed, stored, returned) transfers ownership and releases
+// too. Only a bare t.C without a receive keeps the obligation alive, and
+// that cannot be distinguished cheaply from a receive — the enclosing
+// check accepts the rare false negative.
+func timerReleasingUse(body *ast.BlockStmt, id *ast.Ident) bool {
+	sel := selectorAround(body, id)
+	if sel == nil {
+		return true // bare use: handed off
+	}
+	switch sel.Sel.Name {
+	case "Stop", "Reset", "C":
+		return sel.Sel.Name != "C" || receivedFrom(body, sel)
+	}
+	return false
+}
+
+// selectorAround finds the SelectorExpr whose X is exactly id, or nil.
+func selectorAround(body *ast.BlockStmt, id *ast.Ident) *ast.SelectorExpr {
+	var found *ast.SelectorExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if se, ok := n.(*ast.SelectorExpr); ok && ast.Unparen(se.X) == id {
+			found = se
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// receivedFrom reports whether sel (a t.C selector) is the operand of a
+// receive expression.
+func receivedFrom(body *ast.BlockStmt, sel *ast.SelectorExpr) bool {
+	received := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ue, ok := n.(*ast.UnaryExpr); ok && ue.Op == token.ARROW && ast.Unparen(ue.X) == sel {
+			received = true
+			return false
+		}
+		return true
+	})
+	return received
+}

@@ -34,6 +34,12 @@ func TestAnalyzersGolden(t *testing.T) {
 		{SeededRand, "seededrand", false},
 		{PanicFree, "panicfree", false},
 		{PanicFree, "panicfree_main", true},
+		{MutexGuard, "mutexguard", false},
+		{CtxRelease, "ctxrelease", false},
+		{GoroLeak, "goroleak", false},
+		{AtomicMix, "atomicmix", false},
+		{WallTime, "walltime", false},
+		{WallTime, "walltime_nondet", true},
 	}
 	l := NewLoader(".")
 	for _, tc := range cases {
@@ -65,6 +71,44 @@ func TestAnalyzersGolden(t *testing.T) {
 				t.Errorf("diagnostics mismatch\ngot:\n%swant:\n%s", got.String(), string(want))
 			}
 		})
+	}
+}
+
+// TestConcurrencyFamilyGolden runs the five concurrency/lifecycle
+// analyzers together over one mixed fixture package, proving they compose
+// without double-reporting and that the combined, sorted output is stable.
+// Same golden-file protocol as TestAnalyzersGolden.
+func TestConcurrencyFamilyGolden(t *testing.T) {
+	family := []*Analyzer{MutexGuard, CtxRelease, GoroLeak, AtomicMix, WallTime}
+	l := NewLoader(".")
+	pkg := loadFixture(t, l, "concurrency")
+	diags := Run(pkg, family)
+	var got strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&got, "%s:%d: %s: %s\n", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Analyzer, d.Message)
+	}
+	seen := map[string]bool{}
+	for _, d := range diags {
+		seen[d.Analyzer] = true
+	}
+	for _, a := range family {
+		if !seen[a.Name] {
+			t.Errorf("mixed fixture produced no %s finding", a.Name)
+		}
+	}
+	golden := filepath.Join("testdata", "concurrency", "expect.txt")
+	if os.Getenv("FBPVET_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(got.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != string(want) {
+		t.Errorf("diagnostics mismatch\ngot:\n%swant:\n%s", got.String(), string(want))
 	}
 }
 

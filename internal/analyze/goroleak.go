@@ -1,0 +1,313 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak flags two goroutine-lifecycle smells that the serve layer's
+// leak-checked tests chase dynamically, checked statically instead:
+//
+//  1. A `go func(){...}()` whose body receives from (or ranges over, or
+//     selects on) a channel declared in the spawning function, when that
+//     function neither closes the channel, nor sends on it, nor hands it
+//     to anyone else. Nothing can ever wake the goroutine: it blocks
+//     forever and holds its stack (and captures) for the process
+//     lifetime. A select is fine as soon as ONE of its cases can fire —
+//     a ctx.Done() case, a default, or a channel someone closes.
+//  2. A `go` statement inside a for/range loop with no bounding idiom in
+//     sight: no sync.WaitGroup Add/Done/Wait in the spawning function or
+//     goroutine body, and no semaphore-channel send in the loop. Unbounded
+//     spawning turns a burst of work into a burst of goroutines — the
+//     worker pools in fbp and serve exist precisely to prevent that.
+//
+// Both checks are heuristics biased toward silence: channels that arrive
+// as parameters, struct fields or function results are skipped (their
+// owner is elsewhere), and any escape of a local channel counts as a
+// hand-off. Test files are exempt.
+var GoroLeak = &Analyzer{
+	Name:      "goroleak",
+	Directive: "allow",
+	Doc: "flags goroutines that receive on a local channel nobody closes, " +
+		"sends to or hands off (they block forever), and loop-spawned " +
+		"goroutines with no WaitGroup/semaphore bound; suppress with " +
+		"//fbpvet:allow <reason>",
+	Run: runGoroLeak,
+}
+
+func runGoroLeak(p *Pass) {
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGoStmts(p, fd)
+		}
+	}
+}
+
+func checkGoStmts(p *Pass, fd *ast.FuncDecl) {
+	// Walk with a loop-nesting counter to classify each go statement.
+	var walk func(n ast.Node, loopDepth int)
+	walk = func(n ast.Node, loopDepth int) {
+		switch st := n.(type) {
+		case nil:
+			return
+		case *ast.ForStmt:
+			walkChildren(st.Body, loopDepth+1, walk)
+			walk(st.Init, loopDepth)
+			walk(st.Post, loopDepth+1)
+			return
+		case *ast.RangeStmt:
+			walkChildren(st.Body, loopDepth+1, walk)
+			return
+		case *ast.GoStmt:
+			if loopDepth > 0 && !boundedSpawn(p, fd, st) {
+				p.Reportf(st.Pos(), "goroutine spawned in a loop with no visible bound (no WaitGroup Add/Done/Wait, no semaphore send); a burst of iterations becomes a burst of goroutines")
+			}
+			if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+				checkBlockedReceives(p, fd, st, lit)
+			}
+			// Still look inside the goroutine body for nested spawns.
+			ast.Inspect(st.Call, func(m ast.Node) bool {
+				if inner, ok := m.(*ast.GoStmt); ok && inner != st {
+					walk(inner, 0)
+					return false
+				}
+				return true
+			})
+			return
+		}
+		// Generic recursion.
+		children(n, func(c ast.Node) { walk(c, loopDepth) })
+	}
+	walk(fd.Body, 0)
+}
+
+// walkChildren recurses into a block at the given loop depth.
+func walkChildren(b *ast.BlockStmt, depth int, walk func(ast.Node, int)) {
+	if b == nil {
+		return
+	}
+	for _, s := range b.List {
+		walk(s, depth)
+	}
+}
+
+// children invokes fn once per direct child of n. Implemented with
+// ast.Inspect's enter/leave protocol: depth 1 nodes only.
+func children(n ast.Node, fn func(ast.Node)) {
+	depth := 0
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			depth--
+			return true
+		}
+		depth++
+		if depth == 2 {
+			fn(m)
+			depth--
+			return false
+		}
+		return true
+	})
+}
+
+// boundedSpawn reports whether a loop-spawned goroutine is visibly
+// bounded: a sync.WaitGroup Add/Done/Wait call anywhere in the spawning
+// function (which includes the goroutine body), or a channel send
+// statement in the function (the `sem <- struct{}{}` semaphore idiom).
+func boundedSpawn(p *Pass, fd *ast.FuncDecl, _ *ast.GoStmt) bool {
+	bounded := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if bounded {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := st.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Add", "Done", "Wait":
+					if isWaitGroup(p.TypeOf(sel.X)) {
+						bounded = true
+					}
+				}
+			}
+		case *ast.SendStmt:
+			bounded = true
+		}
+		return true
+	})
+	return bounded
+}
+
+func isWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
+}
+
+// checkBlockedReceives inspects a go-func-literal body for receives that
+// can never complete.
+func checkBlockedReceives(p *Pass, fd *ast.FuncDecl, st *ast.GoStmt, lit *ast.FuncLit) {
+	report := func(ch *ast.Ident) {
+		p.Reportf(st.Pos(), "goroutine receives on %s, which the spawning function never closes, sends to or hands off; the goroutine can block forever", ch.Name)
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.SelectStmt:
+			checkSelect(p, fd, e, report)
+			return false // cases handled; don't re-report their receives
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				if ch := deadChannel(p, fd, e.X); ch != nil {
+					report(ch)
+				}
+			}
+		case *ast.RangeStmt:
+			if isChannel(p.TypeOf(e.X)) {
+				if ch := deadChannel(p, fd, e.X); ch != nil {
+					report(ch)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkSelect reports a select statement only when EVERY case is a
+// provably dead receive: one live case (a default, a send, a cancelable
+// or non-local channel) lets the goroutine proceed.
+func checkSelect(p *Pass, fd *ast.FuncDecl, sel *ast.SelectStmt, report func(*ast.Ident)) {
+	var dead []*ast.Ident
+	for _, c := range sel.Body.List {
+		cc := c.(*ast.CommClause)
+		if cc.Comm == nil {
+			return // default case: never blocks
+		}
+		var recvExpr ast.Expr
+		switch comm := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			if ue, ok := comm.X.(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+				recvExpr = ue.X
+			}
+		case *ast.AssignStmt:
+			if len(comm.Rhs) == 1 {
+				if ue, ok := comm.Rhs[0].(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+					recvExpr = ue.X
+				}
+			}
+		case *ast.SendStmt:
+			return // a send case may fire; not this analyzer's concern
+		}
+		if recvExpr == nil {
+			return
+		}
+		ch := deadChannel(p, fd, recvExpr)
+		if ch == nil {
+			return // this case can fire: the select is live
+		}
+		dead = append(dead, ch)
+	}
+	for _, ch := range dead {
+		report(ch)
+	}
+}
+
+// deadChannel decides whether a received-from expression is a channel that
+// can never deliver: a plain identifier for a channel declared inside the
+// spawning function, with no close, send or escape anywhere in that
+// function. It returns the identifier to blame, or nil when the receive
+// may complete (non-ident, non-local, or satisfiable).
+func deadChannel(p *Pass, fd *ast.FuncDecl, e ast.Expr) *ast.Ident {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil // ctx.Done(), t.C, chan-valued field: owner elsewhere
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil || !isChannel(obj.Type()) {
+		return nil
+	}
+	// Locality: the channel variable must be declared inside this
+	// function's body (parameters and receivers sit outside Body's span).
+	if obj.Pos() < fd.Body.Pos() || obj.Pos() > fd.Body.End() {
+		return nil
+	}
+	if channelSatisfiable(p, fd, obj) {
+		return nil
+	}
+	return id
+}
+
+// channelSatisfiable reports whether the function closes, sends on, or
+// hands off the channel object anywhere (including inside other nested
+// literals — a sibling goroutine feeding the channel counts).
+func channelSatisfiable(p *Pass, fd *ast.FuncDecl, obj types.Object) bool {
+	ok := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.CallExpr:
+			if fn, isIdent := st.Fun.(*ast.Ident); isIdent && fn.Name == "close" {
+				if arg, isID := ast.Unparen(st.Args[0]).(*ast.Ident); isID && p.Info.Uses[arg] == obj {
+					ok = true
+				}
+				return true
+			}
+			// The channel passed to any call escapes to a new owner.
+			for _, a := range st.Args {
+				if id, isID := ast.Unparen(a).(*ast.Ident); isID && p.Info.Uses[id] == obj {
+					ok = true
+				}
+			}
+		case *ast.SendStmt:
+			if id, isID := ast.Unparen(st.Chan).(*ast.Ident); isID && p.Info.Uses[id] == obj {
+				ok = true
+			}
+		case *ast.ReturnStmt:
+			for _, r := range st.Results {
+				if id, isID := ast.Unparen(r).(*ast.Ident); isID && p.Info.Uses[id] == obj {
+					ok = true
+				}
+			}
+		case *ast.AssignStmt:
+			// Stored somewhere (field, map, another variable): handed off.
+			for i, r := range st.Rhs {
+				id, isID := ast.Unparen(r).(*ast.Ident)
+				if !isID || p.Info.Uses[id] != obj {
+					continue
+				}
+				if i < len(st.Lhs) {
+					if _, plain := st.Lhs[i].(*ast.Ident); !plain {
+						ok = true
+					} else {
+						ok = true // aliased: tracking aliases is out of scope
+					}
+				}
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+func isChannel(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

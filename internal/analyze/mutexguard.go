@@ -1,0 +1,302 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// MutexGuard enforces the repository's lock-annotation convention: a
+// struct field (or package-level variable) carrying a "guarded by <mu>"
+// comment may only be read or written while the named mutex is held. The
+// serve scheduler's preemption and single-flight machinery, the obs
+// broadcast fan-out and the faultsim registry all depend on this
+// discipline — PR 6's review caught three violations of it by hand; this
+// analyzer checks it by machine.
+//
+// The check is a conservative intra-procedural must-analysis over the
+// function's CFG (cfg.go): a lock key is "definitely held" at a node only
+// when a Lock()/RLock() on it dominates the node on every path without an
+// intervening Unlock()/RUnlock(). `defer mu.Unlock()` does not clear the
+// key — the mutex stays held until return. Three structural exemptions
+// keep the signal clean:
+//
+//   - Functions whose name ends in "Locked" assert, by convention, that
+//     their caller holds the lock; their bodies are not checked (the
+//     call sites are, since the fields they touch are).
+//   - Accesses through a local variable freshly built from a composite
+//     literal in the same function are exempt: a value that has not
+//     escaped yet cannot be raced on (constructors, tombstones).
+//   - Accesses whose base is not a plain identifier are skipped — the
+//     analysis tracks locks per variable, and a chained base has no
+//     variable to anchor the key to.
+//
+// Guarded fields must be accessed through a single-identifier base (the
+// receiver, a local, a package var); annotations therefore belong on
+// fields of the struct that owns the mutex, not on nested structs guarded
+// by an outer lock.
+var MutexGuard = &Analyzer{
+	Name:      "mutexguard",
+	Directive: "allow",
+	Doc: "fields annotated \"guarded by <mu>\" must only be accessed while " +
+		"<mu> is held on every path (CFG must-analysis; \"...Locked\" " +
+		"functions and freshly constructed values are exempt); suppress " +
+		"with //fbpvet:allow <reason>",
+	Run: runMutexGuard,
+}
+
+// guardedByRE extracts the mutex name from an annotation comment.
+var guardedByRE = regexp.MustCompile(`guarded by (\w+)`)
+
+// lockKey identifies one mutex: a variable plus an optional field name.
+// {obj(s), "mu"} is s.mu; {obj(regMu), ""} is the package-level regMu.
+type lockKey struct {
+	base types.Object
+	name string
+}
+
+func runMutexGuard(p *Pass) {
+	// fieldGuards maps a guarded struct field to its mutex field's name;
+	// varGuards maps a guarded package-level var to its mutex's object.
+	fieldGuards := map[types.Object]string{}
+	varGuards := map[types.Object]types.Object{}
+	for _, f := range p.Files {
+		collectGuards(p, f, fieldGuards, varGuards)
+	}
+	if len(fieldGuards) == 0 && len(varGuards) == 0 {
+		return
+	}
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		eachFunc(f, func(name string, body *ast.BlockStmt) {
+			if strings.HasSuffix(name, "Locked") {
+				return
+			}
+			checkFuncGuards(p, body, fieldGuards, varGuards)
+		})
+	}
+}
+
+// collectGuards scans struct type declarations and package-level var
+// blocks for "guarded by <mu>" annotations in field/spec doc or line
+// comments.
+func collectGuards(p *Pass, f *ast.File, fieldGuards map[types.Object]string, varGuards map[types.Object]types.Object) {
+	for _, d := range f.Decls {
+		gd, ok := d.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			switch sp := spec.(type) {
+			case *ast.TypeSpec:
+				st, ok := sp.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					mu := guardAnnotation(field.Doc, field.Comment)
+					if mu == "" {
+						continue
+					}
+					for _, nm := range field.Names {
+						if obj := p.Info.Defs[nm]; obj != nil {
+							fieldGuards[obj] = mu
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				mu := guardAnnotation(sp.Doc, sp.Comment)
+				if mu == "" {
+					mu = guardAnnotation(gd.Doc, nil)
+				}
+				if mu == "" {
+					continue
+				}
+				muObj := p.Pkg.Scope().Lookup(mu)
+				if muObj == nil {
+					continue
+				}
+				for _, nm := range sp.Names {
+					if obj := p.Info.Defs[nm]; obj != nil {
+						varGuards[obj] = muObj
+					}
+				}
+			}
+		}
+	}
+}
+
+func guardAnnotation(groups ...*ast.CommentGroup) string {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		if m := guardedByRE.FindStringSubmatch(g.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// checkFuncGuards runs the held-locks must-analysis over one function body
+// and reports guarded accesses at nodes where the required key is not
+// definitely held.
+func checkFuncGuards(p *Pass, body *ast.BlockStmt, fieldGuards map[types.Object]string, varGuards map[types.Object]types.Object) {
+	fresh := freshLocals(p, body)
+	g := buildCFG(body)
+	transfer := func(n ast.Node, f facts) {
+		inspectShallow(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			key, op, ok := lockOp(p, call)
+			if !ok {
+				return true
+			}
+			switch op {
+			case "Lock", "RLock":
+				f[key] = true
+			case "Unlock", "RUnlock":
+				if !inDefer(n, call) {
+					delete(f, key)
+				}
+			}
+			return true
+		})
+	}
+	visit := func(n ast.Node, f facts) {
+		inspectShallow(n, func(m ast.Node) bool {
+			switch e := m.(type) {
+			case *ast.SelectorExpr:
+				sel := p.Info.Selections[e]
+				if sel == nil || sel.Kind() != types.FieldVal {
+					return true
+				}
+				mu, guarded := fieldGuards[sel.Obj()]
+				if !guarded {
+					return true
+				}
+				base, ok := ast.Unparen(e.X).(*ast.Ident)
+				if !ok {
+					return true // chained base: no variable to key the lock on
+				}
+				baseObj := p.Info.Uses[base]
+				if baseObj == nil || fresh[baseObj] {
+					return true
+				}
+				if !f[lockKey{baseObj, mu}] {
+					p.Reportf(e.Sel.Pos(), "%s.%s is guarded by %s.%s, which is not held on every path to this access",
+						base.Name, e.Sel.Name, base.Name, mu)
+				}
+			case *ast.Ident:
+				muObj, guarded := varGuards[p.Info.Uses[e]]
+				if !guarded {
+					return true
+				}
+				if !f[lockKey{muObj, ""}] {
+					p.Reportf(e.Pos(), "%s is guarded by %s, which is not held on every path to this access",
+						e.Name, muObj.Name())
+				}
+			}
+			return true
+		})
+	}
+	g.flow(mustIntersect, transfer, visit)
+}
+
+// lockOp recognizes mu.Lock / mu.Unlock / RLock / RUnlock calls on
+// sync.Mutex / sync.RWMutex values and returns the lock key they act on.
+func lockOp(p *Pass, call *ast.CallExpr) (lockKey, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return lockKey{}, "", false
+	}
+	if !isSyncMutex(p.TypeOf(sel.X)) {
+		return lockKey{}, "", false
+	}
+	switch recv := ast.Unparen(sel.X).(type) {
+	case *ast.Ident: // regMu.Lock()
+		if obj := p.Info.Uses[recv]; obj != nil {
+			return lockKey{obj, ""}, op, true
+		}
+	case *ast.SelectorExpr: // s.mu.Lock()
+		if base, ok := ast.Unparen(recv.X).(*ast.Ident); ok {
+			if obj := p.Info.Uses[base]; obj != nil {
+				return lockKey{obj, recv.Sel.Name}, op, true
+			}
+		}
+	}
+	return lockKey{}, "", false
+}
+
+func isSyncMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "Mutex" || name == "RWMutex"
+}
+
+// inDefer reports whether call is the deferred call of n itself. A
+// deferred Unlock keeps the mutex held for the rest of the function, so
+// the transfer function must not clear it at the defer statement.
+func inDefer(n ast.Node, call *ast.CallExpr) bool {
+	d, ok := n.(*ast.DeferStmt)
+	return ok && d.Call == call
+}
+
+// freshLocals returns the local variables initialized from a composite
+// literal (T{...} or &T{...}) inside this function: values that have not
+// escaped yet cannot be accessed concurrently, so guarded-field accesses
+// through them are exempt.
+func freshLocals(p *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			rhs := ast.Unparen(as.Rhs[i])
+			if ue, ok := rhs.(*ast.UnaryExpr); ok {
+				rhs = ast.Unparen(ue.X)
+			}
+			if _, isLit := rhs.(*ast.CompositeLit); !isLit {
+				continue
+			}
+			obj := p.Info.Defs[id]
+			if obj == nil {
+				obj = p.Info.Uses[id]
+			}
+			if obj != nil {
+				fresh[obj] = true
+			}
+		}
+		return true
+	})
+	return fresh
+}

@@ -1,0 +1,56 @@
+// Fixture for the atomicmix analyzer: fields and package vars accessed
+// both through sync/atomic and with plain loads/stores.
+package fixture
+
+import "sync/atomic"
+
+type stats struct {
+	hits   int64
+	misses int64
+	plain  int64 // never touched atomically: free to access directly
+}
+
+func (s *stats) record() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *stats) rawRead() int64 {
+	return s.hits // violation: hits is atomically added in record
+}
+
+func (s *stats) rawWrite() {
+	s.hits = 0 // violation: racy reset of an atomic counter
+}
+
+func (s *stats) atomicRead() int64 {
+	return atomic.LoadInt64(&s.hits) // ok: atomic access
+}
+
+func (s *stats) mixedMisses() int64 {
+	atomic.StoreInt64(&s.misses, 0)
+	return s.misses // violation: stored atomically above
+}
+
+func (s *stats) plainOnly() int64 {
+	s.plain++
+	return s.plain // ok: never in the atomic set
+}
+
+func (s *stats) suppressedRead() int64 {
+	//fbpvet:allow snapshot during single-threaded shutdown
+	return s.hits
+}
+
+var generation int64
+
+func bump() {
+	atomic.AddInt64(&generation, 1)
+}
+
+func rawGeneration() int64 {
+	return generation // violation: generation is atomically bumped
+}
+
+func loadGeneration() int64 {
+	return atomic.LoadInt64(&generation) // ok
+}

@@ -1,0 +1,76 @@
+// Mixed fixture exercised by the concurrency-family e2e golden test: one
+// deterministic package ("fbp") containing at least one finding for each
+// of mutexguard, ctxrelease, goroleak, atomicmix and walltime, plus clean
+// code that must stay silent when the five analyzers run together.
+package fbp
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type pool struct {
+	mu      sync.Mutex
+	pending []int // guarded by mu
+	done    int64
+}
+
+func (p *pool) enqueueLocked(job int) {
+	p.pending = append(p.pending, job) // ok by convention: caller holds mu
+}
+
+func (p *pool) enqueue(job int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pending = append(p.pending, job) // ok: mu held
+}
+
+func (p *pool) steal() int {
+	job := p.pending[0] // mutexguard: read without mu
+	p.pending = p.pending[1:]
+	return job
+}
+
+func (p *pool) drain(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, time.Second) // ctxrelease: leaked on error path
+	p.mu.Lock()
+	n := len(p.pending)
+	p.mu.Unlock()
+	if n == 0 {
+		return ctx.Err()
+	}
+	cancel()
+	return nil
+}
+
+func (p *pool) spawnAll(jobs []int) {
+	for _, j := range jobs {
+		go func(j int) { // goroleak: unbounded loop spawn
+			atomic.AddInt64(&p.done, 1)
+			_ = j
+		}(j)
+	}
+}
+
+func (p *pool) doneCount() int64 {
+	return p.done // atomicmix: done is atomically added in spawnAll
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // walltime: wall clock in deterministic package
+}
+
+func (p *pool) watch() {
+	stop := make(chan struct{})
+	go func() { // goroleak: nothing ever closes stop
+		<-stop
+	}()
+}
+
+func cleanTimer(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	<-t.C
+}

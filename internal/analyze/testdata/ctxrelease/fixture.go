@@ -1,0 +1,73 @@
+// Fixture for the ctxrelease analyzer: cancel funcs and timers released
+// on all paths, leaked on some path, discarded, suppressed and handed
+// off.
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+func deferredCancel(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return work(ctx)
+}
+
+func leakOnErrorPath(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx) // violation: early return skips cancel
+	if err := work(ctx); err != nil {
+		return err
+	}
+	cancel()
+	return nil
+}
+
+func discardedCancel(ctx context.Context) context.Context {
+	ctx, _ = context.WithCancel(ctx) // violation: cancel assigned to _
+	return ctx
+}
+
+func timerAllPaths(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	<-t.C
+}
+
+func timerLeaked(d time.Duration, early bool) {
+	t := time.NewTimer(d) // violation: early path returns without Stop
+	if early {
+		return
+	}
+	t.Stop()
+}
+
+func timerDiscarded(fire func()) {
+	time.AfterFunc(time.Second, fire) // violation: result discarded outright
+}
+
+func timerReceived(d time.Duration) {
+	t := time.NewTimer(d)
+	<-t.C // ok: a fired timer needs no Stop
+}
+
+func timerHandedOff(d time.Duration) *time.Timer {
+	t := time.NewTimer(d)
+	return t // ok: caller owns the timer now
+}
+
+func suppressedLeak(ctx context.Context) context.Context {
+	//fbpvet:allow context lives for the process lifetime
+	ctx, _ = context.WithCancel(ctx)
+	return ctx
+}
+
+type holder struct {
+	cancel context.CancelFunc
+}
+
+func storedAtAcquisition(ctx context.Context, h *holder) {
+	_, h.cancel = context.WithCancel(ctx) // ok: ownership transferred to h
+}
+
+func work(context.Context) error { return nil }

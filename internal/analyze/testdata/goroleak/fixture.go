@@ -1,0 +1,127 @@
+// Fixture for the goroleak analyzer: goroutines blocked forever on local
+// channels, unbounded loop spawns, and the clean idioms that must stay
+// silent.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+func blockedForever() {
+	ch := make(chan int)
+	go func() { // violation: nobody ever sends on or closes ch
+		<-ch
+	}()
+}
+
+func blockedRange() {
+	ch := make(chan int)
+	go func() { // violation: range blocks after zero deliveries
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+func deadSelect() {
+	ch := make(chan int)
+	done := make(chan struct{})
+	go func() { // violation: both cases are dead local channels
+		select {
+		case <-ch:
+		case <-done:
+		}
+	}()
+}
+
+func liveSelect(ctx context.Context) {
+	ch := make(chan int)
+	go func() { // ok: the ctx.Done() case can fire
+		select {
+		case <-ch:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+func selectWithDefault() {
+	ch := make(chan int)
+	go func() { // ok: default never blocks
+		select {
+		case <-ch:
+		default:
+		}
+	}()
+}
+
+func closedByOwner() {
+	ch := make(chan int)
+	go func() { // ok: the spawning function closes ch
+		<-ch
+	}()
+	close(ch)
+}
+
+func fedBySibling() {
+	ch := make(chan int)
+	go func() { // ok: a sibling goroutine sends
+		<-ch
+	}()
+	go func() {
+		ch <- 1
+	}()
+}
+
+func paramChannel(ch chan int) {
+	go func() { // ok: channel owned by the caller
+		<-ch
+	}()
+}
+
+func handedOff(consume func(chan int)) {
+	ch := make(chan int)
+	go func() { // ok: ch escapes into consume
+		<-ch
+	}()
+	consume(ch)
+}
+
+func suppressedBlock() {
+	ch := make(chan int)
+	//fbpvet:allow sentinel goroutine parked on purpose
+	go func() {
+		<-ch
+	}()
+}
+
+func unboundedLoop(jobs []int) {
+	for _, j := range jobs {
+		go handle(j) // violation: no WaitGroup or semaphore in sight
+	}
+}
+
+func waitGroupLoop(jobs []int) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j int) { // ok: WaitGroup-bounded
+			defer wg.Done()
+			handle(j)
+		}(j)
+	}
+	wg.Wait()
+}
+
+func semaphoreLoop(jobs []int) {
+	sem := make(chan struct{}, 4)
+	for _, j := range jobs {
+		sem <- struct{}{}
+		go func(j int) { // ok: semaphore-bounded
+			defer func() { <-sem }()
+			handle(j)
+		}(j)
+	}
+}
+
+func handle(int) {}

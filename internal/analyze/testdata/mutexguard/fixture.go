@@ -1,0 +1,74 @@
+// Fixture for the mutexguard analyzer: struct fields and a package var
+// annotated "guarded by", with locked, unlocked, suppressed and exempt
+// accesses.
+package fixture
+
+import "sync"
+
+type counterBox struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	// guarded by mu
+	labels []string
+	free   int // unguarded: never reported
+}
+
+var tableMu sync.Mutex
+
+// reg is the package registry. guarded by tableMu
+var reg = map[string]int{}
+
+func lockedAccess(b *counterBox) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++ // ok: mu held via defer until return
+	return b.n
+}
+
+func unlockedRead(b *counterBox) int {
+	return b.n // violation: mu not held
+}
+
+func unlockEarly(b *counterBox) {
+	b.mu.Lock()
+	b.labels = append(b.labels, "a") // ok: held here
+	b.mu.Unlock()
+	b.labels = nil // violation: released above
+}
+
+func branchOnlyLock(b *counterBox, cond bool) {
+	if cond {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+	}
+	b.n = 0 // violation: held on one path only
+}
+
+func suppressedRead(b *counterBox) int {
+	//fbpvet:allow single-threaded startup path
+	return b.n
+}
+
+func freshValue() *counterBox {
+	b := &counterBox{}
+	b.n = 1 // ok: freshly constructed, not escaped
+	return b
+}
+
+func touchLocked(b *counterBox) {
+	b.n++ // ok by convention: caller holds b.mu
+}
+
+func unguardedField(b *counterBox) int {
+	return b.free // ok: field carries no annotation
+}
+
+func lockedVar() {
+	tableMu.Lock()
+	reg["x"] = 1 // ok: package mutex held
+	tableMu.Unlock()
+}
+
+func unlockedVar() int {
+	return len(reg) // violation: tableMu not held
+}

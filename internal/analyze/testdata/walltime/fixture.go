@@ -1,0 +1,37 @@
+// Fixture for the walltime analyzer: package name "fbp" puts it in the
+// deterministic set. Wall-clock reads must flow into obs or carry an
+// allow annotation.
+package fbp
+
+import (
+	"time"
+
+	"fbplace/internal/obs"
+)
+
+func rawNow() time.Time {
+	return time.Now() // violation: wall clock in a deterministic package
+}
+
+func rawSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // violation
+}
+
+func timedPhase(rec *obs.Recorder, t0 time.Time) {
+	rec.Gauge("phase_seconds", time.Since(t0).Seconds()) // ok: flows into obs
+}
+
+func annotatedStats() float64 {
+	//fbpvet:allow elapsed feeds the Stats report, never positions
+	start := time.Now()
+	_ = start
+	return 0
+}
+
+func deterministicWork(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total // ok: no wall clock at all
+}

@@ -1,0 +1,13 @@
+// Scope fixture: package "serve" is not in the deterministic set, so
+// walltime must stay silent even on bare wall-clock reads.
+package serve
+
+import "time"
+
+func uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+func stamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,90 @@
+package analyze
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// WallTime protects the determinism contract of the placement pipeline:
+// the packages that produce or fingerprint cell positions (fbp, qp, flow,
+// transport, placer, ckpt) must not let wall-clock readings influence
+// results. The ci.sh e2e gates compare hex-encoded positions bit-for-bit
+// across worker counts and preempt/resume runs; a time.Now() that leaks
+// into a comparison, a seed, or an ordering key breaks that oracle in a
+// way no unit test pins down.
+//
+// Every time.Now / time.Since call in those packages is flagged unless it
+// appears inside an argument to an obs call (spans and counters are the
+// sanctioned sink for timing). Timing that feeds a Stats struct or a
+// progress report is legitimate too — but it must say so: annotate the
+// line with //fbpvet:allow and a reason, so each wall-clock read in the
+// deterministic core is a reviewed decision rather than an accident.
+var WallTime = &Analyzer{
+	Name:      "walltime",
+	Directive: "allow",
+	Doc: "time.Now/time.Since in deterministic placement packages (fbp, qp, " +
+		"flow, transport, placer, ckpt) must flow only into obs calls or " +
+		"carry //fbpvet:allow <reason>",
+	Run: runWallTime,
+}
+
+// deterministicPackages are the packages whose outputs the hex-position
+// oracles fingerprint.
+var deterministicPackages = map[string]bool{
+	"fbp":       true,
+	"qp":        true,
+	"flow":      true,
+	"transport": true,
+	"placer":    true,
+	"ckpt":      true,
+}
+
+func runWallTime(p *Pass) {
+	if !deterministicPackages[p.Pkg.Name()] {
+		return
+	}
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		var obsArgs []ast.Node // subtrees sanctioned as obs-call arguments
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isObsCall(p, call) {
+				for _, a := range call.Args {
+					obsArgs = append(obsArgs, a)
+				}
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			switch fn.Name() {
+			case "Now", "Since":
+				for _, sanctioned := range obsArgs {
+					if call.Pos() >= sanctioned.Pos() && call.End() <= sanctioned.End() {
+						return true
+					}
+				}
+				p.Reportf(call.Pos(), "time.%s in deterministic package %s; route timing through obs or annotate the sanctioned use with //fbpvet:allow <reason>",
+					fn.Name(), p.Pkg.Name())
+			}
+			return true
+		})
+	}
+}
+
+// isObsCall reports whether the call's callee is a function or method of
+// the internal obs package.
+func isObsCall(p *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(p, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	return fn.Pkg().Name() == "obs" || path == "obs" || strings.HasSuffix(path, "/obs")
+}

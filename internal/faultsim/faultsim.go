@@ -148,7 +148,7 @@ func (s *Site) Check() error {
 // init functions; Arm/Points look names up here.
 var (
 	regMu sync.Mutex
-	reg   = map[string]*Site{}
+	reg   = map[string]*Site{} // guarded by regMu
 )
 
 // Register creates and registers a named injection point. It is meant to

@@ -77,7 +77,7 @@ type Netlist struct {
 	// Structural mutation (AddCell/AddNet) invalidates it; position
 	// updates do not (the index depends only on connectivity).
 	idxMu sync.Mutex
-	idx   *CellNetIndex
+	idx   *CellNetIndex // guarded by idxMu
 }
 
 // CellNetIndex is an immutable CSR index from cells to the nets they have

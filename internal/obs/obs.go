@@ -29,11 +29,11 @@ type Recorder struct {
 	start time.Time
 
 	mu       sync.Mutex
-	nextID   int64
-	current  *Span
-	finished []spanRecord
-	counters map[string]float64
-	gauges   map[string]float64
+	nextID   int64              // guarded by mu
+	current  *Span              // guarded by mu
+	finished []spanRecord       // guarded by mu
+	counters map[string]float64 // guarded by mu
+	gauges   map[string]float64 // guarded by mu
 }
 
 // spanRecord is a finished span as retained for the summary tree.

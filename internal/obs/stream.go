@@ -14,11 +14,11 @@ import "sync"
 type Broadcast struct {
 	mu      sync.Mutex
 	retain  int
-	ring    []Event // retained events, oldest first
-	subs    map[int]chan Event
-	nextID  int
-	closed  bool
-	dropped int64
+	ring    []Event            // retained events, oldest first; guarded by mu
+	subs    map[int]chan Event // guarded by mu
+	nextID  int                // guarded by mu
+	closed  bool               // guarded by mu
+	dropped int64              // guarded by mu
 }
 
 // DefaultRetain is the replay-window size used when NewBroadcast is given

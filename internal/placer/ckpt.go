@@ -258,6 +258,7 @@ func (ck *ckptState) boundary(n *netlist.Netlist, lv, endLevel int, preempt func
 func (ck *ckptState) save(n *netlist.Netlist, lv int) error {
 	sp := ck.rec.StartSpan("ckpt.write")
 	defer sp.End()
+	qpSolves, qpIters := ck.qpStats.Snapshot()
 	snap := &ckpt.Snapshot{
 		NetlistFP:     ck.netFP,
 		ConfigFP:      ck.cfgFP,
@@ -265,10 +266,10 @@ func (ck *ckptState) save(n *netlist.Netlist, lv int) error {
 		Levels:        ck.levels,
 		X:             append([]float64(nil), n.X...),
 		Y:             append([]float64(nil), n.Y...),
-		QPSolves:      ck.qpStats.Solves,
-		CGIters:       ck.qpStats.CGIters,
+		QPSolves:      qpSolves,
+		CGIters:       qpIters,
 		Relaxations:   ck.report.Relaxations,
-		GlobalElapsed: ck.base + time.Since(ck.start),
+		GlobalElapsed: ck.base + time.Since(ck.start), //fbpvet:allow elapsed wall time is report metadata
 		FBPStats:      append([]fbp.Stats(nil), ck.report.FBPStats...),
 		Degradations:  ck.dl.Events(),
 	}
@@ -312,8 +313,7 @@ func loadResume(n *netlist.Netlist, dir string, netFP, cfgFP uint64, levels int,
 	}
 	copy(n.X, snap.X)
 	copy(n.Y, snap.Y)
-	qpStats.Solves = snap.QPSolves
-	qpStats.CGIters = snap.CGIters
+	qpStats.Restore(snap.QPSolves, snap.CGIters)
 	report.FBPStats = append(report.FBPStats[:0], snap.FBPStats...)
 	report.Relaxations = snap.Relaxations
 	dl.Restore(snap.Degradations)

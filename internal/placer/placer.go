@@ -285,7 +285,7 @@ func run(ctx context.Context, n *netlist.Netlist, cfg Config, resumeDir string) 
 	}
 
 	gsp := cfg.Obs.StartSpan("global")
-	start := time.Now()
+	start := time.Now() //fbpvet:allow timing feeds Report.GlobalTime only, never positions
 	var baseElapsed time.Duration
 	if snap != nil {
 		baseElapsed = snap.GlobalElapsed
@@ -326,9 +326,8 @@ func run(ctx context.Context, n *netlist.Netlist, cfg Config, resumeDir string) 
 		}
 	}
 	finishGlobal := func() {
-		report.GlobalTime = baseElapsed + time.Since(start)
-		report.QPSolves = qpStats.Solves
-		report.CGIters = qpStats.CGIters
+		report.GlobalTime = baseElapsed + time.Since(start) //fbpvet:allow reporting-only duration
+		report.QPSolves, report.CGIters = qpStats.Snapshot()
 		gsp.End()
 	}
 	if cfg.ClusterRatio > 1 && !cfg.KeepPlacement && snap == nil {
@@ -366,7 +365,7 @@ func run(ctx context.Context, n *netlist.Netlist, cfg Config, resumeDir string) 
 			return report, err
 		}
 		lsp := cfg.Obs.StartSpan("legalize")
-		lstart := time.Now()
+		lstart := time.Now() //fbpvet:allow timing feeds Report.LegalTime only, never positions
 		var lr legalize.Result
 		var lerr error
 		lopt := cfg.Legalize
@@ -376,7 +375,7 @@ func run(ctx context.Context, n *netlist.Netlist, cfg Config, resumeDir string) 
 		} else {
 			lr, lerr = legalize.Legalize(n, lopt)
 		}
-		report.LegalTime = time.Since(lstart)
+		report.LegalTime = time.Since(lstart) //fbpvet:allow reporting-only duration
 		report.LegalizeResult = lr
 		lsp.End()
 		if lerr != nil {

@@ -105,9 +105,11 @@ type Options struct {
 	Degrade *degrade.Log
 }
 
-// SolveStats accumulates quadratic-solver effort. Read the fields directly
-// once all solves sharing the struct have finished, or via atomic loads
-// while they run.
+// SolveStats accumulates quadratic-solver effort. The counters are
+// incremented atomically from concurrent realization workers; read them
+// through Snapshot and seed them through Restore so every access stays
+// atomic (the fbpvet atomicmix analyzer enforces this in-package, the
+// accessors extend the discipline across packages).
 type SolveStats struct {
 	// Solves counts completed Solve/SolveSubset calls.
 	Solves int64
@@ -121,6 +123,18 @@ func (s *SolveStats) add(iters int) {
 	}
 	atomic.AddInt64(&s.Solves, 1)
 	atomic.AddInt64(&s.CGIters, int64(iters))
+}
+
+// Snapshot atomically reads both counters. Safe while solves are still
+// running on other goroutines.
+func (s *SolveStats) Snapshot() (solves, cgIters int64) {
+	return atomic.LoadInt64(&s.Solves), atomic.LoadInt64(&s.CGIters)
+}
+
+// Restore atomically seeds both counters, e.g. from a resume checkpoint.
+func (s *SolveStats) Restore(solves, cgIters int64) {
+	atomic.StoreInt64(&s.Solves, solves)
+	atomic.StoreInt64(&s.CGIters, cgIters)
 }
 
 func (o *Options) fill() {

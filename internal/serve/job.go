@@ -172,17 +172,17 @@ type Job struct {
 	done    chan struct{}
 
 	mu            sync.Mutex
-	state         State
-	errText       string
-	userCanceled  bool
-	resumable     bool
-	preemptions   int
-	levelsDone    int
-	levelsPlanned int
-	cached        bool
-	coalesced     bool
-	submitted     time.Time
-	result        *Result
+	state         State     // guarded by mu
+	errText       string    // guarded by mu
+	userCanceled  bool      // guarded by mu
+	resumable     bool      // guarded by mu
+	preemptions   int       // guarded by mu
+	levelsDone    int       // guarded by mu
+	levelsPlanned int       // guarded by mu
+	cached        bool      // guarded by mu
+	coalesced     bool      // guarded by mu
+	submitted     time.Time // guarded by mu
+	result        *Result   // guarded by mu
 }
 
 // Status is the JSON view of a job.
@@ -279,6 +279,12 @@ func (j *Job) setState(st State) {
 	}
 	j.bc.Emit(obs.Event{Type: "state", Name: string(st)})
 	if st.Terminal() {
+		// Release the job's context: a job admitted with TimeoutMS owns a
+		// deadline timer that would otherwise stay armed until the deadline
+		// fires, long after the job finished.
+		if j.cancel != nil {
+			j.cancel()
+		}
 		j.bc.Close()
 		close(j.done)
 	}

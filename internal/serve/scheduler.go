@@ -104,14 +104,14 @@ type Scheduler struct {
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	queue    jobQueue
-	jobs     map[string]*Job
-	order    []*Job
-	running  map[string]*Job
-	flights  map[cacheKey]*flight
-	seq      uint64
-	idle     int
-	shutdown bool
+	queue    jobQueue             // guarded by mu
+	jobs     map[string]*Job      // guarded by mu
+	order    []*Job               // guarded by mu
+	running  map[string]*Job      // guarded by mu
+	flights  map[cacheKey]*flight // guarded by mu
+	seq      uint64               // guarded by mu
+	idle     int                  // guarded by mu
+	shutdown bool                 // guarded by mu
 
 	wg    sync.WaitGroup
 	cache *resultCache
@@ -812,9 +812,11 @@ func (s *Scheduler) recover() error {
 		if json.Unmarshal(data, &jf) != nil || jf.ID == "" {
 			continue
 		}
+		s.mu.Lock()
 		if jf.Seq > s.seq {
 			s.seq = jf.Seq
 		}
+		s.mu.Unlock()
 		if jf.State.Terminal() {
 			s.adopt(tombstoneJob(jf, jf.Error))
 			continue

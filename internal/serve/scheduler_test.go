@@ -113,6 +113,29 @@ func TestSubmitRunsToDone(t *testing.T) {
 	}
 }
 
+// TestTerminalJobReleasesContext is the regression test for the
+// deadline-timer leak the ctxrelease/mutexguard audit surfaced: a job
+// admitted with TimeoutMS owns a context.WithTimeout deadline timer, and
+// before the fix nothing canceled it when the job reached a terminal
+// state — the timer (and the context it retains) stayed armed until the
+// deadline fired, long after the result was served.
+func TestTerminalJobReleasesContext(t *testing.T) {
+	s := testSched(t, Options{Workers: 1})
+	spec := chipSpec(300, 3)
+	spec.TimeoutMS = int64((10 * time.Minute) / time.Millisecond)
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j, 60*time.Second)
+	if j.State() != StateDone {
+		t.Fatalf("state: got %s, want done", j.State())
+	}
+	if j.ctx.Err() == nil {
+		t.Fatal("terminal job's context is still live; its deadline timer leaks until TimeoutMS elapses")
+	}
+}
+
 func TestPreemptionBitIdentity(t *testing.T) {
 	s := testSched(t, Options{Workers: 1})
 	victim, err := s.Submit(Spec{
