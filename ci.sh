@@ -113,12 +113,26 @@ echo "$stats" | grep -q '"serve.placements": 1' ||
 kill -TERM "$daemon"
 wait "$daemon" || { echo "service e2e: drain exited non-zero" >&2; exit 1; }
 
+echo "== chaos soak =="
+# Overload-protection gate: sustained mixed load under a tight memory
+# budget, bounded queue and an armed fault storm (failing/corrupting
+# checkpoint writes, bouncing admissions, stalling attempts) at 1 and 4
+# workers. Asserts the service sheds instead of crashing: zero goroutine
+# leaks, every accepted job terminal, preempted/requeued jobs verify
+# bit-identical, and a fresh round-trip works after the storm. See
+# README "Overload & resource governance" and DESIGN.md §8.
+go test -timeout 5m -run 'TestChaosSoak' ./internal/serve/
+
 echo "== serve/obs race gate =="
 # The scheduler and broadcast layers are the repo's concurrency hot spots
 # (preemption, single-flight, fan-out); run them under the race detector
 # unconditionally — even with -quick — so lock-discipline regressions
-# cannot slip through a fast iteration loop.
-go test -race -timeout 10m ./internal/serve/... ./internal/obs/...
+# cannot slip through a fast iteration loop. Quick mode skips only the
+# chaos soak here (it just ran above, race-free; the full -race suite
+# below still covers it in the default mode).
+raceskip=''
+[ "$quick" = 1 ] && raceskip='-skip=TestChaosSoak'
+go test -race -timeout 20m $raceskip ./internal/serve/... ./internal/obs/...
 
 echo "== fuzz smoke =="
 # A few seconds per fuzz target: enough to replay the seed corpora under

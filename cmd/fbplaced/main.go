@@ -43,6 +43,12 @@ func run() int {
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget before hard-canceling running jobs")
 	portFile := flag.String("portfile", "", "write the bound address to this file once listening")
 	selftest := flag.Bool("selftest", false, "run the built-in load test instead of serving, exit 0 on success")
+	memBudget := flag.String("mem-budget", "", "process memory budget for admission and start gating, e.g. 512MB or 8GB (empty = 3/4 of available RAM, \"off\" disables)")
+	queueLimit := flag.Int("queue-limit", 64, "queued-job bound; submissions past it get 429 + Retry-After (negative = unlimited)")
+	watchdog := flag.Duration("watchdog", 2*time.Minute, "stuck-job no-progress deadline (0 disables the watchdog)")
+	strikes := flag.Int("watchdog-strikes", 3, "consecutive no-progress attempts before a job fails terminally as stuck")
+	diskLow := flag.String("disk-low", "128MB", "free-disk watermark below which checkpointing is disabled (\"off\" disables the check)")
+	gcKeep := flag.Int("gc-keep", 256, "terminal jobs retained before the disk governor collects them (negative = keep all)")
 	var faults []string
 	flag.Func("fault", "arm a fault injection site: name[:after=N,every=N,limit=N,prob=P,seed=N,panic=1] (repeatable)",
 		func(s string) error { faults = append(faults, s); return nil })
@@ -55,12 +61,33 @@ func run() int {
 		}
 	}
 
+	budgetBytes, err := parseSize(*memBudget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fbplaced: -mem-budget:", err)
+		return 1
+	}
+	diskLowBytes, err := parseSize(*diskLow)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fbplaced: -disk-low:", err)
+		return 1
+	}
+	noProgress := *watchdog
+	if noProgress == 0 {
+		noProgress = -1 // flag semantics: 0 disables; Options semantics: negative disables
+	}
+
 	opt := serve.Options{
-		Workers:      *workers,
-		JobWorkers:   *jobWorkers,
-		CacheEntries: *cacheN,
-		StateDir:     *dir,
-		FileRoot:     *root,
+		Workers:        *workers,
+		JobWorkers:     *jobWorkers,
+		CacheEntries:   *cacheN,
+		StateDir:       *dir,
+		FileRoot:       *root,
+		MemBudget:      budgetBytes,
+		QueueLimit:     *queueLimit,
+		NoProgress:     noProgress,
+		StuckStrikes:   *strikes,
+		DiskLowBytes:   diskLowBytes,
+		GCKeepTerminal: *gcKeep,
 	}
 
 	if *selftest {
@@ -114,6 +141,35 @@ func run() int {
 	}
 	fmt.Println("fbplaced: drained cleanly")
 	return 0
+}
+
+// parseSize parses a human-friendly byte size: a plain integer is bytes,
+// with an optional KB/MB/GB suffix (decimal is not supported). "" means
+// "use the default" (0) and "off" disables the limit (-1).
+func parseSize(s string) (int64, error) {
+	switch s {
+	case "":
+		return 0, nil
+	case "off":
+		return -1, nil
+	}
+	mult := int64(1)
+	num := s
+	for _, suf := range []struct {
+		tag string
+		m   int64
+	}{{"KB", 1 << 10}, {"MB", 1 << 20}, {"GB", 1 << 30}} {
+		if len(s) > len(suf.tag) && s[len(s)-len(suf.tag):] == suf.tag {
+			mult = suf.m
+			num = s[:len(s)-len(suf.tag)]
+			break
+		}
+	}
+	v, err := strconv.ParseInt(num, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid size %q (want e.g. 1073741824, 512MB, 8GB, or off)", s)
+	}
+	return v * mult, nil
 }
 
 // runSelftest exercises the service end to end — mixed-priority load with

@@ -225,6 +225,41 @@ func (s *Store) Save(snap *Snapshot) error {
 	return nil
 }
 
+// GC removes all but the newest keep snapshot generations (keep <= 0
+// selects the store's Keep default) and returns how many files it
+// removed. Save already prunes after every successful write; GC covers
+// stores that stopped saving — a job whose checkpointing was disabled by
+// low-disk degradation, or one recovered from a previous process — whose
+// stale generations would otherwise hold disk forever. A missing
+// directory is not an error: there is nothing to collect.
+func (s *Store) GC(keep int) (int, error) {
+	if keep <= 0 {
+		keep = s.keep()
+	}
+	gens, err := s.generations()
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("ckpt: %w", err)
+	}
+	removed := 0
+	for i, g := range gens {
+		if i < keep {
+			continue
+		}
+		if rerr := os.Remove(g.path); rerr == nil {
+			removed++
+		}
+		// A failed remove only costs disk; Load's newest-first walk never
+		// reads pruned generations.
+	}
+	if removed > 0 {
+		s.Obs.Count("ckpt.gc", float64(removed))
+	}
+	return removed, nil
+}
+
 // writeFileSync writes data to path and fsyncs it before closing, so the
 // bytes are durable before the rename publishes them.
 func writeFileSync(path string, data []byte) error {

@@ -13,6 +13,7 @@ import (
 	"fbplace/internal/faultsim"
 	"fbplace/internal/fbp"
 	"fbplace/internal/gen"
+	"fbplace/internal/obs"
 )
 
 func sampleSnapshot() *Snapshot {
@@ -324,5 +325,57 @@ func TestFingerprintSensitivity(t *testing.T) {
 	b.N.Nets[0].Weight *= 2
 	if Fingerprint(a.N) == Fingerprint(b.N) {
 		t.Fatal("net weight change not reflected in fingerprint")
+	}
+}
+
+// TestGC covers the standalone collector the serve disk governor uses on
+// stores that stopped saving: it prunes to the requested generation
+// count (or the store default for keep<=0), the survivors are the
+// newest, and a store that never saved is a no-op, not an error.
+func TestGC(t *testing.T) {
+	store := &Store{Dir: t.TempDir(), Keep: 10, Obs: obs.New(nil)}
+	for i := 0; i < 6; i++ {
+		snap := sampleSnapshot()
+		snap.Level = i
+		if err := store.Save(snap); err != nil {
+			t.Fatalf("Save %d: %v", i, err)
+		}
+	}
+	removed, err := store.GC(2)
+	if err != nil {
+		t.Fatalf("GC: %v", err)
+	}
+	if removed != 4 {
+		t.Fatalf("GC removed %d generations, want 4", removed)
+	}
+	ents, err := os.ReadDir(store.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 2 {
+		t.Fatalf("%d files survive GC, want 2", len(ents))
+	}
+	// The newest generation survived: Load restores the last save.
+	got, info, err := store.Load()
+	if err != nil {
+		t.Fatalf("Load after GC: %v", err)
+	}
+	if info.FellBack || got.Level != 5 {
+		t.Fatalf("Load after GC: level=%d fellback=%v, want the newest generation (5)", got.Level, info.FellBack)
+	}
+	if n := store.Obs.Counter("ckpt.gc"); n != 4 {
+		t.Fatalf("ckpt.gc counter = %g, want 4", n)
+	}
+
+	// keep<=0 selects the store default; already pruned to 2 = default.
+	store.Keep = 0
+	if removed, err = store.GC(0); err != nil || removed != 0 {
+		t.Fatalf("GC at default keep: removed=%d err=%v, want 0/nil", removed, err)
+	}
+
+	// A store whose directory never existed has nothing to collect.
+	empty := &Store{Dir: filepath.Join(t.TempDir(), "never-saved")}
+	if removed, err = empty.GC(1); err != nil || removed != 0 {
+		t.Fatalf("GC on missing dir: removed=%d err=%v, want 0/nil", removed, err)
 	}
 }

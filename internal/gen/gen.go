@@ -708,3 +708,40 @@ func LoadMix(count int, seed int64) []ChipSpec {
 	}
 	return specs
 }
+
+// SoakMix is the chaos-soak variant of LoadMix: smaller instances at
+// higher variety (soaks run many jobs under tight budgets and fault
+// injection), with every seventh spec repeating an earlier one verbatim
+// (cache and single-flight traffic) and every ninth an oversized
+// instance that admission control should reject under a tight memory
+// budget rather than let it crush the process.
+func SoakMix(count int, seed int64) []ChipSpec {
+	sizes := []int{300, 450, 700, 1000, 1400}
+	specs := make([]ChipSpec, count)
+	for i := range specs {
+		k := i
+		if i%7 == 6 && i >= 3 {
+			k = i - 3 // verbatim duplicate of a recent spec
+		}
+		specs[i] = ChipSpec{
+			Name:     fmt.Sprintf("soak-%03d", k),
+			NumCells: sizes[k%len(sizes)],
+			Seed:     seed + int64(k)*7919,
+		}
+		if k%4 == 1 {
+			specs[i].Movebounds = []MoveboundSpec{{
+				Kind: region.Inclusive, CellFraction: 0.2, Density: 0.8, NestedIn: -1,
+			}}
+		}
+		if i%9 == 4 {
+			// Over-budget bait: far past any sane soak budget, so the run
+			// exercises the structured rejection path, not the placer.
+			specs[i] = ChipSpec{
+				Name:     fmt.Sprintf("soak-big-%03d", i),
+				NumCells: 60000,
+				Seed:     seed + int64(i)*7919,
+			}
+		}
+	}
+	return specs
+}

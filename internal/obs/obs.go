@@ -34,6 +34,39 @@ type Recorder struct {
 	finished []spanRecord       // guarded by mu
 	counters map[string]float64 // guarded by mu
 	gauges   map[string]float64 // guarded by mu
+	progress Progress           // guarded by mu
+}
+
+// Progress is a liveness heartbeat hook: it fires with the span name at
+// every span start and end on the recorder (and on explicit Beat calls),
+// outside the recorder's lock. A stuck-job watchdog hangs off this hook —
+// span boundaries are exactly the granularity (level, wave, solve) at
+// which a healthy placement provably advances. The hook must be fast and
+// must not call back into the recorder's span API.
+type Progress func(name string)
+
+// SetProgress installs (or, with nil, removes) the heartbeat hook.
+func (r *Recorder) SetProgress(p Progress) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.progress = p
+	r.mu.Unlock()
+}
+
+// Beat fires the heartbeat hook directly, for progress points that are
+// not span boundaries (checkpoint writes, queue transitions).
+func (r *Recorder) Beat(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	p := r.progress
+	r.mu.Unlock()
+	if p != nil {
+		p(name)
+	}
 }
 
 // spanRecord is a finished span as retained for the summary tree.
@@ -79,7 +112,11 @@ func (r *Recorder) StartSpan(name string) *Span {
 	r.nextID++
 	s := &Span{r: r, id: r.nextID, parent: r.current, name: name, start: time.Now()}
 	r.current = s
+	p := r.progress
 	r.mu.Unlock()
+	if p != nil {
+		p(name)
+	}
 	return s
 }
 
@@ -94,7 +131,11 @@ func (s *Span) StartChild(name string) *Span {
 	r.mu.Lock()
 	r.nextID++
 	c := &Span{r: r, id: r.nextID, parent: s, name: name, start: time.Now()}
+	p := r.progress
 	r.mu.Unlock()
+	if p != nil {
+		p(name)
+	}
 	return c
 }
 
@@ -139,7 +180,11 @@ func (s *Span) End() {
 	}
 	r.finished = append(r.finished, rec)
 	sink := r.sink
+	p := r.progress
 	r.mu.Unlock()
+	if p != nil {
+		p(rec.name)
+	}
 	if sink != nil {
 		sink.Emit(Event{
 			Type: EventSpan, Name: rec.name, ID: rec.id, Parent: rec.parent,

@@ -154,6 +154,56 @@ func TestJSONTraceRoundTrip(t *testing.T) {
 	}
 }
 
+// TestProgressHook pins the heartbeat contract the serve watchdog relies
+// on: the hook fires with the span name at every StartSpan, StartChild
+// and End (plus explicit Beats), installing nil removes it, and a nil
+// recorder swallows everything.
+func TestProgressHook(t *testing.T) {
+	r := New(nil)
+	var mu sync.Mutex
+	var beats []string
+	r.SetProgress(func(name string) {
+		mu.Lock()
+		beats = append(beats, name)
+		mu.Unlock()
+	})
+	s := r.StartSpan("place")
+	c := s.StartChild("wave")
+	r.Beat("ckpt.save")
+	c.End()
+	s.End()
+	want := []string{"place", "wave", "ckpt.save", "wave", "place"}
+	mu.Lock()
+	got := append([]string(nil), beats...)
+	mu.Unlock()
+	if len(got) != len(want) {
+		t.Fatalf("heartbeats = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("heartbeat %d = %q, want %q (all: %v)", i, got[i], want[i], got)
+		}
+	}
+
+	// Removing the hook stops the heartbeats; re-ending an ended span never
+	// fired one in the first place (End is idempotent).
+	r.SetProgress(nil)
+	s2 := r.StartSpan("quiet")
+	s2.End()
+	s2.End()
+	r.Beat("late")
+	mu.Lock()
+	n := len(beats)
+	mu.Unlock()
+	if n != len(want) {
+		t.Fatalf("heartbeats after removal = %d, want %d", n, len(want))
+	}
+
+	var nilR *Recorder
+	nilR.SetProgress(func(string) { t.Fatal("nil recorder fired a heartbeat") })
+	nilR.Beat("x")
+}
+
 func TestNilRecorderIsSafe(t *testing.T) {
 	var r *Recorder
 	s := r.StartSpan("x")

@@ -398,6 +398,13 @@ func run(ctx context.Context, n *netlist.Netlist, cfg Config, resumeDir string) 
 	return report, nil
 }
 
+// PlannedLevels reports how many refinement levels Place will run for n
+// under cfg, without placing anything. Admission control prices a job in
+// cell x level units before accepting it (see internal/serve).
+func PlannedLevels(n *netlist.Netlist, cfg Config) int {
+	return levelsFor(n, cfg)
+}
+
 // levelsFor picks the number of refinement levels: windows shrink until
 // they are a few rows tall or hold only a handful of cells.
 func levelsFor(n *netlist.Netlist, cfg Config) int {
@@ -487,6 +494,10 @@ func globalLoop(ctx context.Context, n *netlist.Netlist, decomp *region.Decompos
 		if err := ck.boundary(n, lv, endLevel, cfg.Preempt); err != nil {
 			return err
 		}
+		// Explicit heartbeat after the boundary: a checkpoint write can be
+		// the longest spanless stretch of a level, and the watchdog must
+		// not mistake it for a hang.
+		cfg.Obs.Beat("level.boundary")
 	}
 	return nil
 }

@@ -1,0 +1,405 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"fbplace/internal/gen"
+	"fbplace/internal/leakcheck"
+)
+
+// estOf prices a spec the way admission does, so tests can derive budgets
+// from the same model the scheduler enforces.
+func estOf(t *testing.T, spec Spec) Estimate {
+	t.Helper()
+	j, err := newJob("est", 0, spec, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j.est
+}
+
+func TestAdmissionOverBudget(t *testing.T) {
+	defer leakcheck.Check(t)
+	// A 1 MiB budget is below the base footprint: every job is refused.
+	s := testSched(t, Options{Workers: 1, MemBudget: 1 << 20, GovernTick: -1})
+	_, err := s.Submit(chipSpec(300, 60))
+	var ae *AdmissionError
+	if !errors.As(err, &ae) || !errors.Is(err, ErrOverBudget) {
+		t.Fatalf("over-budget submit: %v, want AdmissionError wrapping ErrOverBudget", err)
+	}
+	if ae.Status != 503 || ae.Code() != "over_budget" {
+		t.Fatalf("over-budget error: status %d code %q, want 503 over_budget", ae.Status, ae.Code())
+	}
+	if ae.RetryAfter != 0 {
+		t.Fatalf("over-budget RetryAfter %v, want 0 — retrying cannot help", ae.RetryAfter)
+	}
+	if n := len(s.Jobs()); n != 0 {
+		t.Fatalf("%d jobs registered after a rejected submission", n)
+	}
+	// The rejected job left no state directory behind.
+	entries, err := os.ReadDir(filepath.Join(s.StateDir(), "jobs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("rejected submission left %d job dirs behind", len(entries))
+	}
+	if c := s.Obs().Counters(); c["serve.rejected.overbudget"] != 1 {
+		t.Fatalf("serve.rejected.overbudget=%g, want 1", c["serve.rejected.overbudget"])
+	}
+}
+
+func TestAdmissionQueueFullAndExemptions(t *testing.T) {
+	defer leakcheck.Check(t)
+	s := testSched(t, Options{Workers: 1, QueueLimit: 1, GovernTick: -1})
+	long := Spec{Chip: &gen.ChipSpec{NumCells: 2000, Seed: 61}, Knobs: Knobs{MaxLevels: 5}}
+	a, err := s.Submit(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, a.ID, StateRunning, 30*time.Second)
+	b, err := s.Submit(Spec{Chip: &gen.ChipSpec{NumCells: 2000, Seed: 62}, Knobs: Knobs{MaxLevels: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queue full: a third distinct job bounces with 429 + Retry-After.
+	_, err = s.Submit(chipSpec(400, 63))
+	var ae *AdmissionError
+	if !errors.As(err, &ae) || !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-bound submit: %v, want AdmissionError wrapping ErrQueueFull", err)
+	}
+	if ae.Status != 429 || ae.Code() != "queue_full" || ae.RetryAfter <= 0 {
+		t.Fatalf("queue-full error: status %d code %q retry %v", ae.Status, ae.Code(), ae.RetryAfter)
+	}
+	// A duplicate of the running job coalesces onto its flight: no queue
+	// slot needed, so the full queue must not refuse it.
+	dup, err := s.Submit(long)
+	if err != nil {
+		t.Fatalf("coalesced duplicate refused by the full queue: %v", err)
+	}
+	waitDone(t, a, 120*time.Second)
+	waitDone(t, b, 120*time.Second)
+	waitDone(t, dup, 120*time.Second)
+	if !dup.Status().Coalesced {
+		t.Fatalf("duplicate was not coalesced: %+v", dup.Status())
+	}
+	// Same exemption for cache hits: refill the queue, then resubmit the
+	// finished spec — it is served from the cache without a slot.
+	c, err := s.Submit(Spec{Chip: &gen.ChipSpec{NumCells: 2000, Seed: 64}, Knobs: Knobs{MaxLevels: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, c.ID, StateRunning, 30*time.Second)
+	d, err := s.Submit(chipSpec(400, 65))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, err := s.Submit(long)
+	if err != nil {
+		t.Fatalf("cache hit refused by the full queue: %v", err)
+	}
+	waitDone(t, hit, 30*time.Second)
+	if !hit.Status().Cached {
+		t.Fatalf("resubmission not served from cache: %+v", hit.Status())
+	}
+	waitDone(t, c, 120*time.Second)
+	waitDone(t, d, 120*time.Second)
+	if c := s.Obs().Counters(); c["serve.rejected.queue"] != 1 {
+		t.Fatalf("serve.rejected.queue=%g, want 1", c["serve.rejected.queue"])
+	}
+}
+
+// TestBrownoutLadder drives the two-level ladder with the committed
+// watermark: level 1 (shed renders) when the running job's footprint
+// crosses 85% of the budget, level 2 (shed submissions) when the queue is
+// also half full, and back to 0 when the pressure clears.
+func TestBrownoutLadder(t *testing.T) {
+	defer leakcheck.Check(t)
+	long := Spec{Chip: &gen.ChipSpec{NumCells: 2000, Seed: 66}, Knobs: Knobs{MaxLevels: 6}}
+	est := estOf(t, long)
+	// Budget ~10% above one long job: running it commits ~91% > watermark.
+	s := testSched(t, Options{
+		Workers:    1,
+		MemBudget:  est.PeakBytes + est.PeakBytes/10,
+		QueueLimit: 2,
+		GovernTick: -1,
+	})
+	if lvl, _ := s.brownoutState(); lvl != brownoutOff {
+		t.Fatalf("idle brownout level %d, want 0", lvl)
+	}
+	a, err := s.Submit(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, a.ID, StateRunning, 30*time.Second)
+	lvl, ra := s.brownoutState()
+	if lvl != brownoutShedRenders {
+		t.Fatalf("brownout level %d with committed over the watermark, want 1", lvl)
+	}
+	if ra <= 0 {
+		t.Fatal("brownout state carries no Retry-After hint")
+	}
+	if rd := s.Readiness(); rd.Ready || rd.Reason != "brownout" {
+		t.Fatalf("readiness under brownout: %+v", rd)
+	}
+	// One queued job reaches half the queue bound: level 2.
+	b, err := s.Submit(chipSpec(300, 67))
+	if err != nil {
+		t.Fatalf("level-1 brownout must not shed submissions: %v", err)
+	}
+	if lvl, _ := s.brownoutState(); lvl != brownoutShedSubmits {
+		t.Fatalf("brownout level %d with a half-full queue, want 2", lvl)
+	}
+	_, err = s.Submit(chipSpec(300, 68))
+	var ae *AdmissionError
+	if !errors.As(err, &ae) || !errors.Is(err, ErrBrownout) {
+		t.Fatalf("level-2 submit: %v, want AdmissionError wrapping ErrBrownout", err)
+	}
+	if ae.Status != 503 || ae.Code() != "brownout" || ae.RetryAfter <= 0 {
+		t.Fatalf("brownout error: status %d code %q retry %v", ae.Status, ae.Code(), ae.RetryAfter)
+	}
+	waitDone(t, a, 120*time.Second)
+	waitDone(t, b, 120*time.Second)
+	if lvl, _ := s.brownoutState(); lvl != brownoutOff {
+		t.Fatalf("brownout level %d after the load drained, want 0", lvl)
+	}
+	gov := s.Stats().Governance
+	if gov.Brownout != 0 || gov.BrownoutMode != "off" || gov.MemCommittedBytes != 0 {
+		t.Fatalf("governance stats after drain: %+v", gov)
+	}
+	found := false
+	for _, d := range gov.Degradations {
+		if strings.Contains(d, "brownout") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("brownout transitions missing from the degradation log: %v", gov.Degradations)
+	}
+	if c := s.Obs().Counters(); c["serve.brownout.enter"] == 0 || c["serve.rejected.brownout"] != 1 {
+		t.Fatalf("counters: enter=%g rejected.brownout=%g", c["serve.brownout.enter"], c["serve.rejected.brownout"])
+	}
+}
+
+// TestMemoryPreemptionTimeMultiplexes pins a budget that fits only one of
+// two equal jobs: the blocked second job must not starve — the governor
+// preempts the running one through the checkpoint path, and both finish
+// with bit-identical results.
+func TestMemoryPreemptionTimeMultiplexes(t *testing.T) {
+	defer leakcheck.Check(t)
+	big := Spec{Chip: &gen.ChipSpec{NumCells: 2000, Seed: 69}}
+	est := estOf(t, big)
+	s := testSched(t, Options{
+		Workers:    2,
+		MemBudget:  est.PeakBytes + est.PeakBytes/4, // one fits, two do not
+		QueueLimit: -1,
+		NoProgress: -1, // isolate memory preemption from the watchdog
+		GovernTick: 25 * time.Millisecond,
+	})
+	a, err := s.Submit(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitLevel(t, a)
+	b, err := s.Submit(Spec{Chip: &gen.ChipSpec{NumCells: 2000, Seed: 70}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, a, 180*time.Second)
+	waitDone(t, b, 180*time.Second)
+	if a.State() != StateDone || b.State() != StateDone {
+		t.Fatalf("states: a=%s b=%s, want both done", a.State(), b.State())
+	}
+	c := s.Obs().Counters()
+	if c["serve.preempt.memory"] == 0 {
+		t.Fatal("no memory preemption fired with a memory-blocked queued job")
+	}
+	if a.Preemptions() == 0 {
+		t.Fatal("the running job was never preempted for memory")
+	}
+	for _, j := range []*Job{a, b} {
+		if ok, err := verifyDirect(context.Background(), j); err != nil || !ok {
+			t.Fatalf("job %s differs from a direct run after memory preemption (ok=%v err=%v)", j.ID, ok, err)
+		}
+	}
+	found := false
+	for _, d := range s.Stats().Governance.Degradations {
+		if strings.Contains(d, "memory") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("memory preemption missing from the degradation log")
+	}
+}
+
+// crossCheckGauges asserts the serve.* gauges agree exactly with the
+// scheduler's own state, under the same lock every transition updates
+// them under.
+func crossCheckGauges(t *testing.T, s *Scheduler) {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := s.rec.Gauges()
+	checks := []struct {
+		name string
+		want float64
+	}{
+		{"serve.queue.depth", float64(s.queue.Len())},
+		{"serve.running", float64(len(s.running))},
+		{"serve.jobs.known", float64(len(s.jobs))},
+		{"serve.mem.committed", float64(s.committed)},
+		{"serve.brownout", float64(s.brownout)},
+	}
+	for _, c := range checks {
+		if g[c.name] != c.want {
+			t.Fatalf("gauge %s=%g disagrees with scheduler state %g", c.name, g[c.name], c.want)
+		}
+	}
+}
+
+// TestGaugesUnderChurn randomizes submissions and cancellations (seeded,
+// reproducible) and cross-checks the gauges against the scheduler state at
+// every step: they must agree at every admission, promotion, preemption
+// and completion transition, and settle to zero after the drain.
+func TestGaugesUnderChurn(t *testing.T) {
+	defer leakcheck.Check(t)
+	s := testSched(t, Options{Workers: 2, QueueLimit: 8, GovernTick: 20 * time.Millisecond, NoProgress: -1})
+	rng := rand.New(rand.NewSource(1))
+	var jobs []*Job
+	rejected := 0
+	for i := 0; i < 60; i++ {
+		switch rng.Intn(10) {
+		case 7, 8:
+			if len(jobs) > 0 {
+				// Canceling terminal jobs is a valid no-op; either way the
+				// gauges must stay consistent.
+				_ = s.Cancel(jobs[rng.Intn(len(jobs))].ID)
+			}
+		case 9:
+			time.Sleep(2 * time.Millisecond)
+		default:
+			// Duplicate seeds on purpose: cache hits and coalesced flights
+			// churn the gauges differently from fresh placements.
+			spec := Spec{
+				Chip:     &gen.ChipSpec{NumCells: 300 + 100*rng.Intn(4), Seed: int64(rng.Intn(6))},
+				Priority: rng.Intn(3),
+			}
+			j, err := s.Submit(spec)
+			if err != nil {
+				var ae *AdmissionError
+				if !errors.As(err, &ae) {
+					t.Fatalf("submit %d: %v", i, err)
+				}
+				rejected++
+			} else {
+				jobs = append(jobs, j)
+			}
+		}
+		crossCheckGauges(t, s)
+	}
+	t.Logf("churn: %d submitted, %d rejected", len(jobs), rejected)
+	for _, j := range jobs {
+		waitDone(t, j, 120*time.Second)
+	}
+	crossCheckGauges(t, s)
+	s.mu.Lock()
+	depth, running := s.queue.Len(), len(s.running)
+	committed := s.committed
+	s.mu.Unlock()
+	if depth != 0 || running != 0 || committed != 0 {
+		t.Fatalf("after drain: depth=%d running=%d committed=%d, want all zero", depth, running, committed)
+	}
+}
+
+// TestGCTerminalJobsAndOrphans exercises the disk governor directly:
+// terminal jobs beyond the retention cap are forgotten (memory and disk),
+// and orphaned job directories older than the age guard are removed.
+func TestGCTerminalJobsAndOrphans(t *testing.T) {
+	defer leakcheck.Check(t)
+	s := testSched(t, Options{Workers: 1, GCKeepTerminal: 2, GovernTick: -1, CacheEntries: -1})
+	var ids []string
+	for i := 0; i < 4; i++ {
+		j, err := s.Submit(chipSpec(300, int64(80+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, j, 60*time.Second)
+		ids = append(ids, j.ID)
+	}
+	// An orphaned directory (a crashed submit, a manual copy) older than
+	// the age guard.
+	orphan := filepath.Join(s.StateDir(), "jobs", "zz-orphan")
+	if err := os.MkdirAll(orphan, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(orphan, old, old); err != nil {
+		t.Fatal(err)
+	}
+	s.gcTick()
+	if n := len(s.Jobs()); n != 2 {
+		t.Fatalf("%d jobs known after GC, want 2", n)
+	}
+	for _, id := range ids[:2] {
+		if _, ok := s.Job(id); ok {
+			t.Fatalf("collected job %s still known", id)
+		}
+		if _, err := os.Stat(filepath.Join(s.StateDir(), "jobs", id)); !os.IsNotExist(err) {
+			t.Fatalf("collected job %s still on disk (%v)", id, err)
+		}
+	}
+	for _, id := range ids[2:] {
+		j, ok := s.Job(id)
+		if !ok {
+			t.Fatalf("retained job %s was collected", id)
+		}
+		mustResult(t, j)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphan dir survived GC (%v)", err)
+	}
+	c := s.Obs().Counters()
+	if c["serve.gc.jobs"] != 2 || c["serve.gc.orphans"] != 1 {
+		t.Fatalf("GC counters: jobs=%g orphans=%g, want 2/1", c["serve.gc.jobs"], c["serve.gc.orphans"])
+	}
+	crossCheckGauges(t, s)
+}
+
+// TestLowDiskDisablesCheckpointing forces the low-disk flag: new attempts
+// must run without a checkpoint directory (counted, and therefore not
+// preemptible) and still finish correctly.
+func TestLowDiskDisablesCheckpointing(t *testing.T) {
+	defer leakcheck.Check(t)
+	s := testSched(t, Options{Workers: 1, GovernTick: -1})
+	s.mu.Lock()
+	s.lowDisk = true
+	s.mu.Unlock()
+	j, err := s.Submit(chipSpec(500, 90))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j, 60*time.Second)
+	if j.State() != StateDone {
+		t.Fatalf("state: %s, want done", j.State())
+	}
+	if s.Obs().Counters()["serve.ckpt.disabled"] != 1 {
+		t.Fatal("low-disk attempt did not count serve.ckpt.disabled")
+	}
+	if hasCheckpoint(j.ckptDir()) {
+		t.Fatal("low-disk attempt wrote checkpoints anyway")
+	}
+	if gov := s.Stats().Governance; !gov.LowDisk {
+		t.Fatalf("governance stats do not report low disk: %+v", gov)
+	}
+	if ok, err := verifyDirect(context.Background(), j); err != nil || !ok {
+		t.Fatalf("uncheckpointed run differs from a direct run (ok=%v err=%v)", ok, err)
+	}
+}

@@ -165,24 +165,35 @@ type Job struct {
 	// verification reloads see the same file.
 	fileRoot string
 
+	// est is the admission-time resource estimate (immutable after load).
+	est Estimate
+
 	ctx     context.Context
 	cancel  context.CancelFunc
 	preempt atomic.Bool
-	bc      *obs.Broadcast
-	done    chan struct{}
+	// lastBeat is the heartbeat timestamp (UnixNano) the watchdog reads;
+	// written by the obs.Progress hook on every span boundary.
+	lastBeat atomic.Int64
+	bc       *obs.Broadcast
+	done     chan struct{}
 
 	mu            sync.Mutex
-	state         State     // guarded by mu
-	errText       string    // guarded by mu
-	userCanceled  bool      // guarded by mu
-	resumable     bool      // guarded by mu
-	preemptions   int       // guarded by mu
-	levelsDone    int       // guarded by mu
-	levelsPlanned int       // guarded by mu
-	cached        bool      // guarded by mu
-	coalesced     bool      // guarded by mu
-	submitted     time.Time // guarded by mu
-	result        *Result   // guarded by mu
+	state         State              // guarded by mu
+	errText       string             // guarded by mu
+	userCanceled  bool               // guarded by mu
+	resumable     bool               // guarded by mu
+	preemptions   int                // guarded by mu
+	levelsDone    int                // guarded by mu
+	levelsPlanned int                // guarded by mu
+	cached        bool               // guarded by mu
+	coalesced     bool               // guarded by mu
+	submitted     time.Time          // guarded by mu
+	result        *Result            // guarded by mu
+	attemptCtx    context.Context    // guarded by mu — current attempt
+	attemptCancel context.CancelFunc // guarded by mu
+	strikes       int                // guarded by mu — consecutive no-progress attempts
+	wdRequeues    int                // guarded by mu — watchdog requeues so far
+	ckptOn        bool               // guarded by mu — current attempt checkpoints
 }
 
 // Status is the JSON view of a job.
@@ -198,6 +209,13 @@ type Status struct {
 	Error         string  `json:"error,omitempty"`
 	HPWL          float64 `json:"hpwl,omitempty"`
 	SubmittedUnix int64   `json:"submitted_unix,omitempty"`
+	// Requeues counts watchdog requeues, Strikes the consecutive
+	// no-progress attempts so far; EstPeakBytes/EstWallMS are the
+	// admission-time resource estimate.
+	Requeues     int   `json:"watchdog_requeues,omitempty"`
+	Strikes      int   `json:"watchdog_strikes,omitempty"`
+	EstPeakBytes int64 `json:"est_peak_bytes,omitempty"`
+	EstWallMS    int64 `json:"est_wall_ms,omitempty"`
 }
 
 // Status returns a consistent snapshot of the job.
@@ -215,6 +233,10 @@ func (j *Job) Status() Status {
 		Coalesced:     j.coalesced,
 		Error:         j.errText,
 		SubmittedUnix: j.submitted.Unix(),
+		Requeues:      j.wdRequeues,
+		Strikes:       j.strikes,
+		EstPeakBytes:  j.est.PeakBytes,
+		EstWallMS:     j.est.Wall.Milliseconds(),
 	}
 	if j.result != nil {
 		st.HPWL = j.result.HPWL
@@ -291,12 +313,59 @@ func (j *Job) setState(st State) {
 }
 
 // noteLevel records one completed partitioning level for progress
-// reporting.
+// reporting. Completing a level is real forward progress, so it clears
+// the watchdog's strike counter: only *consecutive* no-progress attempts
+// accumulate toward a terminal JobStuck — a slow job that keeps
+// advancing never does.
 func (j *Job) noteLevel() {
 	j.mu.Lock()
 	j.levelsDone++
+	j.strikes = 0
 	j.mu.Unlock()
 }
+
+// beat refreshes the watchdog heartbeat (called from the obs.Progress
+// hook at every span boundary of the running attempt).
+func (j *Job) beat() { j.lastBeat.Store(time.Now().UnixNano()) }
+
+// beginAttempt installs a fresh per-attempt context under the job's own
+// (so user cancel and deadline still propagate) and primes the
+// heartbeat. The returned cancel must be deferred by the worker; the
+// watchdog calls it through the job to strike a stalled attempt.
+func (j *Job) beginAttempt() (context.Context, context.CancelFunc) {
+	actx, acancel := context.WithCancel(j.ctx)
+	j.beat()
+	j.mu.Lock()
+	j.attemptCtx = actx
+	j.attemptCancel = acancel
+	j.mu.Unlock()
+	return actx, acancel
+}
+
+// setCkptEnabled records whether the current attempt checkpoints (false
+// under low-disk degradation: such an attempt cannot be preempted).
+func (j *Job) setCkptEnabled(on bool) {
+	j.mu.Lock()
+	j.ckptOn = on
+	j.mu.Unlock()
+}
+
+// ckptEnabled reports whether the current attempt checkpoints.
+func (j *Job) ckptEnabled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.ckptOn
+}
+
+// Requeues returns how many times the watchdog requeued the job.
+func (j *Job) Requeues() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.wdRequeues
+}
+
+// Estimate returns the job's admission-time resource estimate.
+func (j *Job) Estimate() Estimate { return j.est }
 
 // ckptDir is the per-job checkpoint directory preemption snapshots into.
 func (j *Job) ckptDir() string { return filepath.Join(j.dir, "ckpt") }
@@ -400,6 +469,7 @@ func newJob(id string, seq uint64, spec Spec, retain int, fileRoot string) (*Job
 			net: ckpt.Fingerprint(n),
 			cfg: placer.ConfigFingerprint(&cfg),
 		},
+		est:       estimateJob(n, cfg),
 		state:     StateQueued,
 		submitted: time.Now(),
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strings"
 	"time"
 
 	"fbplace/internal/gen"
@@ -25,9 +26,17 @@ type LoadOptions struct {
 	// Duplicates additionally re-submits every Duplicates-th spec once,
 	// exercising the cache and single-flight under load.
 	Duplicates int
-	// Verify re-places every preempted job directly (no scheduler) and
-	// compares positions bit-for-bit — the preemption-safety oracle.
+	// Verify re-places every preempted or watchdog-requeued job directly
+	// (no scheduler) and compares positions bit-for-bit — the
+	// checkpoint-resume safety oracle.
 	Verify bool
+	// Stagger spaces submissions out (default 0: one burst), holding the
+	// queue at depth over time — the chaos soak's sustained-load shape —
+	// instead of spiking it once.
+	Stagger time.Duration
+	// Soak draws specs from gen.SoakMix instead of gen.LoadMix: smaller
+	// instances, verbatim duplicates, and oversized over-budget bait.
+	Soak bool
 	// Scheduler options for the run.
 	Sched Options
 }
@@ -41,6 +50,9 @@ type LoadReport struct {
 	// Preempted is how many jobs were preempted at least once, and
 	// Preemptions the total across jobs.
 	Preempted, Preemptions int
+	// Requeued is how many jobs the watchdog requeued at least once,
+	// Stuck how many it failed terminally after the strike budget.
+	Requeued, Stuck int
 	// CacheHits and Coalesced count duplicate submissions served without
 	// a placement of their own.
 	CacheHits, Coalesced int
@@ -57,9 +69,9 @@ type LoadReport struct {
 }
 
 func (r *LoadReport) String() string {
-	return fmt.Sprintf("load: %d submitted (%d rejected), %d done / %d failed / %d canceled, %d jobs preempted (%d preemptions), %d cache hits, %d coalesced, %d mismatched, %v",
-		r.Submitted, r.Rejected, r.Done, r.Failed, r.Canceled,
-		r.Preempted, r.Preemptions, r.CacheHits, r.Coalesced, len(r.Mismatched), r.Elapsed.Round(time.Millisecond))
+	return fmt.Sprintf("load: %d submitted (%d rejected), %d done / %d failed / %d canceled / %d stuck, %d jobs preempted (%d preemptions), %d requeued, %d cache hits, %d coalesced, %d mismatched, %v",
+		r.Submitted, r.Rejected, r.Done, r.Failed, r.Canceled, r.Stuck,
+		r.Preempted, r.Preemptions, r.Requeued, r.CacheHits, r.Coalesced, len(r.Mismatched), r.Elapsed.Round(time.Millisecond))
 }
 
 // RunLoad drives a scheduler with a burst of mixed-size, mixed-priority
@@ -81,6 +93,9 @@ func RunLoad(ctx context.Context, opt LoadOptions) (*LoadReport, error) {
 	}
 	start := time.Now()
 	specs := gen.LoadMix(opt.Jobs, opt.Seed)
+	if opt.Soak {
+		specs = gen.SoakMix(opt.Jobs, opt.Seed)
+	}
 	rep := &LoadReport{}
 	var jobs []*Job
 	submit := func(spec Spec) {
@@ -103,6 +118,12 @@ func RunLoad(ctx context.Context, opt LoadOptions) (*LoadReport, error) {
 		})
 		if opt.Duplicates > 0 && i%opt.Duplicates == 0 {
 			submit(Spec{Chip: &cs, Priority: i % opt.PriorityLevels})
+		}
+		if opt.Stagger > 0 && i < len(specs)-1 {
+			select {
+			case <-time.After(opt.Stagger):
+			case <-ctx.Done():
+			}
 		}
 	}
 
@@ -135,6 +156,12 @@ func RunLoad(ctx context.Context, opt LoadOptions) (*LoadReport, error) {
 			rep.Preemptions += p
 		}
 		st := j.Status()
+		if st.Requeues > 0 {
+			rep.Requeued++
+		}
+		if j.State() == StateFailed && errorTextIsStuck(st.Error) {
+			rep.Stuck++
+		}
 		if st.Cached {
 			rep.CacheHits++
 		}
@@ -146,7 +173,7 @@ func RunLoad(ctx context.Context, opt LoadOptions) (*LoadReport, error) {
 
 	if opt.Verify {
 		for _, j := range jobs {
-			if j.Preemptions() == 0 || j.State() != StateDone {
+			if (j.Preemptions() == 0 && j.Requeues() == 0) || j.State() != StateDone {
 				continue
 			}
 			ok, err := verifyDirect(ctx, j)
@@ -159,6 +186,12 @@ func RunLoad(ctx context.Context, opt LoadOptions) (*LoadReport, error) {
 		}
 	}
 	return rep, nil
+}
+
+// errorTextIsStuck recognizes a terminal JobStuck failure from the
+// persisted error text (Result/Status carry text, not wrapped errors).
+func errorTextIsStuck(text string) bool {
+	return strings.Contains(text, ErrJobStuck.Error())
 }
 
 // verifyDirect re-places the job's instance uninterrupted — fresh load, no

@@ -1,0 +1,9 @@
+//go:build race
+
+package serve
+
+// raceEnabled lets timing-calibrated tests (the chaos soak's watchdog
+// window) widen their no-progress deadlines under the race detector's
+// 10-20x slowdown, where healthy jobs legitimately gap longer between
+// heartbeats than any sane production window.
+const raceEnabled = true

@@ -35,6 +35,7 @@ import (
 
 	"sync"
 
+	"fbplace/internal/degrade"
 	"fbplace/internal/faultsim"
 	"fbplace/internal/obs"
 	"fbplace/internal/placer"
@@ -80,6 +81,43 @@ type Options struct {
 	// Obs receives the scheduler's serve.* counters and gauges. Nil
 	// creates an internal recorder (always available via Stats).
 	Obs *obs.Recorder
+
+	// QueueLimit bounds the queue depth; submissions past it are refused
+	// with ErrQueueFull (HTTP 429). 0 selects the default of 64, negative
+	// disables the bound. Cache hits and coalesced submissions never
+	// consume a queue slot and are exempt.
+	QueueLimit int
+	// MemBudget is the process memory budget in bytes: jobs whose
+	// predicted peak exceeds it are refused outright, and job starts are
+	// gated so the running jobs' predicted peaks sum below it. 0 selects
+	// the default (three quarters of available RAM, 4 GiB fallback),
+	// negative disables memory governance.
+	MemBudget int64
+	// NoProgress is the watchdog's no-progress deadline: a running
+	// attempt whose heartbeat is older earns a strike and is requeued
+	// through the checkpoint path. 0 selects the default of 2 minutes,
+	// negative disables the watchdog.
+	NoProgress time.Duration
+	// StuckStrikes is how many consecutive no-progress attempts fail a
+	// job terminally with JobStuckError. 0 selects the default of 3.
+	StuckStrikes int
+	// GovernTick is the governor cadence (memory sampling, watchdog scan,
+	// disk check, GC). 0 selects the default of 1s, negative disables the
+	// governor entirely (watchdog, memory preemption and GC with it).
+	GovernTick time.Duration
+	// DiskLowBytes is the free-space watermark below which new attempts
+	// run without checkpointing. 0 selects the default of 128 MiB,
+	// negative disables the check.
+	DiskLowBytes int64
+	// GCKeepTerminal caps how many terminal jobs are retained (in memory
+	// and on disk); older ones are garbage-collected and their IDs answer
+	// 404 afterwards. 0 selects the default of 256, negative retains
+	// everything.
+	GCKeepTerminal int
+	// GCOrphanAge is how old an on-disk job directory with no in-memory
+	// job must be before the GC removes it. 0 selects the default of 5
+	// minutes.
+	GCOrphanAge time.Duration
 }
 
 func (o *Options) fill() {
@@ -91,6 +129,30 @@ func (o *Options) fill() {
 	}
 	if o.CacheEntries == 0 {
 		o.CacheEntries = 64
+	}
+	if o.QueueLimit == 0 {
+		o.QueueLimit = 64
+	}
+	if o.MemBudget == 0 {
+		o.MemBudget = defaultMemBudget()
+	}
+	if o.NoProgress == 0 {
+		o.NoProgress = 2 * time.Minute
+	}
+	if o.StuckStrikes <= 0 {
+		o.StuckStrikes = 3
+	}
+	if o.GovernTick == 0 {
+		o.GovernTick = time.Second
+	}
+	if o.DiskLowBytes == 0 {
+		o.DiskLowBytes = 128 << 20
+	}
+	if o.GCKeepTerminal == 0 {
+		o.GCKeepTerminal = 256
+	}
+	if o.GCOrphanAge == 0 {
+		o.GCOrphanAge = 5 * time.Minute
 	}
 }
 
@@ -113,7 +175,19 @@ type Scheduler struct {
 	idle     int                  // guarded by mu
 	shutdown bool                 // guarded by mu
 
+	// Governance state (see govern.go for the policies).
+	committed  int64       // guarded by mu — sum of running jobs' predicted peaks
+	memBlocked bool        // guarded by mu — a queued job could not start for memory
+	brownout   int         // guarded by mu — current ladder level
+	lowDisk    bool        // guarded by mu — checkpointing disabled for new attempts
+	measured   int64       // guarded by mu — last sampled process heap
+	doneTimes  []time.Time // guarded by mu — completion ring for the drain rate
+
 	wg    sync.WaitGroup
+	gwg   sync.WaitGroup // governor goroutine; stopped after the workers drain
+	quit  chan struct{}  // closed to stop the governor
+	stop  sync.Once      // closes quit exactly once
+	dl    *degrade.Log   // brownout/disk/watchdog degradation entries
 	cache *resultCache
 }
 
@@ -152,6 +226,8 @@ func NewScheduler(opt Options) (*Scheduler, error) {
 		jobs:     map[string]*Job{},
 		running:  map[string]*Job{},
 		flights:  map[cacheKey]*flight{},
+		quit:     make(chan struct{}),
+		dl:       degrade.New(rec),
 		cache:    newResultCache(opt.CacheEntries),
 	}
 	s.cond = sync.NewCond(&s.mu)
@@ -162,6 +238,10 @@ func NewScheduler(opt Options) (*Scheduler, error) {
 	for i := 0; i < opt.Workers; i++ {
 		go s.worker()
 	}
+	if opt.GovernTick > 0 {
+		s.gwg.Add(1)
+		go s.governLoop()
+	}
 	return s, nil
 }
 
@@ -171,11 +251,14 @@ func (s *Scheduler) StateDir() string { return s.stateDir }
 // Obs returns the recorder carrying the serve.* counters and gauges.
 func (s *Scheduler) Obs() *obs.Recorder { return s.rec }
 
-// Submit admits one job: it loads the instance, consults the result cache
-// and in-flight placements, and either finishes the job immediately
-// (cache hit), attaches it to an identical running placement
-// (single-flight), or enqueues it — possibly asking a lower-priority
-// running job to preempt itself at its next level boundary.
+// Submit admits one job: it loads the instance, prices it against the
+// admission limits (memory budget, queue bound, brownout — see
+// govern.go), consults the result cache and in-flight placements, and
+// either finishes the job immediately (cache hit), attaches it to an
+// identical running placement (single-flight), or enqueues it — possibly
+// asking a lower-priority running job to preempt itself at its next
+// level boundary. Rejections are *AdmissionError with a Retry-After hint
+// where retrying can help.
 func (s *Scheduler) Submit(spec Spec) (*Job, error) {
 	if err := acceptFault.Check(); err != nil {
 		s.rec.Count("serve.rejected", 1)
@@ -195,12 +278,22 @@ func (s *Scheduler) Submit(spec Spec) (*Job, error) {
 		s.rec.Count("serve.badspec", 1)
 		return nil, err
 	}
+	if s.opt.MemBudget > 0 && j.est.PeakBytes > s.opt.MemBudget {
+		// The job could never be started; retrying cannot help.
+		s.rec.Count("serve.rejected", 1)
+		s.rec.Count("serve.rejected.overbudget", 1)
+		return nil, &AdmissionError{
+			Status: 503,
+			Detail: fmt.Sprintf("predicted peak %d bytes > budget %d bytes (%d cells, %d pins, %d levels)",
+				j.est.PeakBytes, s.opt.MemBudget, j.est.Cells, j.est.Pins, j.est.Levels),
+			err: ErrOverBudget,
+		}
+	}
 	j.dir = filepath.Join(s.stateDir, "jobs", j.ID)
 	if err := os.MkdirAll(j.dir, 0o755); err != nil {
 		return nil, fmt.Errorf("serve: job dir: %w", err)
 	}
 	s.installContext(j)
-	s.rec.Count("serve.submitted", 1)
 
 	var hit *Result
 	s.mu.Lock()
@@ -212,31 +305,53 @@ func (s *Scheduler) Submit(spec Spec) (*Job, error) {
 		_ = os.RemoveAll(j.dir)
 		return nil, ErrShuttingDown
 	}
+	// Decide whether this submission needs a queue slot before it becomes
+	// visible: cache hits and coalesced followers ride work that is
+	// already paid for and are exempt from the queue bound and brownout.
+	var flightHit *flight
+	willQueue := true
+	if !spec.NoCache {
+		if res, ok := s.cache.get(j.key); ok {
+			hit = res
+			willQueue = false
+		} else if fl, ok := s.flights[j.key]; ok {
+			flightHit = fl
+			willQueue = false
+		}
+	}
+	if willQueue {
+		if reject := s.admitQueuedLocked(); reject != nil {
+			s.mu.Unlock()
+			j.cancel()
+			_ = os.RemoveAll(j.dir)
+			return nil, reject
+		}
+	}
+	s.rec.Count("serve.submitted", 1)
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j)
 	j.bc.Emit(obs.Event{Type: "state", Name: string(StateQueued)})
-	if spec.NoCache {
+	switch {
+	case spec.NoCache:
 		s.rec.Count("serve.cache.bypassed", 1)
 		heap.Push(&s.queue, j)
 		s.cond.Signal()
 		s.maybePreemptLocked(j.Priority())
-	} else if res, ok := s.cache.get(j.key); ok {
+	case hit != nil:
 		s.rec.Count("serve.cache.hits", 1)
-		hit = res
-	} else {
+	case flightHit != nil:
 		s.rec.Count("serve.cache.misses", 1)
-		if fl, ok := s.flights[j.key]; ok {
-			j.mu.Lock()
-			j.coalesced = true
-			j.mu.Unlock()
-			fl.followers = append(fl.followers, j)
-			s.rec.Count("serve.coalesced", 1)
-		} else {
-			s.flights[j.key] = &flight{leader: j}
-			heap.Push(&s.queue, j)
-			s.cond.Signal()
-			s.maybePreemptLocked(j.Priority())
-		}
+		j.mu.Lock()
+		j.coalesced = true
+		j.mu.Unlock()
+		flightHit.followers = append(flightHit.followers, j)
+		s.rec.Count("serve.coalesced", 1)
+	default:
+		s.rec.Count("serve.cache.misses", 1)
+		s.flights[j.key] = &flight{leader: j}
+		heap.Push(&s.queue, j)
+		s.cond.Signal()
+		s.maybePreemptLocked(j.Priority())
 	}
 	s.updateGaugesLocked()
 	s.mu.Unlock()
@@ -250,6 +365,33 @@ func (s *Scheduler) Submit(spec Spec) (*Job, error) {
 		s.persist(j)
 	}
 	return j, nil
+}
+
+// admitQueuedLocked applies the queue-slot admission limits: brownout
+// level 2 sheds new submissions, a full queue refuses them with the
+// drain-rate Retry-After.
+func (s *Scheduler) admitQueuedLocked() *AdmissionError {
+	if s.brownout >= brownoutShedSubmits {
+		s.rec.Count("serve.rejected", 1)
+		s.rec.Count("serve.rejected.brownout", 1)
+		return &AdmissionError{
+			Status:     503,
+			Detail:     fmt.Sprintf("brownout level %d, placements are shedding arrivals", s.brownout),
+			RetryAfter: s.retryAfterLocked(),
+			err:        ErrBrownout,
+		}
+	}
+	if s.opt.QueueLimit > 0 && s.queue.Len() >= s.opt.QueueLimit {
+		s.rec.Count("serve.rejected", 1)
+		s.rec.Count("serve.rejected.queue", 1)
+		return &AdmissionError{
+			Status:     429,
+			Detail:     fmt.Sprintf("queue at its bound of %d", s.opt.QueueLimit),
+			RetryAfter: s.retryAfterLocked(),
+			err:        ErrQueueFull,
+		}
+	}
+	return nil
 }
 
 // installContext wires the job's cancellation (and deadline, measured
@@ -389,19 +531,45 @@ func (s *Scheduler) next() *Job {
 		if s.shutdown {
 			return nil
 		}
-		for s.queue.Len() > 0 {
-			j := heap.Pop(&s.queue).(*Job)
-			if j.State() != StateQueued {
-				continue
-			}
-			s.running[j.ID] = j
-			s.updateGaugesLocked()
+		if j := s.claimLocked(); j != nil {
 			return j
 		}
 		s.idle++
 		s.cond.Wait()
 		s.idle--
 	}
+}
+
+// claimLocked pops the best-priority queued job whose predicted memory
+// footprint fits next to the running set, commits its footprint, and
+// moves it to running. Jobs that do not fit stay queued (in order) and
+// raise the memory-blocked flag, which arms brownout level 1 and the
+// governor's memory preemption.
+func (s *Scheduler) claimLocked() *Job {
+	var skipped []*Job
+	var picked *Job
+	for s.queue.Len() > 0 {
+		j := heap.Pop(&s.queue).(*Job)
+		if j.State() != StateQueued {
+			continue
+		}
+		if !s.fitsLocked(j) {
+			skipped = append(skipped, j)
+			continue
+		}
+		picked = j
+		break
+	}
+	for _, sj := range skipped {
+		heap.Push(&s.queue, sj)
+	}
+	s.memBlocked = picked == nil && len(skipped) > 0
+	if picked != nil {
+		s.running[picked.ID] = picked
+		s.committed += picked.est.PeakBytes
+	}
+	s.updateGaugesLocked()
+	return picked
 }
 
 // runJob executes one placement attempt: resume from the job's checkpoint
@@ -414,14 +582,47 @@ func (s *Scheduler) runJob(j *Job) {
 		s.release(j)
 		return
 	}
+	// Each attempt runs under its own context so the watchdog can cancel
+	// a stalled attempt without killing the job: the job's context (user
+	// cancel, deadline) stays authoritative through the parent.
+	actx, acancel := j.beginAttempt()
+	defer acancel()
 	j.setState(StateRunning)
 	s.persist(j)
 	rec := obs.New(jobSink{j})
+	rec.SetProgress(func(string) { j.beat() })
 	cfg := j.cfg
 	cfg.Obs = rec
 	cfg.Workers = s.opt.JobWorkers
-	cfg.Checkpoint = placer.Checkpoint{Dir: j.ckptDir()}
-	cfg.Preempt = j.preempt.Load
+	s.mu.Lock()
+	ckptOn := !s.lowDisk
+	s.mu.Unlock()
+	if ckptOn {
+		cfg.Checkpoint = placer.Checkpoint{Dir: j.ckptDir()}
+	} else {
+		// Low disk: run without snapshots (and therefore without
+		// preemptibility) rather than risk filling the disk mid-write.
+		s.rec.Count("serve.ckpt.disabled", 1)
+	}
+	j.setCkptEnabled(ckptOn)
+	stall := func() {
+		if stallFault.Check() != nil {
+			// Injected stall: stop making progress until the watchdog (or a
+			// cancel/shutdown) ends the attempt.
+			s.rec.Count("serve.stalls", 1)
+			<-actx.Done()
+		}
+	}
+	// The stall site fires here (a wedge before any level completes — the
+	// path that accumulates strikes toward JobStuck, since completed levels
+	// reset them) and at every level boundary via the preempt poll (a wedge
+	// mid-run, where the completed level's snapshot makes the requeue
+	// resumable).
+	stall()
+	cfg.Preempt = func() bool {
+		stall()
+		return j.preempt.Load()
+	}
 	s.rec.Count("serve.placements", 1)
 
 	j.mu.Lock()
@@ -430,7 +631,7 @@ func (s *Scheduler) runJob(j *Job) {
 	var rep *placer.Report
 	var err error
 	if resume {
-		rep, err = placer.Resume(j.ctx, j.n, j.ckptDir(), cfg)
+		rep, err = placer.Resume(actx, j.n, j.ckptDir(), cfg)
 		var re *placer.ResumeError
 		if errors.As(err, &re) {
 			// No usable snapshot (all generations torn, or the directory
@@ -438,13 +639,13 @@ func (s *Scheduler) runJob(j *Job) {
 			// fresh result bit-identical to the resumed one.
 			s.rec.Count("serve.resume.fallbacks", 1)
 			j.restoreStart()
-			rep, err = placer.PlaceCtx(j.ctx, j.n, cfg)
+			rep, err = placer.PlaceCtx(actx, j.n, cfg)
 		} else if err == nil || errors.Is(err, placer.ErrPreempted) {
 			s.rec.Count("serve.resumes", 1)
 		}
 	} else {
 		j.restoreStart()
-		rep, err = placer.PlaceCtx(j.ctx, j.n, cfg)
+		rep, err = placer.PlaceCtx(actx, j.n, cfg)
 	}
 	rec.Flush()
 
@@ -458,6 +659,11 @@ func (s *Scheduler) runJob(j *Job) {
 		s.requeuePreempted(j)
 	case j.ctx.Err() != nil && errors.Is(err, j.ctx.Err()):
 		s.finishInterrupted(j)
+	case actx.Err() != nil:
+		// Only the attempt was canceled: the watchdog struck a stalled
+		// run. Requeue through the checkpoint path or, past the strike
+		// budget, fail terminally.
+		s.watchdogRequeue(j)
 	default:
 		s.release(j)
 		s.failFlight(j, err.Error())
@@ -467,9 +673,24 @@ func (s *Scheduler) runJob(j *Job) {
 // release drops the job from the running set.
 func (s *Scheduler) release(j *Job) {
 	s.mu.Lock()
-	delete(s.running, j.ID)
+	s.releaseRunningLocked(j)
 	s.updateGaugesLocked()
 	s.mu.Unlock()
+}
+
+// releaseRunningLocked removes j from the running set and returns its
+// committed memory. The broadcast wakes every idle worker: the freed
+// headroom may unblock several memory-gated queued jobs at once.
+func (s *Scheduler) releaseRunningLocked(j *Job) {
+	if _, ok := s.running[j.ID]; !ok {
+		return
+	}
+	delete(s.running, j.ID)
+	s.committed -= j.est.PeakBytes
+	if s.committed < 0 {
+		s.committed = 0
+	}
+	s.cond.Broadcast()
 }
 
 // buildResult captures the final (bit-exact) positions and report.
@@ -566,7 +787,7 @@ func (s *Scheduler) requeuePreempted(j *Job) {
 	j.mu.Unlock()
 	s.rec.Count("serve.preemptions", 1)
 	s.mu.Lock()
-	delete(s.running, j.ID)
+	s.releaseRunningLocked(j)
 	heap.Push(&s.queue, j)
 	s.cond.Signal()
 	s.updateGaugesLocked()
@@ -630,6 +851,7 @@ func (s *Scheduler) finishDone(j *Job, res *Result) {
 	j.mu.Unlock()
 	j.setState(StateDone)
 	s.rec.Count("serve.done", 1)
+	s.noteDone()
 	s.persist(j)
 	s.cleanupCkpt(j)
 }
@@ -641,6 +863,7 @@ func (s *Scheduler) finishFailed(j *Job, msg string) {
 	j.mu.Unlock()
 	j.setState(StateFailed)
 	s.rec.Count("serve.failed", 1)
+	s.noteDone()
 	s.persist(j)
 	s.cleanupCkpt(j)
 }
@@ -680,8 +903,16 @@ func (s *Scheduler) Shutdown(ctx context.Context) error {
 		s.wg.Wait()
 		close(done)
 	}()
+	// The governor outlives the drain on purpose: a stalled attempt
+	// (serve.stall, wedged solver) only unblocks when the watchdog cancels
+	// it, so stopping the governor first could deadlock the drain.
+	stopGovernor := func() {
+		s.stop.Do(func() { close(s.quit) })
+		s.gwg.Wait()
+	}
 	select {
 	case <-done:
+		stopGovernor()
 		return nil
 	case <-ctx.Done():
 		s.mu.Lock()
@@ -694,6 +925,7 @@ func (s *Scheduler) Shutdown(ctx context.Context) error {
 			j.cancel()
 		}
 		<-done
+		stopGovernor()
 		return fmt.Errorf("serve: drain deadline exceeded, %d running jobs hard-canceled (resumable from their last level snapshot): %w",
 			len(still), ctx.Err())
 	}
@@ -710,6 +942,34 @@ type Stats struct {
 	// CacheEntries is the current LRU population, Workers the pool size.
 	CacheEntries int `json:"cache_entries"`
 	Workers      int `json:"workers"`
+	// Governance is the resource-governance snapshot (see govern.go).
+	Governance GovStats `json:"governance"`
+}
+
+// GovStats is the governance section of /stats: the brownout/watermark
+// state an operator (or load balancer) steers by.
+type GovStats struct {
+	// Brownout is the current ladder level (0 off, 1 shed renders, 2 shed
+	// submissions), BrownoutMode its name.
+	Brownout     int    `json:"brownout"`
+	BrownoutMode string `json:"brownout_mode"`
+	// MemBudgetBytes/MemCommittedBytes are the budget and the running
+	// jobs' predicted peaks; MemMeasuredBytes the last sampled heap.
+	MemBudgetBytes    int64 `json:"mem_budget_bytes"`
+	MemCommittedBytes int64 `json:"mem_committed_bytes"`
+	MemMeasuredBytes  int64 `json:"mem_measured_bytes"`
+	// MemBlocked reports a queued job waiting on memory headroom.
+	MemBlocked bool `json:"mem_blocked"`
+	// QueueLimit/QueueDepth are the admission bound and current depth.
+	QueueLimit int `json:"queue_limit"`
+	QueueDepth int `json:"queue_depth"`
+	// LowDisk reports checkpointing disabled by the free-space watermark.
+	LowDisk bool `json:"low_disk"`
+	// RetryAfterS is the current backoff hint a rejected client would get.
+	RetryAfterS float64 `json:"retry_after_s"`
+	// Degradations lists the recorded governance degradation events
+	// (brownout transitions, disk watermarks, watchdog strikes).
+	Degradations []string `json:"degradations,omitempty"`
 }
 
 // Stats returns a consistent snapshot of the scheduler's metrics.
@@ -721,15 +981,68 @@ func (s *Scheduler) Stats() Stats {
 		CacheEntries: s.cache.len(),
 		Workers:      s.opt.Workers,
 	}
+	s.mu.Lock()
+	st.Governance = GovStats{
+		Brownout:          s.brownout,
+		BrownoutMode:      brownoutName(s.brownout),
+		MemBudgetBytes:    s.opt.MemBudget,
+		MemCommittedBytes: s.committed,
+		MemMeasuredBytes:  s.measured,
+		MemBlocked:        s.memBlocked,
+		QueueLimit:        s.opt.QueueLimit,
+		QueueDepth:        s.queue.Len(),
+		LowDisk:           s.lowDisk,
+		RetryAfterS:       s.retryAfterLocked().Seconds(),
+	}
+	s.mu.Unlock()
+	for _, ev := range s.dl.Events() {
+		st.Governance.Degradations = append(st.Governance.Degradations, ev.String())
+	}
 	for _, j := range s.Jobs() {
 		st.Jobs[string(j.State())]++
 	}
 	return st
 }
 
+// Readiness is the /readyz view: whether the service should receive new
+// traffic, and if not, why and when to retry.
+type Readiness struct {
+	Ready       bool    `json:"ready"`
+	Reason      string  `json:"reason,omitempty"`
+	RetryAfterS float64 `json:"retry_after_s,omitempty"`
+}
+
+// Readiness reports whether the scheduler should receive new traffic:
+// not while draining, in brownout, or with a saturated queue. Liveness
+// (/healthz) is separate and never degrades — the process is alive even
+// when it is shedding.
+func (s *Scheduler) Readiness() Readiness {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.shutdown:
+		return Readiness{Reason: "draining"}
+	case s.brownout > brownoutOff:
+		return Readiness{Reason: "brownout", RetryAfterS: s.retryAfterLocked().Seconds()}
+	case s.opt.QueueLimit > 0 && s.queue.Len() >= s.opt.QueueLimit:
+		return Readiness{Reason: "queue_saturated", RetryAfterS: s.retryAfterLocked().Seconds()}
+	default:
+		return Readiness{Ready: true}
+	}
+}
+
 func (s *Scheduler) updateGaugesLocked() {
+	s.recomputeGovLocked()
 	s.rec.Gauge("serve.queue.depth", float64(s.queue.Len()))
 	s.rec.Gauge("serve.running", float64(len(s.running)))
+	s.rec.Gauge("serve.jobs.known", float64(len(s.jobs)))
+	s.rec.Gauge("serve.mem.committed", float64(s.committed))
+	s.rec.Gauge("serve.brownout", float64(s.brownout))
+	blocked := 0.0
+	if s.memBlocked {
+		blocked = 1
+	}
+	s.rec.Gauge("serve.queue.blocked", blocked)
 }
 
 // jobFile is the persisted form of a job (StateDir/jobs/<id>/job.json),

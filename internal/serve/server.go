@@ -26,7 +26,14 @@ import (
 //	                         "xbits ybits" hex float64 lines (bit-exact)
 //	GET  /jobs/{id}/svg      render the finished placement
 //	GET  /stats              scheduler counters, gauges and job states
-//	GET  /healthz            liveness probe
+//	GET  /healthz            liveness probe (never degrades)
+//	GET  /readyz             readiness probe: 503 while draining, in
+//	                         brownout, or with a saturated queue
+//
+// Every error response is one structured envelope: {code, reason,
+// retry_after_s?}, with a matching Retry-After header on retryable
+// rejections. Under brownout the render endpoints (events, svg) shed
+// first with 503s; placements are never shed once accepted.
 type Server struct {
 	s   *Scheduler
 	mux *http.ServeMux
@@ -44,6 +51,7 @@ func NewServer(sched *Scheduler) *Server {
 	sv.mux.HandleFunc("GET /jobs/{id}/svg", sv.svg)
 	sv.mux.HandleFunc("GET /stats", sv.stats)
 	sv.mux.HandleFunc("GET /healthz", sv.healthz)
+	sv.mux.HandleFunc("GET /readyz", sv.readyz)
 	return sv
 }
 
@@ -51,9 +59,14 @@ func (sv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	sv.mux.ServeHTTP(w, r)
 }
 
-// apiError is the JSON error envelope.
+// apiError is the structured JSON error envelope every handler returns:
+// a stable machine-readable code, the human-readable reason, and — for
+// retryable conditions — the server's backoff hint in seconds (also sent
+// as a Retry-After header).
 type apiError struct {
-	Error string `json:"error"`
+	Code        string  `json:"code"`
+	Reason      string  `json:"reason"`
+	RetryAfterS float64 `json:"retry_after_s,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -66,22 +79,53 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, apiError{Error: err.Error()})
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeErrorRetry(w, status, code, err, 0)
 }
 
-// submitCode maps a Submit error to its HTTP status: client mistakes are
-// 400s, admission pressure and shutdown are 503s.
-func submitCode(err error) int {
+// writeErrorRetry emits the error envelope; a positive ra adds the
+// Retry-After header (whole seconds, rounded up) and retry_after_s field.
+func writeErrorRetry(w http.ResponseWriter, status int, code string, err error, ra time.Duration) {
+	env := apiError{Code: code, Reason: err.Error()}
+	if ra > 0 {
+		secs := int64(math.Ceil(ra.Seconds()))
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		env.RetryAfterS = float64(secs)
+	}
+	writeJSON(w, status, env)
+}
+
+// writeSubmitError maps a Submit error onto the envelope: admission
+// rejections carry their own status (429/503) and Retry-After, client
+// mistakes are 400s, shutdown and injected faults 503s.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	var ae *AdmissionError
 	var se *SpecError
 	switch {
+	case errors.As(err, &ae):
+		writeErrorRetry(w, ae.Status, ae.Code(), err, ae.RetryAfter)
 	case errors.As(err, &se):
-		return http.StatusBadRequest
-	case errors.Is(err, ErrShuttingDown), errors.Is(err, faultsim.ErrInjected):
-		return http.StatusServiceUnavailable
+		writeError(w, http.StatusBadRequest, "bad_spec", err)
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, "shutting_down", err)
+	case errors.Is(err, faultsim.ErrInjected):
+		writeError(w, http.StatusServiceUnavailable, "injected", err)
 	default:
-		return http.StatusBadRequest
+		writeError(w, http.StatusBadRequest, "bad_spec", err)
 	}
+}
+
+// shedRender answers true (and a 503) when the brownout ladder says
+// render/stream endpoints must shed: they are the cheap load to drop and
+// the result stays available once the pressure clears.
+func (sv *Server) shedRender(w http.ResponseWriter) bool {
+	lvl, ra := sv.s.brownoutState()
+	if lvl < brownoutShedRenders {
+		return false
+	}
+	writeErrorRetry(w, http.StatusServiceUnavailable, "brownout",
+		fmt.Errorf("serve: brownout level %d (%s), render endpoints are shedding", lvl, brownoutName(lvl)), ra)
+	return true
 }
 
 func (sv *Server) submit(w http.ResponseWriter, r *http.Request) {
@@ -89,12 +133,12 @@ func (sv *Server) submit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
+		writeError(w, http.StatusBadRequest, "bad_spec", fmt.Errorf("decoding spec: %w", err))
 		return
 	}
 	j, err := sv.s.Submit(spec)
 	if err != nil {
-		writeError(w, submitCode(err), err)
+		writeSubmitError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, j.Status())
@@ -109,11 +153,12 @@ func (sv *Server) list(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// job resolves the {id} path value, answering 404 itself when unknown.
+// job resolves the {id} path value, answering 404 itself when unknown
+// (including jobs the disk governor has since garbage-collected).
 func (sv *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 	j, ok := sv.s.Job(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("%w: %s", ErrUnknownJob, r.PathValue("id")))
+		writeError(w, http.StatusNotFound, "unknown_job", fmt.Errorf("%w: %s", ErrUnknownJob, r.PathValue("id")))
 	}
 	return j, ok
 }
@@ -130,7 +175,7 @@ func (sv *Server) cancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := sv.s.Cancel(j.ID); err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, http.StatusNotFound, "unknown_job", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, j.Status())
@@ -141,6 +186,9 @@ func (sv *Server) cancel(w http.ResponseWriter, r *http.Request) {
 // default ("event: <type>", JSON data), plain JSON lines with
 // ?format=jsonl.
 func (sv *Server) events(w http.ResponseWriter, r *http.Request) {
+	if sv.shedRender(w) {
+		return
+	}
 	j, ok := sv.job(w, r)
 	if !ok {
 		return
@@ -199,11 +247,12 @@ func (sv *Server) events(w http.ResponseWriter, r *http.Request) {
 func (sv *Server) resultOf(w http.ResponseWriter, j *Job) (*Result, bool) {
 	res, err := j.Result()
 	if err != nil {
-		code := http.StatusConflict // terminal without result
 		if !j.State().Terminal() {
-			code = http.StatusAccepted // still queued/running: retry later
+			// Still queued/running: retry later.
+			writeErrorRetry(w, http.StatusAccepted, "pending", err, time.Second)
+		} else {
+			writeError(w, http.StatusConflict, "no_result", err)
 		}
-		writeError(w, code, err)
 		return nil, false
 	}
 	return res, true
@@ -257,6 +306,9 @@ func (sv *Server) result(w http.ResponseWriter, r *http.Request) {
 }
 
 func (sv *Server) svg(w http.ResponseWriter, r *http.Request) {
+	if sv.shedRender(w) {
+		return
+	}
 	j, ok := sv.job(w, r)
 	if !ok {
 		return
@@ -267,7 +319,7 @@ func (sv *Server) svg(w http.ResponseWriter, r *http.Request) {
 	}
 	if j.n == nil {
 		// A job recovered in a terminal state has no instance loaded.
-		writeError(w, http.StatusConflict, fmt.Errorf("serve: job %s predates this process; no geometry retained", j.ID))
+		writeError(w, http.StatusConflict, "no_geometry", fmt.Errorf("serve: job %s predates this process; no geometry retained", j.ID))
 		return
 	}
 	// Render from the result's positions: the job's netlist may since have
@@ -291,4 +343,19 @@ func (sv *Server) healthz(w http.ResponseWriter, _ *http.Request) {
 	if _, err := w.Write([]byte("ok " + strconv.FormatInt(time.Now().Unix(), 10) + "\n")); err != nil {
 		return
 	}
+}
+
+// readyz is the readiness probe: 200 while the service should receive
+// traffic, 503 (with the reason and a Retry-After) while draining, in
+// brownout, or with a saturated queue. Liveness stays on /healthz.
+func (sv *Server) readyz(w http.ResponseWriter, _ *http.Request) {
+	rd := sv.s.Readiness()
+	if rd.Ready {
+		writeJSON(w, http.StatusOK, rd)
+		return
+	}
+	if rd.RetryAfterS > 0 {
+		w.Header().Set("Retry-After", strconv.FormatInt(int64(math.Ceil(rd.RetryAfterS)), 10))
+	}
+	writeJSON(w, http.StatusServiceUnavailable, rd)
 }

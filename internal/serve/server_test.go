@@ -61,6 +61,28 @@ func submitHTTP(t *testing.T, base, body string) Status {
 	return st
 }
 
+// waitState polls the scheduler directly until the job reaches want (or a
+// terminal state, which fails the wait if it is not the wanted one).
+func waitState(t *testing.T, s *Scheduler, id string, want State, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		j, ok := s.Job(id)
+		if !ok {
+			t.Fatalf("job %s unknown while waiting for %s", id, want)
+		}
+		st := j.State()
+		if st == want {
+			return
+		}
+		if st.Terminal() {
+			t.Fatalf("job %s reached %s while waiting for %s", id, st, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s not %s within %v", id, want, timeout)
+}
+
 func pollDone(t *testing.T, base, id string, timeout time.Duration) Status {
 	t.Helper()
 	deadline := time.Now().Add(timeout)
@@ -264,9 +286,135 @@ func TestHTTPResultBeforeDone(t *testing.T) {
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("early result fetch: %d (%s), want 202 retry-later", resp.StatusCode, data)
 	}
-	var ae apiError
-	if err := json.Unmarshal(data, &ae); err != nil || ae.Error == "" {
-		t.Fatalf("error envelope: %v %q", err, data)
+	ae := decodeEnvelope(t, data)
+	if ae.Code != "pending" || ae.Reason == "" || ae.RetryAfterS <= 0 {
+		t.Fatalf("202 envelope: %+v", ae)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("202 pending without a Retry-After header")
 	}
 	pollDone(t, ts.URL, filler.ID, 120*time.Second)
+}
+
+// decodeEnvelope asserts the one structured error shape every handler
+// returns: {code, reason, retry_after_s?} and nothing else.
+func decodeEnvelope(t *testing.T, data []byte) apiError {
+	t.Helper()
+	var ae apiError
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ae); err != nil {
+		t.Fatalf("error envelope: %v %q", err, data)
+	}
+	if ae.Code == "" || ae.Reason == "" {
+		t.Fatalf("envelope missing code or reason: %q", data)
+	}
+	return ae
+}
+
+// TestHTTPErrorEnvelope walks every error-producing handler and checks the
+// single structured envelope shape (and its stable codes) on each.
+func TestHTTPErrorEnvelope(t *testing.T) {
+	_, ts := testServer(t)
+	cases := []struct {
+		name, method, path, body string
+		status                   int
+		code                     string
+	}{
+		{"unknown job", "GET", "/jobs/nope", "", http.StatusNotFound, "unknown_job"},
+		{"unknown job result", "GET", "/jobs/nope/result", "", http.StatusNotFound, "unknown_job"},
+		{"unknown job svg", "GET", "/jobs/nope/svg", "", http.StatusNotFound, "unknown_job"},
+		{"unknown job cancel", "POST", "/jobs/nope/cancel", "", http.StatusNotFound, "unknown_job"},
+		{"bad spec field", "POST", "/jobs", `{"bogus_field":1}`, http.StatusBadRequest, "bad_spec"},
+		{"bad spec mode", "POST", "/jobs", `{"knobs":{"mode":"annealing"},"chip":{"NumCells":10}}`, http.StatusBadRequest, "bad_spec"},
+	}
+	for _, tc := range cases {
+		var resp *http.Response
+		var data []byte
+		if tc.method == "GET" {
+			resp, data = getBody(t, ts.URL+tc.path)
+		} else {
+			resp, data = postJSON(t, ts.URL+tc.path, tc.body)
+		}
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.status, data)
+			continue
+		}
+		if ae := decodeEnvelope(t, data); ae.Code != tc.code {
+			t.Errorf("%s: code %q, want %q", tc.name, ae.Code, tc.code)
+		}
+	}
+}
+
+// TestHTTPReadyzAndAdmission saturates a tiny queue over HTTP: readyz
+// flips to 503 with a reason and Retry-After, and the refused submission
+// carries the queue_full envelope. healthz stays a pure liveness 200
+// throughout.
+func TestHTTPReadyzAndAdmission(t *testing.T) {
+	s := testSched(t, Options{Workers: 1, QueueLimit: 1, CacheEntries: -1})
+	ts := httptest.NewServer(NewServer(s))
+	t.Cleanup(ts.Close)
+
+	if resp, data := getBody(t, ts.URL+"/readyz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("idle readyz: %d %s", resp.StatusCode, data)
+	}
+
+	// One running + one queued fills the QueueLimit=1 queue. Wait for the
+	// worker to claim the first job so the second lands in the queue, not
+	// in a rejection.
+	running := submitHTTP(t, ts.URL, `{"chip":{"NumCells":2000,"Seed":9},"knobs":{"max_levels":4}}`)
+	waitState(t, s, running.ID, StateRunning, 30*time.Second)
+	queued := submitHTTP(t, ts.URL, `{"chip":{"NumCells":2000,"Seed":10},"knobs":{"max_levels":4}}`)
+
+	resp, data := postJSON(t, ts.URL+"/jobs", `{"chip":{"NumCells":400,"Seed":11}}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-bound submit: %d (%s), want 429", resp.StatusCode, data)
+	}
+	ae := decodeEnvelope(t, data)
+	if ae.Code != "queue_full" || ae.RetryAfterS <= 0 {
+		t.Fatalf("queue_full envelope: %+v", ae)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without a Retry-After header")
+	}
+
+	resp, data = getBody(t, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated readyz: %d %s, want 503", resp.StatusCode, data)
+	}
+	var rd Readiness
+	if err := json.Unmarshal(data, &rd); err != nil {
+		t.Fatal(err)
+	}
+	if rd.Ready || rd.Reason != "queue_saturated" {
+		t.Fatalf("readiness: %+v", rd)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("unready readyz without a Retry-After header")
+	}
+
+	// Liveness never degrades with load.
+	if resp, body := getBody(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK || !bytes.HasPrefix(body, []byte("ok")) {
+		t.Fatalf("healthz under saturation: %d %q", resp.StatusCode, body)
+	}
+
+	// /stats carries the governance snapshot the operator steers by.
+	resp, data = getBody(t, ts.URL+"/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %d", resp.StatusCode)
+	}
+	var stats Stats
+	if err := json.Unmarshal(data, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Governance.QueueLimit != 1 || stats.Governance.QueueDepth != 1 ||
+		stats.Governance.MemBudgetBytes == 0 || stats.Governance.BrownoutMode == "" {
+		t.Fatalf("governance stats: %+v", stats.Governance)
+	}
+
+	pollDone(t, ts.URL, running.ID, 120*time.Second)
+	pollDone(t, ts.URL, queued.ID, 120*time.Second)
+	if resp, _ := getBody(t, ts.URL+"/readyz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-drain readyz: %d, want 200", resp.StatusCode)
+	}
 }

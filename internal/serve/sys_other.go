@@ -1,0 +1,9 @@
+//go:build !linux
+
+package serve
+
+// memAvailable is unsupported off Linux; the budget default falls back.
+func memAvailable() int64 { return 0 }
+
+// diskFree is unsupported off Linux; low-disk degradation never engages.
+func diskFree(string) (int64, bool) { return 0, false }
