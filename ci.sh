@@ -52,6 +52,16 @@ echo "== benchmark smoke =="
 # change that breaks or pathologically slows them fails CI fast.
 go test -timeout 10m -run '^$' -bench 'BenchmarkSolveSubsetBlock|BenchmarkRealizeLevel' -benchtime 1x ./internal/qp/ ./internal/fbp/
 
+echo "== bench regression gate =="
+# The committed Table-I baseline (cmd/fbpbench -table 1 -bench-out) must
+# not regress more than 10% wall clock against the PR 4 reference. A
+# session that regenerates the BENCH file with a slower transport or
+# realization path fails here; regenerate with
+#   go run ./cmd/fbpbench -table 1 -bench-out BENCH_pr9.json
+# on an otherwise idle machine before committing. See README
+# "Performance" and cmd/benchgate.
+go run ./cmd/benchgate -base BENCH_pr4.json -new BENCH_pr9.json -table 1 -max-regress 0.10
+
 echo "== fault injection suite =="
 # Robustness gate: arm every faultsim injection point and prove the
 # pipeline degrades or fails structurally (no panics, no goroutine

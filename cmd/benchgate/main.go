@@ -1,0 +1,90 @@
+// benchgate compares two fbpbench baselines (cmd/fbpbench -bench-out)
+// and fails when the candidate's wall clock regresses past a bound, so a
+// transport or realization slowdown fails CI instead of landing
+// silently.
+//
+//	benchgate -base BENCH_pr4.json -new BENCH_pr9.json -max-regress 0.10
+//
+// For a level-sweep table (Table I) the wall clock is the sum of
+// flow_ms + realize_ms over all levels; for a chip table it is the sum
+// of global_ms + legal_ms. Speedups always pass; only slowdowns beyond
+// -max-regress fail.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fbplace/internal/exp"
+)
+
+func main() {
+	base := flag.String("base", "", "baseline bench JSON (required)")
+	cand := flag.String("new", "", "candidate bench JSON (required)")
+	table := flag.String("table", "1", "table key to compare")
+	maxRegress := flag.Float64("max-regress", 0.10, "allowed fractional wall-clock regression")
+	flag.Parse()
+	if *base == "" || *cand == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchgate -base OLD.json -new NEW.json [-table 1] [-max-regress 0.10]")
+		os.Exit(2)
+	}
+
+	bt, err := loadTable(*base, *table)
+	if err != nil {
+		fatal(err)
+	}
+	ct, err := loadTable(*cand, *table)
+	if err != nil {
+		fatal(err)
+	}
+
+	bw, cw := wall(bt), wall(ct)
+	if bw <= 0 {
+		fatal(fmt.Errorf("baseline table %q has no wall-clock data", *table))
+	}
+	if len(bt.Levels) > 0 && len(bt.Levels) == len(ct.Levels) {
+		for i := range bt.Levels {
+			b, c := bt.Levels[i], ct.Levels[i]
+			fmt.Printf("level %d (%4d windows): flow %9.1f -> %9.1f ms, realize %9.1f -> %9.1f ms\n",
+				i, c.Windows, b.FlowMS, c.FlowMS, b.RealizeMS, c.RealizeMS)
+		}
+	}
+	ratio := cw/bw - 1
+	fmt.Printf("table %s wall: %.1f ms -> %.1f ms (%+.1f%%, bound +%.0f%%)\n",
+		*table, bw, cw, 100*ratio, 100**maxRegress)
+	if cw > bw*(1+*maxRegress) {
+		fatal(fmt.Errorf("wall clock regressed %.1f%%, more than the allowed %.0f%%",
+			100*ratio, 100**maxRegress))
+	}
+	fmt.Println("benchgate OK")
+}
+
+func loadTable(path, key string) (exp.BenchTable, error) {
+	rec, err := exp.ReadBench(path)
+	if err != nil {
+		return exp.BenchTable{}, err
+	}
+	t, ok := rec.Tables[key]
+	if !ok {
+		return t, fmt.Errorf("%s has no table %q", path, key)
+	}
+	return t, nil
+}
+
+// wall is the table's comparable wall clock in milliseconds.
+func wall(t exp.BenchTable) float64 {
+	if len(t.Levels) > 0 {
+		sum := 0.0
+		for _, l := range t.Levels {
+			sum += l.FlowMS + l.RealizeMS
+		}
+		return sum
+	}
+	return t.GlobalMS + t.LegalMS
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

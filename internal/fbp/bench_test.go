@@ -35,11 +35,23 @@ func benchInstance(numCells, nx, ny int) (*netlist.Netlist, *grid.WindowRegions)
 // + repair) of a solved FBP model, the hot path of every placement level.
 // The MCF model build and solve run outside the timer.
 func BenchmarkRealizeLevel(b *testing.B) {
-	for _, c := range []struct{ cells, nx, ny int }{
-		{2000, 8, 8},
-		{2400, 12, 12},
+	// The deep 32x32 level runs twice: "block" forces the legacy 3x3-block
+	// realization, "pair" the neighbor-pair pass (the default there), to
+	// keep the speedup of the pair pass + warm-started transports visible.
+	for _, c := range []struct {
+		cells, nx, ny int
+		mode          string
+	}{
+		{2000, 8, 8, ""},
+		{2400, 12, 12, ""},
+		{2400, 32, 32, "block"},
+		{2400, 32, 32, "pair"},
 	} {
-		b.Run(fmt.Sprintf("cells=%d/grid=%dx%d", c.cells, c.nx, c.ny), func(b *testing.B) {
+		name := fmt.Sprintf("cells=%d/grid=%dx%d", c.cells, c.nx, c.ny)
+		if c.mode != "" {
+			name += "/" + c.mode
+		}
+		b.Run(name, func(b *testing.B) {
 			base, wr := benchInstance(c.cells, c.nx, c.ny)
 			b.ReportAllocs()
 			b.ResetTimer()
@@ -52,6 +64,7 @@ func BenchmarkRealizeLevel(b *testing.B) {
 					b.Fatal(err)
 				}
 				cfg := DefaultConfig()
+				cfg.PairPass = c.mode != "block"
 				b.StartTimer()
 				if _, err := Realize(m, cfg); err != nil {
 					b.Fatal(err)

@@ -62,11 +62,30 @@ type Config struct {
 	// solution). The fallbacks themselves are always on; the log only
 	// makes them visible.
 	Degrade *degrade.Log
+	// PairPass enables the neighbor-pair reoptimization at deep levels:
+	// once the grid has at least PairPassMinWindows windows, a wave unit
+	// realizes its outgoing flow one neighbor window at a time with tiny
+	// two-window transportations instead of one 3x3-block problem whose
+	// size is dominated by neighbors the unit does not even ship to.
+	// Results differ from the block path (both are valid realizations of
+	// the same MCF solution) but stay deterministic across worker counts.
+	// Default true via DefaultConfig.
+	PairPass bool
+	// PairPassMinWindows is the window-count threshold that activates the
+	// pair pass; 0 means 256 (grids of 16x16 and finer).
+	PairPassMinWindows int
+	// ParallelWindows unlocks the scheduling-dependent fast paths of the
+	// realization transport: speculative per-window splitting of block
+	// transportations with first-in-order merging, and cross-unit
+	// warm-start basis reuse from the per-worker scratch. Off by default:
+	// with the flag on, results remain capacity-feasible and within noise
+	// on quality, but are no longer bit-identical to the default mode.
+	ParallelWindows bool
 }
 
 // DefaultConfig returns the configuration used by the placer.
 func DefaultConfig() Config {
-	return Config{LocalQP: true}
+	return Config{LocalQP: true, PairPass: true}
 }
 
 // Stats reports instance sizes and phase runtimes (paper Table I).

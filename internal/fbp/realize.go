@@ -115,6 +115,11 @@ type realizer struct {
 	outgoing [][]int32
 	incoming [][]int32
 
+	// pairMode is set when the pair pass is active for this run (the flag
+	// is on and the grid is at least Config.PairPassMinWindows windows):
+	// wave units realize per neighbor pair instead of per 3x3 block.
+	pairMode bool
+
 	waves int
 
 	// scratch is the free list of per-worker reusable buffers. Entries
@@ -151,6 +156,18 @@ type workerScratch struct {
 	// per-call map that filtered window cell lists.
 	present      []uint32
 	presentEpoch uint32
+	// cellBuf is the reusable cell-collection buffer of the realization
+	// steps. It is owned by the scratch, never by a window list, so the
+	// apply phase of transportBlock may rewrite the window lists while
+	// iterating it.
+	cellBuf []int32
+	// lastBasis is the spanning-tree basis of this worker's most recent
+	// network-simplex transportation, kept for opportunistic cross-unit
+	// warm starts (Config.ParallelWindows only — which unit a worker sees
+	// next depends on scheduling). SolveNS revalidates the basis against
+	// the instance signature, so a stale basis just degrades to a cold
+	// start.
+	lastBasis *flow.Basis
 }
 
 // getScratch borrows a worker scratch from the free list, materializing it
@@ -263,6 +280,11 @@ func Realize(m *Model, cfg Config) (*Result, error) {
 		outgoing:      make([][]int32, m.Classes*W),
 		incoming:      make([][]int32, m.Classes*W),
 	}
+	pairMin := cfg.PairPassMinWindows
+	if pairMin <= 0 {
+		pairMin = 256
+	}
+	r.pairMode = cfg.PairPass && W >= pairMin
 	maxWorkers := cfg.Workers
 	if maxWorkers <= 0 {
 		maxWorkers = runtime.GOMAXPROCS(0)
@@ -457,11 +479,20 @@ func (r *realizer) rebuildEdgeIndex() {
 }
 
 // waveSplit partitions one topological level into waves of units whose
-// 3x3 window blocks are pairwise disjoint (window Chebyshev distance > 2,
-// regardless of class — they mutate the same cell state), so each wave can
-// run fully in parallel while staying deterministic.
+// mutation footprints are pairwise disjoint (regardless of class — they
+// mutate the same cell state), so each wave can run fully in parallel
+// while staying deterministic. In block mode the footprint is the 3x3
+// block (units conflict at window Chebyshev distance <= 2); in pair mode
+// it is the window plus its 4-neighborhood, so the L1 distance decides
+// and levels split into fewer, denser waves.
 func (r *realizer) waveSplit(level []unit) [][]unit {
 	g := r.m.WR.Grid
+	conflict := func(ax, ay, bx, by int) bool {
+		if r.pairMode {
+			return abs(ax-bx)+abs(ay-by) <= 2
+		}
+		return abs(ax-bx) <= 2 && abs(ay-by) <= 2
+	}
 	var waves [][]unit
 	taken := make([]int, len(level)) // wave index per unit
 	for i := range taken {
@@ -476,7 +507,7 @@ func (r *realizer) waveSplit(level []unit) [][]unit {
 				continue
 			}
 			ox, oy := g.Coords(level[j].window)
-			if abs(ox-ix) <= 2 && abs(oy-iy) <= 2 {
+			if conflict(ox, oy, ix, iy) {
 				wave++
 				goto retry
 			}
@@ -600,6 +631,9 @@ func (r *realizer) safeRealize(u unit, snapX, snapY []float64, sc *workerScratch
 			}
 		}
 	}()
+	if r.pairMode {
+		return wrapUnitErr(u.window, "realize", r.realizeUnitPairs(u, snapX, snapY, sc))
+	}
 	return wrapUnitErr(u.window, "realize", r.realizeUnit(u, snapX, snapY, sc))
 }
 
@@ -625,17 +659,15 @@ func (r *realizer) realizeUnit(un unit, snapX, snapY []float64, sc *workerScratc
 	}
 
 	// Collect the block's cells.
-	var cells []int32
+	cells := sc.cellBuf[:0]
 	for _, w := range block {
 		cells = append(cells, r.cellsIn[w]...)
 	}
+	sc.cellBuf = cells
 	if len(cells) == 0 {
 		return nil
 	}
 	// Local QP with everything outside the block fixed (snapshot reads).
-	// The QP only steers the transportation costs, so it runs at low
-	// precision; without the caps, coarse levels would solve near-global
-	// systems to full CG tolerance once per unit.
 	if r.cfg.LocalQP {
 		subset := sc.subset[:0]
 		for _, c := range cells {
@@ -644,27 +676,139 @@ func (r *realizer) realizeUnit(un unit, snapX, snapY []float64, sc *workerScratc
 			}
 		}
 		sc.subset = subset
-		opt := r.cfg.QP
-		opt.ReadX, opt.ReadY = snapX, snapY
-		opt.Workspace = sc.qp
-		if opt.Tol == 0 {
-			opt.Tol = 1e-3
-		}
-		if opt.MaxIter == 0 {
-			opt.MaxIter = 60
-		}
-		opt.BestEffort = true
-		// Local QP effort is reported separately from the placer's
-		// top-level solves (Stats.LocalQPSolves/LocalCGIters).
-		opt.Obs = r.rec
-		opt.Stats = &r.qpStats
-		opt.Ctx = r.cfg.Ctx
-		opt.Degrade = r.cfg.Degrade
-		if err := qp.SolveSubset(r.n, subset, nil, opt); err != nil {
-			return fmt.Errorf("fbp: local QP in window %d: %w", u, err)
+		if err := r.runLocalQP(u, subset, snapX, snapY, sc); err != nil {
+			return err
 		}
 	}
 	return r.transportBlock(u, block, cells, true, sc)
+}
+
+// runLocalQP runs the low-precision connectivity QP over the given subset
+// with everything outside fixed to the wave snapshot. The QP only steers
+// the transportation costs, so it runs at low precision; without the caps,
+// coarse levels would solve near-global systems to full CG tolerance once
+// per unit.
+func (r *realizer) runLocalQP(u int, subset []netlist.CellID, snapX, snapY []float64, sc *workerScratch) error {
+	opt := r.cfg.QP
+	opt.ReadX, opt.ReadY = snapX, snapY
+	opt.Workspace = sc.qp
+	if opt.Tol == 0 {
+		opt.Tol = 1e-3
+	}
+	if opt.MaxIter == 0 {
+		opt.MaxIter = 60
+	}
+	opt.BestEffort = true
+	// Local QP effort is reported separately from the placer's
+	// top-level solves (Stats.LocalQPSolves/LocalCGIters).
+	opt.Obs = r.rec
+	opt.Stats = &r.qpStats
+	opt.Ctx = r.cfg.Ctx
+	opt.Degrade = r.cfg.Degrade
+	if err := qp.SolveSubset(r.n, subset, nil, opt); err != nil {
+		return fmt.Errorf("fbp: local QP in window %d: %w", u, err)
+	}
+	return nil
+}
+
+// realizeUnitPairs is the neighbor-pair reoptimization of realizeUnit for
+// deep levels: instead of one transportation over the full 3x3 block —
+// whose cell and sink counts are dominated by neighbors the unit does not
+// ship to — the unit's outgoing edges are realized one target window at a
+// time with tiny two-window transportations. One low-precision local QP
+// over the footprint (the unit plus its flow targets) steers all pair
+// costs.
+//
+// Pair steps preserve the feasibility invariant of Partition with
+// B = {u, to}: the realized flow fits into the target's regions plus its
+// own unrealized outgoing capacities by flow conservation at the target,
+// and windows of the same topological level never ship to each other.
+// Cells that must leave u towards a later target park at u's remaining
+// transit sinks and are picked up again by that target's pair step.
+// Targets are processed in ascending window order and each target's edge
+// flows are removed from the transit capacities exactly when its pair is
+// solved, so the pass is deterministic and realizes exactly the unit's
+// outgoing flow.
+func (r *realizer) realizeUnitPairs(un unit, snapX, snapY []float64, sc *workerScratch) error {
+	if err := unitFault.Check(); err != nil {
+		return err
+	}
+	g := r.m.WR.Grid
+	W := g.NumWindows()
+	u := un.window
+
+	// Group the unit's outgoing edges by target window. Targets are the
+	// (at most 4) grid neighbors, so a linear scan groups faster than a
+	// map and stays allocation-free after the first unit.
+	type pairTarget struct {
+		to    int
+		edges []int32
+	}
+	var targets []pairTarget
+	for _, cls := range un.classes {
+		for _, ei := range r.outgoing[cls*W+u] {
+			e := &r.m.Externals[ei]
+			found := false
+			for t := range targets {
+				if targets[t].to == e.To {
+					targets[t].edges = append(targets[t].edges, ei)
+					found = true
+					break
+				}
+			}
+			if !found {
+				targets = append(targets, pairTarget{to: e.To, edges: []int32{ei}})
+			}
+		}
+	}
+	if len(targets) == 0 {
+		return nil
+	}
+	sort.Slice(targets, func(a, b int) bool { return targets[a].to < targets[b].to })
+
+	// One footprint QP (unit + targets) replaces the per-pair QPs.
+	if r.cfg.LocalQP {
+		subset := sc.subset[:0]
+		appendWin := func(w int) {
+			for _, c := range r.cellsIn[w] {
+				if !r.parked[c] {
+					subset = append(subset, netlist.CellID(c))
+				}
+			}
+		}
+		appendWin(u)
+		for _, t := range targets {
+			appendWin(t.to)
+		}
+		sc.subset = subset
+		if len(subset) > 0 {
+			if err := r.runLocalQP(u, subset, snapX, snapY, sc); err != nil {
+				return err
+			}
+		}
+	}
+
+	var pair [2]int
+	for _, t := range targets {
+		// Mark this target's edges realized (their flow must move now).
+		for _, ei := range t.edges {
+			e := &r.m.Externals[ei]
+			r.unrealizedOut[(e.Class*W+e.From)*numDirs+e.FromDir] -= e.Flow
+		}
+		cells := sc.cellBuf[:0]
+		cells = append(cells, r.cellsIn[u]...)
+		cells = append(cells, r.cellsIn[t.to]...)
+		sc.cellBuf = cells
+		if len(cells) == 0 {
+			continue
+		}
+		pair[0], pair[1] = u, t.to
+		r.rec.Count("realize.pairpass", 1)
+		if err := r.transportBlock(u, pair[:], cells, true, sc); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // sinkInfo describes one transportation sink of a block step: a window
@@ -775,11 +919,17 @@ func (r *realizer) transportBlock(u int, block []int, cells []int32, allowTransi
 			arcs[i] = append(arcs[i], transport.Arc{Sink: si, Cost: cost})
 		}
 	}
-	sol, err := solveWithRelaxation(prob)
-	if err != nil {
-		return fmt.Errorf("fbp: transportation in block of window %d: %w", u, err)
+	var rounded []int
+	if r.cfg.ParallelWindows && allowTransit && len(block) > 1 && len(cells) >= splitMinCells {
+		rounded = r.splitSolve(prob, cells)
 	}
-	rounded := roundCapacityAware(prob, sol)
+	if rounded == nil {
+		sol, err := r.solveWithRelaxation(prob, sc)
+		if err != nil {
+			return fmt.Errorf("fbp: transportation in block of window %d: %w", u, err)
+		}
+		rounded = roundCapacityAware(prob, sol)
+	}
 	// Apply: move cells between windows, set positions and assignments.
 	// First remove all block cells from their window lists, then re-add.
 	ep := sc.markPresent(r.n.NumCells(), cells)
@@ -872,20 +1022,75 @@ func roundCapacityAware(p *transport.Problem, sol *transport.Solution) []int {
 	return out
 }
 
+// nsEngineMaxCells / nsEngineMaxSinks bound the instances eligible for the
+// warm-startable network-simplex transportation engine. Pair steps and
+// deep-level block steps fall well under these; large coarse-level blocks
+// keep the condensed engine, whose condensed-graph augmentation wins on
+// many-cells/few-sinks shapes. Eligibility depends only on the instance
+// size and the rung, so the engine choice is deterministic.
+const (
+	nsEngineMaxCells = 160
+	nsEngineMaxSinks = 96
+)
+
+// splitMinCells is the smallest block transportation worth splitting per
+// source window under Config.ParallelWindows; below it the speculative
+// solves cost more than the monolithic problem.
+const splitMinCells = 24
+
 // solveWithRelaxation retries an infeasible transportation with gently
 // inflated capacities: majority rounding of earlier steps can overfill a
 // block by a few cells' area. The inflation ladder keeps the violation
 // bounded and is recorded by the caller via Result.RoundingOverflow.
-func solveWithRelaxation(p *transport.Problem) (*transport.Solution, error) {
+//
+// Retry rungs of small instances run on the network-simplex engine, and
+// the spanning-tree basis of each rung warm-starts the next — including
+// the basis of a failed (infeasible) rung: the ladder only rescales sink
+// capacities, which enter the bipartite model as sink-node supplies, so
+// the arc structure — and with it the exported basis — is reusable as-is.
+// The first rung stays on the condensed engine, which wins when a single
+// cold solve suffices (the common case); the NS engine only pays off once
+// there is a tree to reuse. A stalled NS rung degrades to the
+// condensed/reference chain instead of failing the block. With
+// Config.ParallelWindows a basis also persists across units in the worker
+// scratch and then warm-starts the first rung (sc may be nil for
+// speculative solves, which skip that reuse).
+func (r *realizer) solveWithRelaxation(p *transport.Problem, sc *workerScratch) (*transport.Solution, error) {
 	factors := []float64{1, 1.001, 1.02, 1.1, 1.5, 4, 64}
 	base := append([]float64(nil), p.Capacity...)
+	useNS := len(p.Supply) <= nsEngineMaxCells && len(p.Capacity) <= nsEngineMaxSinks
+	var basis *flow.Basis
+	if useNS && r.cfg.ParallelWindows && sc != nil {
+		basis = sc.lastBasis
+	}
 	var lastErr error
-	for _, f := range factors {
+	for ri, f := range factors {
 		for i := range p.Capacity {
 			p.Capacity[i] = base[i] * f
 		}
-		sol, err := transport.Solve(p)
+		var sol *transport.Solution
+		var err error
+		if useNS && (ri > 0 || basis != nil) {
+			var next *flow.Basis
+			sol, next, err = transport.SolveNS(p, basis)
+			if next != nil {
+				basis = next // warm-start the next rung from this tree
+			}
+			var stalled *flow.ErrStalled
+			if err != nil && errors.As(err, &stalled) {
+				// The NS cycling guard tripped: degrade this rung to the
+				// condensed engine (with its own reference fallback)
+				// rather than failing the whole block.
+				r.cfg.Degrade.Add("fbp.transport.ns", "condensed-engine", err.Error())
+				sol, err = transport.Solve(p)
+			}
+		} else {
+			sol, err = transport.Solve(p)
+		}
 		if err == nil {
+			if useNS && r.cfg.ParallelWindows && sc != nil {
+				sc.lastBasis = basis
+			}
 			copy(p.Capacity, base)
 			return sol, nil
 		}
@@ -898,6 +1103,89 @@ func solveWithRelaxation(p *transport.Problem) (*transport.Solution, error) {
 	}
 	copy(p.Capacity, base)
 	return nil, lastErr
+}
+
+// splitSolve is the Config.ParallelWindows fast path of transportBlock: it
+// solves the block transportation speculatively per source window —
+// independent subproblems, solved concurrently, each seeing the full
+// capacity vector — and merges the fractional solutions first-in-order
+// (block window order). The merge accepts only when the combined sink
+// loads respect the shared capacities; then each local optimum costs no
+// more than the global optimum's restriction to that window, so the
+// merged solution is itself a globally optimal fractional solution and
+// quality is preserved exactly. Contended blocks — combined loads
+// overflowing a sink — and failed speculations abandon the split (nil
+// return) and the caller falls back to the monolithic solve. The merged
+// optimum may be a different vertex than the monolithic engine's, which
+// is why the flag is off by default (bit-identity).
+func (r *realizer) splitSolve(p *transport.Problem, cells []int32) []int {
+	// Source windows form contiguous runs in cells (collected window by
+	// window), so group by scanning for run boundaries.
+	type span struct{ lo, hi int }
+	var groups []span
+	for i := 0; i < len(cells); {
+		j := i
+		w := r.curWin[cells[i]]
+		for j < len(cells) && r.curWin[cells[j]] == w {
+			j++
+		}
+		groups = append(groups, span{i, j})
+		i = j
+	}
+	if len(groups) < 2 {
+		return nil
+	}
+	sols := make([]*transport.Solution, len(groups))
+	var wg sync.WaitGroup
+	for gi := range groups {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			// A panicking speculative solve must not escape this
+			// goroutine (the unit's recover lives on the caller's); it
+			// just forfeits the split and the monolithic path retries.
+			defer func() { _ = recover() }()
+			sp := groups[gi]
+			sub := &transport.Problem{
+				Supply:   p.Supply[sp.lo:sp.hi],
+				Capacity: append([]float64(nil), p.Capacity...),
+				Arcs:     p.Arcs[sp.lo:sp.hi],
+				Obs:      r.rec,
+				Ctx:      r.cfg.Ctx,
+				Degrade:  r.cfg.Degrade,
+			}
+			if sol, err := r.solveWithRelaxation(sub, nil); err == nil {
+				sols[gi] = sol
+			}
+		}(gi)
+	}
+	wg.Wait()
+	load := make([]float64, len(p.Capacity))
+	for _, sol := range sols {
+		if sol == nil {
+			return nil
+		}
+		for _, ps := range sol.Assign {
+			for _, portion := range ps {
+				load[portion.Sink] += portion.Amount
+			}
+		}
+	}
+	for si, l := range load {
+		if l > p.Capacity[si]+flow.Eps {
+			// Contended sink: the per-window optima do not coexist.
+			r.rec.Count("realize.parwin.contended", 1)
+			return nil
+		}
+	}
+	merged := &transport.Solution{Assign: make([][]transport.Portion, len(cells))}
+	for gi, sp := range groups {
+		sol := sols[gi]
+		copy(merged.Assign[sp.lo:sp.hi], sol.Assign)
+		merged.Cost += sol.Cost
+	}
+	r.rec.Count("realize.parwin", 1)
+	return roundCapacityAware(p, merged)
 }
 
 // nearestInSet returns the point of the rectangle set closest (L1) to p.

@@ -47,8 +47,17 @@ type MinCostFlow struct {
 	// Ctx, when non-nil, is polled during Solve/SolveNS; a canceled or
 	// expired context aborts the solve with the context's error.
 	Ctx context.Context
-	// Pivots is the number of simplex pivots of the last SolveNS run.
+	// Pivots is the number of simplex pivots of the last SolveNS (or
+	// SolveNSWarm) run. It is published on every exit of the pivot loop —
+	// including stalls and context aborts — so fallback paths keep the
+	// work visible.
 	Pivots int
+
+	// lastNS retains the simplex state of the most recent SolveNS run so
+	// ExportBasis can snapshot its spanning tree; lastSig is the matching
+	// structural signature.
+	lastNS  *netSimplex
+	lastSig uint64
 
 	// buildErr latches the first model-construction defect (negative arc
 	// cost). Solve and SolveNS refuse to run a defective model, so the

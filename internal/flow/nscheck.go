@@ -44,6 +44,51 @@ func nsValidate(ns *netSimplex, b []float64, pivotNo int) error {
 			}
 		}
 	}
-	// Tree structure: every node reaches root.
+	// Tree structure: parent/predArc/predUp must be mutually consistent
+	// and every node must reach the root. This also validates trees
+	// restored by a warm start, which rebuilds them from an exported
+	// basis rather than from pivots.
+	root := -1
+	for v := 0; v < ns.numNodes; v++ {
+		if ns.parent[v] < 0 {
+			if root >= 0 {
+				return fmt.Errorf("pivot %d: two roots %d and %d", pivotNo, root, v)
+			}
+			root = v
+			continue
+		}
+		p, ai := ns.parent[v], ns.predArc[v]
+		if ai < 0 || int(ai) >= len(ns.from) || ns.state[ai] != stateTree {
+			return fmt.Errorf("pivot %d: node %d pred arc %d not a tree arc", pivotNo, v, ai)
+		}
+		if ns.predUp[v] {
+			if ns.from[ai] != int32(v) || ns.to[ai] != p {
+				return fmt.Errorf("pivot %d: node %d up-arc %d endpoints %d->%d want %d->%d",
+					pivotNo, v, ai, ns.from[ai], ns.to[ai], v, p)
+			}
+		} else if ns.from[ai] != p || ns.to[ai] != int32(v) {
+			return fmt.Errorf("pivot %d: node %d down-arc %d endpoints %d->%d want %d->%d",
+				pivotNo, v, ai, ns.from[ai], ns.to[ai], p, v)
+		}
+		if ns.depth[v] != ns.depth[p]+1 {
+			return fmt.Errorf("pivot %d: node %d depth %d, parent %d depth %d",
+				pivotNo, v, ns.depth[v], p, ns.depth[p])
+		}
+	}
+	if root < 0 {
+		return fmt.Errorf("pivot %d: no root", pivotNo)
+	}
+	for v := 0; v < ns.numNodes; v++ {
+		x, hops := v, 0
+		for ns.parent[x] >= 0 {
+			x = int(ns.parent[x])
+			if hops++; hops > ns.numNodes {
+				return fmt.Errorf("pivot %d: parent cycle through node %d", pivotNo, v)
+			}
+		}
+		if x != root {
+			return fmt.Errorf("pivot %d: node %d does not reach root", pivotNo, v)
+		}
+	}
 	return nil
 }

@@ -1,0 +1,393 @@
+package flow
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// Basis is an exportable network-simplex basis: the spanning-tree
+// structure and arc states of a completed SolveNS/SolveNSWarm run,
+// together with a structural signature of the instance it was taken from.
+// A Basis deliberately stores no potentials and no flows — both are exact
+// functions of the tree once the current costs and supplies are known, so
+// a warm start recomputes them (potentials by a DFS from the root, flows
+// leaf-to-root from the new imbalances) instead of trusting stale copies.
+// That is what makes a basis reusable across re-solves whose costs,
+// capacities or supplies changed, as long as the arc structure (node
+// count, arc endpoints, arc order) is identical.
+//
+// Export with MinCostFlow.ExportBasis after a solve; feed into
+// MinCostFlow.SolveNSWarm. A basis that does not fit the new instance is
+// rejected (signature or bound check) and the solve falls back to a cold
+// start, so warm starting is never a correctness risk — only a head start.
+type Basis struct {
+	sig      uint64 // structural signature of the instance arcs (dummy + real)
+	numNodes int
+	baseArcs int // arcs of the instance proper; artificial arcs follow
+
+	// Artificial root arcs as laid out by the originating solve. Their
+	// direction encodes the sign of the historical imbalances; a warm
+	// start re-adds them verbatim and lets flow revalidation (and, if
+	// necessary, pivoting) absorb any sign changes.
+	artFrom, artTo []int32
+
+	state   []int8 // all arcs, base + artificial
+	parent  []int32
+	predArc []int32
+	predUp  []bool
+
+	// pivots carries the cumulative pivot count of the warm-start chain,
+	// so observability reports the total effort spent on the instance
+	// family. The stall cap of the pivot loop counts pivots since entry,
+	// never this carried total (see netSimplex.run).
+	pivots int
+}
+
+// Signature returns the structural signature of the instance the basis
+// was exported from. Callers may use it to key basis caches; SolveNSWarm
+// re-checks it internally, so a stale cache entry degrades to a cold
+// start rather than a wrong result.
+func (b *Basis) Signature() uint64 { return b.sig }
+
+// Pivots returns the cumulative pivot count of the warm-start chain that
+// produced this basis.
+func (b *Basis) Pivots() int { return b.pivots }
+
+// signature hashes the structural identity of the instance arcs added so
+// far (node count plus every arc's endpoints, in order). Costs and
+// capacities are deliberately excluded: a warm start recomputes
+// potentials from the current costs and revalidates flows against the
+// current capacities, so only the structure must match.
+func (ns *netSimplex) signature() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(ns.numNodes))
+	_, _ = h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(ns.from)))
+	_, _ = h.Write(buf[:])
+	for i := range ns.from {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(ns.from[i]))
+		binary.LittleEndian.PutUint32(buf[4:], uint32(ns.to[i]))
+		_, _ = h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// exportBasis snapshots the current tree into a self-contained Basis.
+func (ns *netSimplex) exportBasis(sig uint64) *Basis {
+	b := &Basis{
+		sig:      sig,
+		numNodes: ns.numNodes,
+		baseArcs: len(ns.from) - len(ns.artificial),
+		state:    append([]int8(nil), ns.state...),
+		parent:   append([]int32(nil), ns.parent...),
+		predArc:  append([]int32(nil), ns.predArc...),
+		predUp:   append([]bool(nil), ns.predUp...),
+		pivots:   ns.pivots,
+	}
+	b.artFrom = make([]int32, len(ns.artificial))
+	b.artTo = make([]int32, len(ns.artificial))
+	for i, ai := range ns.artificial {
+		b.artFrom[i] = ns.from[ai]
+		b.artTo[i] = ns.to[ai]
+	}
+	return b
+}
+
+// coldInit builds the classic all-artificial starting tree: every node
+// hangs off the root through a big-M arc oriented by the sign of its
+// imbalance, which carries exactly that imbalance.
+func (ns *netSimplex) coldInit(b []float64, root int, maxCost float64) {
+	nn := ns.numNodes
+	bigM := (maxCost + 1) * float64(nn)
+	ns.parent = make([]int32, nn)
+	ns.predArc = make([]int32, nn)
+	ns.predUp = make([]bool, nn)
+	ns.children = make([][]int32, nn)
+	ns.pi = make([]float64, nn)
+	ns.depth = make([]int32, nn)
+	for v := 0; v < nn; v++ {
+		if v == root {
+			ns.parent[v] = -1
+			ns.predArc[v] = -1
+			continue
+		}
+		var ai int
+		if b[v] >= 0 {
+			ai = ns.addArc(v, root, Inf, bigM)
+			ns.flow[ai] = b[v]
+			ns.predUp[v] = true
+			ns.pi[v] = -bigM
+		} else {
+			ai = ns.addArc(root, v, Inf, bigM)
+			ns.flow[ai] = -b[v]
+			ns.predUp[v] = false
+			ns.pi[v] = bigM
+		}
+		ns.state[ai] = stateTree
+		ns.artificial = append(ns.artificial, ai)
+		ns.parent[v] = int32(root)
+		ns.predArc[v] = int32(ai)
+		ns.children[root] = append(ns.children[root], int32(v))
+		ns.depth[v] = 1
+	}
+}
+
+// warmInit tries to restore a previously exported basis onto the freshly
+// built instance arcs (which must match the basis structurally; the
+// caller checked the signature). It re-adds the recorded artificial arcs,
+// restores the tree, recomputes the tree flows leaf-to-root from the new
+// imbalances and the potentials root-down from the new costs, and
+// verifies every flow lies within the current capacity bounds. Any
+// violation reports false with the netSimplex left ready for a cold init
+// (the appended artificial arcs are truncated away).
+func (ns *netSimplex) warmInit(basis *Basis, b []float64, root int, maxCost float64) bool {
+	nn := ns.numNodes
+	base := len(ns.from)
+	if basis.numNodes != nn || basis.baseArcs != base ||
+		len(basis.state) != base+len(basis.artFrom) ||
+		len(basis.parent) != nn || len(basis.predArc) != nn || len(basis.predUp) != nn {
+		return false
+	}
+	bigM := (maxCost + 1) * float64(nn)
+	for i := range basis.artFrom {
+		ai := ns.addArc(int(basis.artFrom[i]), int(basis.artTo[i]), Inf, bigM)
+		ns.artificial = append(ns.artificial, ai)
+	}
+	undo := func() bool {
+		m := base
+		ns.from = ns.from[:m]
+		ns.to = ns.to[:m]
+		ns.cap = ns.cap[:m]
+		ns.cost = ns.cost[:m]
+		ns.flow = ns.flow[:m]
+		ns.state = ns.state[:m]
+		ns.artificial = ns.artificial[:0]
+		// The state/flow of the base arcs may already have been overwritten
+		// from the basis; restore the fresh-build values (all arcs nonbasic
+		// at their lower bound, zero flow) so the cold init that follows
+		// starts from a clean instance, not a half-restored one.
+		for ai := 0; ai < m; ai++ {
+			ns.state[ai] = stateLower
+			ns.flow[ai] = 0
+		}
+		return false
+	}
+	m := len(ns.from)
+	// Restore states and tree arrays.
+	copy(ns.state, basis.state)
+	ns.parent = append(ns.parent[:0], basis.parent...)
+	ns.predArc = append(ns.predArc[:0], basis.predArc...)
+	ns.predUp = append(ns.predUp[:0], basis.predUp...)
+	if ns.children == nil {
+		ns.children = make([][]int32, nn)
+	}
+	for v := range ns.children {
+		ns.children[v] = ns.children[v][:0]
+	}
+	ns.pi = make([]float64, nn)
+	ns.depth = make([]int32, nn)
+	// Structural sanity: every non-root node's pred arc must connect the
+	// node to its parent with a matching direction flag.
+	for v := 0; v < nn; v++ {
+		if v == root {
+			if ns.parent[v] != -1 {
+				return undo()
+			}
+			continue
+		}
+		p, ai := ns.parent[v], ns.predArc[v]
+		if p < 0 || int(p) >= nn || ai < 0 || int(ai) >= m || ns.state[ai] != stateTree {
+			if warmDebug != nil {
+				warmDebug("reject: node %d pred %d arc %d", v, p, ai)
+			}
+			return undo()
+		}
+		if ns.predUp[v] {
+			if ns.from[ai] != int32(v) || ns.to[ai] != p {
+				return undo()
+			}
+		} else {
+			if ns.from[ai] != p || ns.to[ai] != int32(v) {
+				return undo()
+			}
+		}
+		ns.children[p] = append(ns.children[p], int32(v))
+	}
+	// Depths and potentials by DFS from the root; also verifies the
+	// parent arrays form one tree spanning all nodes.
+	visited := 1
+	stack := []int32{int32(root)}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range ns.children[x] {
+			ai := ns.predArc[c]
+			if ns.predUp[c] {
+				ns.pi[c] = ns.pi[x] - ns.cost[ai]
+			} else {
+				ns.pi[c] = ns.pi[x] + ns.cost[ai]
+			}
+			ns.depth[c] = ns.depth[x] + 1
+			visited++
+			stack = append(stack, c)
+		}
+	}
+	if visited != nn {
+		return undo()
+	}
+	// Flows: nonbasic arcs sit at their bound; tree arcs absorb the rest,
+	// computed leaf-to-root from the new imbalances.
+	req := make([]float64, nn)
+	copy(req, b)
+	for ai := 0; ai < m; ai++ {
+		switch ns.state[ai] {
+		case stateLower:
+			ns.flow[ai] = 0
+		case stateUpper:
+			if math.IsInf(ns.cap[ai], 1) {
+				if warmDebug != nil {
+					warmDebug("reject: inf-cap upper arc %d", ai)
+				}
+				return undo() // an uncapacitated arc cannot sit at its upper bound
+			}
+			f := ns.cap[ai]
+			ns.flow[ai] = f
+			req[ns.from[ai]] -= f
+			req[ns.to[ai]] += f
+		}
+	}
+	// Nodes in decreasing depth (counting sort: depths are < nn).
+	order := make([]int32, 0, nn)
+	buckets := make([][]int32, nn)
+	maxDepth := int32(0)
+	for v := 0; v < nn; v++ {
+		d := ns.depth[v]
+		buckets[d] = append(buckets[d], int32(v))
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	for d := maxDepth; d >= 1; d-- {
+		order = append(order, buckets[d]...)
+	}
+	// Map node -> its artificial arc (one per non-root node, connecting it
+	// to the root), needed when a tree flow comes out infeasible below.
+	artOf := make([]int32, nn)
+	for v := range artOf {
+		artOf[v] = -1
+	}
+	for _, ai := range ns.artificial {
+		v := ns.from[ai]
+		if int(v) == root {
+			v = ns.to[ai]
+		}
+		artOf[v] = int32(ai)
+	}
+	tol := Eps
+	repaired := false
+	for _, v := range order {
+		r := req[v]
+		ai := ns.predArc[v]
+		f := r
+		if !ns.predUp[v] {
+			f = -r
+		}
+		if f >= -tol && f <= ns.cap[ai]+tol {
+			if f < 0 {
+				f = 0
+			}
+			if f > ns.cap[ai] {
+				f = ns.cap[ai]
+			}
+			ns.flow[ai] = f
+			req[ns.parent[v]] += r
+			continue
+		}
+		// The unique tree flow violates a bound on v's pred arc (the new
+		// imbalances flipped a sign or outgrew a capacity). Repair instead
+		// of rejecting: pin the arc at its violated bound, cut it from the
+		// tree, and re-hang v's subtree at the root through v's big-M
+		// artificial arc, re-oriented to carry the residual. The start is
+		// feasible-but-expensive (phase-1 style); pivots drain the big-M
+		// flow exactly as they drain a cold start's.
+		art := artOf[v]
+		if art < 0 || (ns.state[art] == stateTree && art != ai) {
+			if warmDebug != nil {
+				warmDebug("reject: node %d has no usable artificial arc", v)
+			}
+			return undo()
+		}
+		var fc float64
+		if f < 0 {
+			ns.state[ai] = stateLower
+			fc = 0
+		} else {
+			ns.state[ai] = stateUpper
+			fc = ns.cap[ai]
+		}
+		ns.flow[ai] = fc
+		rc := fc
+		if !ns.predUp[v] {
+			rc = -fc
+		}
+		req[ns.parent[v]] += rc
+		d := r - rc
+		if d >= 0 {
+			ns.from[art], ns.to[art] = int32(v), int32(root)
+			ns.predUp[v] = true
+			ns.flow[art] = d
+		} else {
+			ns.from[art], ns.to[art] = int32(root), int32(v)
+			ns.predUp[v] = false
+			ns.flow[art] = -d
+		}
+		ns.state[art] = stateTree
+		ns.parent[v] = int32(root)
+		ns.predArc[v] = art
+		req[root] += d
+		repaired = true
+	}
+	if req[root] > 1e-6 || req[root] < -1e-6 {
+		if warmDebug != nil {
+			warmDebug("reject: root residual %g", req[root])
+		}
+		return undo()
+	}
+	if repaired {
+		// Re-hung subtrees changed parents, arc orientations, depths and
+		// potentials; rebuild them all from the repaired parent arrays.
+		for v := range ns.children {
+			ns.children[v] = ns.children[v][:0]
+		}
+		for v := 0; v < nn; v++ {
+			if v != root {
+				ns.children[ns.parent[v]] = append(ns.children[ns.parent[v]], int32(v))
+			}
+		}
+		ns.pi[root] = 0
+		ns.depth[root] = 0
+		stack = stack[:0]
+		stack = append(stack, int32(root))
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, c := range ns.children[x] {
+				ai := ns.predArc[c]
+				if ns.predUp[c] {
+					ns.pi[c] = ns.pi[x] - ns.cost[ai]
+				} else {
+					ns.pi[c] = ns.pi[x] + ns.cost[ai]
+				}
+				ns.depth[c] = ns.depth[x] + 1
+				stack = append(stack, c)
+			}
+		}
+	}
+	ns.pivots = basis.pivots
+	return true
+}
+
+// warmDebug, when set, traces warm-start rejections (tests only).
+var warmDebug func(format string, args ...interface{})

@@ -178,6 +178,8 @@ func configFingerprint(cfg *Config) uint64 {
 	w(uint64(cfg.MaxLevels))
 	wf(cfg.AnchorWeight)
 	wb(cfg.NoLocalQP)
+	wb(cfg.NoPairPass)
+	wb(cfg.ParallelWindows)
 	wb(cfg.SkipLegalization)
 	wb(cfg.KeepPlacement)
 	w(uint64(cfg.DetailPasses))

@@ -67,6 +67,15 @@ type Config struct {
 	// local QP is on by default; set NoLocalQP for the ablation or to
 	// trade quality for speed.
 	NoLocalQP bool
+	// NoPairPass disables the neighbor-pair realization pass at deep
+	// levels (many small windows) and forces the legacy 3x3-block
+	// transports everywhere. The pair pass is on by default.
+	NoPairPass bool
+	// ParallelWindows enables speculative per-window realization
+	// transports with a joint-feasibility merge. Faster on hotspot
+	// instances but scheduling-dependent: results are no longer
+	// bit-identical across worker counts. Off by default.
+	ParallelWindows bool
 	// SkipLegalization stops after global placement.
 	SkipLegalization bool
 	// KeepPlacement starts from the current cell positions instead of a
@@ -469,7 +478,16 @@ func globalLoop(ctx context.Context, n *netlist.Netlist, decomp *region.Decompos
 				return fmt.Errorf("placer: recursive partition level %d: %w", lv, err)
 			}
 		default:
-			fcfg := fbp.Config{LocalQP: !cfg.NoLocalQP, QP: cfg.QP, Workers: cfg.Workers, Obs: cfg.Obs, Ctx: ctx, Degrade: dl}
+			fcfg := fbp.Config{
+				LocalQP:         !cfg.NoLocalQP,
+				PairPass:        !cfg.NoPairPass,
+				ParallelWindows: cfg.ParallelWindows,
+				QP:              cfg.QP,
+				Workers:         cfg.Workers,
+				Obs:             cfg.Obs,
+				Ctx:             ctx,
+				Degrade:         dl,
+			}
 			res, err := fbp.Partition(n, wr, fcfg)
 			if err != nil {
 				lsp.End()

@@ -83,12 +83,24 @@ func writeError(w http.ResponseWriter, status int, code string, err error) {
 	writeErrorRetry(w, status, code, err, 0)
 }
 
+// retryAfterSeconds converts a retry hint into the whole seconds spoken
+// on the wire. Retry-After has no sub-second form, and rounding DOWN
+// would invite the client back before the window it was told about has
+// passed — so any positive hint rounds up, never below one second. Every
+// Retry-After header and every retry_after_s body field must go through
+// this helper so the two can never disagree.
+func retryAfterSeconds(ra time.Duration) int64 {
+	if ra <= 0 {
+		return 0
+	}
+	return int64(math.Ceil(ra.Seconds()))
+}
+
 // writeErrorRetry emits the error envelope; a positive ra adds the
 // Retry-After header (whole seconds, rounded up) and retry_after_s field.
 func writeErrorRetry(w http.ResponseWriter, status int, code string, err error, ra time.Duration) {
 	env := apiError{Code: code, Reason: err.Error()}
-	if ra > 0 {
-		secs := int64(math.Ceil(ra.Seconds()))
+	if secs := retryAfterSeconds(ra); secs > 0 {
 		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 		env.RetryAfterS = float64(secs)
 	}
@@ -354,8 +366,11 @@ func (sv *Server) readyz(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, rd)
 		return
 	}
-	if rd.RetryAfterS > 0 {
-		w.Header().Set("Retry-After", strconv.FormatInt(int64(math.Ceil(rd.RetryAfterS)), 10))
+	if secs := retryAfterSeconds(time.Duration(rd.RetryAfterS * float64(time.Second))); secs > 0 {
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		// The body must quote the same whole-second figure as the header:
+		// a client reading either must see one retry window, not two.
+		rd.RetryAfterS = float64(secs)
 	}
 	writeJSON(w, http.StatusServiceUnavailable, rd)
 }

@@ -4,9 +4,11 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -290,9 +292,7 @@ func TestHTTPResultBeforeDone(t *testing.T) {
 	if ae.Code != "pending" || ae.Reason == "" || ae.RetryAfterS <= 0 {
 		t.Fatalf("202 envelope: %+v", ae)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Fatal("202 pending without a Retry-After header")
-	}
+	assertRetryShape(t, resp, ae.RetryAfterS)
 	pollDone(t, ts.URL, filler.ID, 120*time.Second)
 }
 
@@ -310,6 +310,54 @@ func decodeEnvelope(t *testing.T, data []byte) apiError {
 		t.Fatalf("envelope missing code or reason: %q", data)
 	}
 	return ae
+}
+
+// assertRetryShape pins the wire contract for every retry hint: the
+// Retry-After header is a whole number of seconds, at least 1, and the
+// JSON body's retry_after_s quotes exactly the same figure — a client
+// reading either must see one retry window, not two.
+func assertRetryShape(t *testing.T, resp *http.Response, bodyS float64) {
+	t.Helper()
+	h := resp.Header.Get("Retry-After")
+	if h == "" {
+		t.Fatalf("%d response without a Retry-After header", resp.StatusCode)
+	}
+	secs, err := strconv.ParseInt(h, 10, 64)
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After header %q, want a whole second count >= 1", h)
+	}
+	if bodyS != float64(secs) {
+		t.Fatalf("body retry_after_s %v != Retry-After header %q", bodyS, h)
+	}
+}
+
+// Retry hints always round UP to whole seconds: rounding down would
+// invite a client back inside the window it was just told to wait out,
+// and a sub-second hint must become 1, never a 0 that drops the header.
+func TestRetryAfterRounding(t *testing.T) {
+	for _, c := range []struct {
+		in   time.Duration
+		want int64
+	}{
+		{-time.Second, 0},
+		{0, 0},
+		{50 * time.Millisecond, 1},
+		{time.Second, 1},
+		{1001 * time.Millisecond, 2},
+		{2500 * time.Millisecond, 3},
+	} {
+		if got := retryAfterSeconds(c.in); got != c.want {
+			t.Fatalf("retryAfterSeconds(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	rec := httptest.NewRecorder()
+	writeErrorRetry(rec, http.StatusTooManyRequests, "queue_full", errors.New("full"), 50*time.Millisecond)
+	resp := rec.Result()
+	ae := decodeEnvelope(t, rec.Body.Bytes())
+	assertRetryShape(t, resp, ae.RetryAfterS)
+	if h := resp.Header.Get("Retry-After"); h != "1" {
+		t.Fatalf("sub-second hint: header %q, want \"1\"", h)
+	}
 }
 
 // TestHTTPErrorEnvelope walks every error-producing handler and checks the
@@ -374,9 +422,7 @@ func TestHTTPReadyzAndAdmission(t *testing.T) {
 	if ae.Code != "queue_full" || ae.RetryAfterS <= 0 {
 		t.Fatalf("queue_full envelope: %+v", ae)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Fatal("429 without a Retry-After header")
-	}
+	assertRetryShape(t, resp, ae.RetryAfterS)
 
 	resp, data = getBody(t, ts.URL+"/readyz")
 	if resp.StatusCode != http.StatusServiceUnavailable {
@@ -389,9 +435,7 @@ func TestHTTPReadyzAndAdmission(t *testing.T) {
 	if rd.Ready || rd.Reason != "queue_saturated" {
 		t.Fatalf("readiness: %+v", rd)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Fatal("unready readyz without a Retry-After header")
-	}
+	assertRetryShape(t, resp, rd.RetryAfterS)
 
 	// Liveness never degrades with load.
 	if resp, body := getBody(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK || !bytes.HasPrefix(body, []byte("ok")) {

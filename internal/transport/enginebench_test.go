@@ -1,0 +1,60 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchProblem(n, k int) *Problem {
+	rng := rand.New(rand.NewSource(7))
+	p := &Problem{Supply: make([]float64, n), Capacity: make([]float64, k), Arcs: make([][]Arc, n)}
+	total := 0.0
+	for i := range p.Supply {
+		p.Supply[i] = 0.5 + rng.Float64()
+		total += p.Supply[i]
+		for j := 0; j < k; j++ {
+			p.Arcs[i] = append(p.Arcs[i], Arc{Sink: j, Cost: rng.Float64() * 10})
+		}
+	}
+	for j := range p.Capacity {
+		p.Capacity[j] = 1.05 * total / float64(k)
+	}
+	return p
+}
+
+func BenchmarkEngines(b *testing.B) {
+	for _, sz := range []struct{ n, k int }{{5, 8}, {20, 30}, {60, 40}} {
+		p := benchProblem(sz.n, sz.k)
+		b.Run(fmt.Sprintf("condensed/n=%d/k=%d", sz.n, sz.k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Solve(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("ns-cold/n=%d/k=%d", sz.n, sz.k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := SolveNS(p, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("ns-warm/n=%d/k=%d", sz.n, sz.k), func(b *testing.B) {
+			b.ReportAllocs()
+			_, basis, err := SolveNS(p, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				if _, basis, err = SolveNS(p, basis); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

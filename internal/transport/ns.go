@@ -1,0 +1,71 @@
+// Network-simplex transportation engine: the same bipartite model as
+// SolveReference, solved by internal/flow's primal network simplex with
+// optional warm starting. The realization path re-solves near-identical
+// instances over and over — the relaxation ladder scales sink capacities,
+// neighbor-pair passes revisit the same window pair — and the spanning-tree
+// basis of one solve is a high-quality start for the next, because sink
+// capacities enter the model as sink-node supplies: the arc structure is
+// untouched by a capacity change, so an exported basis revalidates cleanly.
+package transport
+
+import (
+	"errors"
+	"fmt"
+
+	"fbplace/internal/flow"
+)
+
+// SolveNS solves the instance with the network simplex, warm-started from
+// basis when one is supplied (nil means cold start). It returns the
+// solution together with the basis of this solve for chaining into the
+// next structurally identical instance (next ladder rung, next pair pass).
+// The returned basis is non-nil even on *flow.ErrStalled and ErrInfeasible
+// — retrying a relaxed instance from the failed rung's tree is the whole
+// point — and nil only when the solve never built a tree.
+//
+// Like the other engines it routes all supply; unreachable supply reports
+// ErrInfeasible. A stall (cycling guard) is returned as *flow.ErrStalled
+// for the caller's engine-degradation chain; it is not an infeasibility
+// certificate.
+func SolveNS(p *Problem, basis *flow.Basis) (*Solution, *flow.Basis, error) {
+	n, k := p.NumSources(), p.NumSinks()
+	g := flow.NewMinCostFlow(n + k)
+	g.Ctx = p.Ctx
+	g.Obs = p.Obs
+	for i, s := range p.Supply {
+		if s <= 0 {
+			return nil, nil, fmt.Errorf("transport: source %d has non-positive supply %g", i, s)
+		}
+		g.SetSupply(i, s)
+	}
+	for j, c := range p.Capacity {
+		g.SetSupply(n+j, -c)
+	}
+	ids := make([][]flow.ArcID, n)
+	for i, arcs := range p.Arcs {
+		ids[i] = make([]flow.ArcID, len(arcs))
+		for t, a := range arcs {
+			ids[i][t] = g.AddArc(i, n+a.Sink, flow.Inf, a.Cost)
+		}
+	}
+	cost, err := g.SolveNSWarm(basis)
+	next := g.ExportBasis()
+	if err != nil {
+		var inf *flow.ErrInfeasible
+		if errors.As(err, &inf) {
+			return nil, next, fmt.Errorf("%w: %g unrouted", ErrInfeasible, inf.Unrouted)
+		}
+		return nil, next, err
+	}
+	sol := &Solution{Assign: make([][]Portion, n), Cost: cost}
+	for i, arcs := range p.Arcs {
+		for t, a := range arcs {
+			f := g.Flow(ids[i][t])
+			if f > flow.Eps {
+				sol.Assign[i] = append(sol.Assign[i], Portion{Sink: a.Sink, Amount: f})
+			}
+		}
+		sortPortions(sol.Assign[i])
+	}
+	return sol, next, nil
+}

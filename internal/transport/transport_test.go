@@ -32,6 +32,10 @@ func engines() map[string]func(*Problem) (*Solution, error) {
 	return map[string]func(*Problem) (*Solution, error){
 		"reference": SolveReference,
 		"condensed": Solve,
+		"ns": func(p *Problem) (*Solution, error) {
+			sol, _, err := SolveNS(p, nil)
+			return sol, err
+		},
 	}
 }
 
