@@ -123,10 +123,30 @@ echo "$stats" | grep -q '"serve.placements": 1' ||
 kill -TERM "$daemon"
 wait "$daemon" || { echo "service e2e: drain exited non-zero" >&2; exit 1; }
 
+echo "== certification e2e =="
+# Certify-and-repair gate (internal/certify): a certified run passes; one
+# injected silent corruption (certify.corrupt bit-flips a position) is
+# caught and repaired in safe mode with the repair on record; unlimited
+# corruption must fail the run with the structured certify error. See
+# README "Certification & safe mode".
+"$ckdir/fbplace" -cells 2000 -seed 3 -certify >/dev/null
+"$ckdir/fbplace" -cells 2000 -seed 3 -certify \
+	-fault certify.corrupt:limit=1 >"$ckdir/certify.log"
+grep -q 'degraded: certify fell back to safe-mode' "$ckdir/certify.log" ||
+	{ echo "certification e2e: repair not recorded" >&2; exit 1; }
+if "$ckdir/fbplace" -cells 2000 -seed 3 -certify \
+	-fault certify.corrupt >"$ckdir/certify2.log" 2>&1; then
+	echo "certification e2e: unrepairable corruption did not fail the run" >&2
+	exit 1
+fi
+grep -q 'certify:' "$ckdir/certify2.log" ||
+	{ echo "certification e2e: failure lacks the certify error" >&2; exit 1; }
+
 echo "== chaos soak =="
 # Overload-protection gate: sustained mixed load under a tight memory
 # budget, bounded queue and an armed fault storm (failing/corrupting
-# checkpoint writes, bouncing admissions, stalling attempts) at 1 and 4
+# checkpoint writes, bouncing admissions, stalling attempts, silently
+# corrupting placements that certification must catch) at 1 and 4
 # workers. Asserts the service sheds instead of crashing: zero goroutine
 # leaks, every accepted job terminal, preempted/requeued jobs verify
 # bit-identical, and a fresh round-trip works after the storm. See

@@ -36,12 +36,14 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock budget per table (0 = none); a table that exceeds it fails with context.DeadlineExceeded")
 	ckpt := flag.String("checkpoint", "", "write per-run crash-safe placement checkpoints under this directory")
 	resume := flag.Bool("resume", false, "resume interrupted placements from -checkpoint (same tables, scale and flags required)")
+	certify := flag.Bool("certify", false, "independently certify every level and the final result of each run (internal/certify); overhead lands in the phase times")
 	flag.Parse()
 
 	if *resume && *ckpt == "" {
 		fatal(fmt.Errorf("-resume requires -checkpoint"))
 	}
 	exp.SetCheckpoint(*ckpt, *resume)
+	exp.SetCertify(*certify)
 
 	var rec *obs.Recorder
 	var traceSink *obs.JSONSink

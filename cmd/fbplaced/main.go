@@ -49,6 +49,7 @@ func run() int {
 	strikes := flag.Int("watchdog-strikes", 3, "consecutive no-progress attempts before a job fails terminally as stuck")
 	diskLow := flag.String("disk-low", "128MB", "free-disk watermark below which checkpointing is disabled (\"off\" disables the check)")
 	gcKeep := flag.Int("gc-keep", 256, "terminal jobs retained before the disk governor collects them (negative = keep all)")
+	certifyF := flag.Bool("certify", false, "independently certify every result before it is cached or served; uncertifiable results retry once in safe mode, then fail as result_uncertified")
 	var faults []string
 	flag.Func("fault", "arm a fault injection site: name[:after=N,every=N,limit=N,prob=P,seed=N,panic=1] (repeatable)",
 		func(s string) error { faults = append(faults, s); return nil })
@@ -88,6 +89,7 @@ func run() int {
 		StuckStrikes:   *strikes,
 		DiskLowBytes:   diskLowBytes,
 		GCKeepTerminal: *gcKeep,
+		Certify:        *certifyF,
 	}
 
 	if *selftest {
@@ -113,7 +115,15 @@ func run() int {
 	}
 	fmt.Printf("fbplaced: listening on %s (%d workers, state %s)\n", bound, *workers, sched.StateDir())
 
-	srv := &http.Server{Handler: serve.NewServer(sched)}
+	srv := &http.Server{
+		Handler: serve.NewServer(sched),
+		// Header and idle timeouts close slow-loris and abandoned
+		// connections; request bodies are bounded per-handler (the submit
+		// endpoint caps its JSON payload), and the streaming endpoints
+		// (events, results) legitimately outlive any whole-request timeout.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)

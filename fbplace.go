@@ -28,6 +28,7 @@ import (
 	"context"
 	"io"
 
+	"fbplace/internal/certify"
 	"fbplace/internal/congest"
 	"fbplace/internal/detail"
 	"fbplace/internal/fbp"
@@ -109,6 +110,28 @@ const (
 	// ModeRecursive is the classical recursive-partitioning baseline.
 	ModeRecursive = placer.ModeRecursive
 )
+
+// CertifyMode selects how much of a run is independently certified (set
+// Config.Certify): nothing, the final placement, or every FBP level. A
+// failed certificate triggers a safe-mode repair run with conservative
+// engines; an unrepairable result surfaces as a *CertifyError.
+type CertifyMode = placer.CertifyMode
+
+// Certification modes.
+const (
+	// CertifyOff disables certification (default).
+	CertifyOff = placer.CertifyOff
+	// CertifyFinal certifies the final placement against its report.
+	CertifyFinal = placer.CertifyFinal
+	// CertifyEveryLevel additionally certifies flow optimality, every
+	// transportation and the partition invariants at each level.
+	CertifyEveryLevel = placer.CertifyEveryLevel
+)
+
+// CertifyError reports a failed certificate (layer, level, invariant and
+// a concrete witness). Receiving one means both the fast run and the
+// safe-mode repair produced results that failed independent verification.
+type CertifyError = certify.Error
 
 // Place runs global placement and legalization on the netlist in place.
 // It returns an error when the instance provably admits no placement

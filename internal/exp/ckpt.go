@@ -19,7 +19,14 @@ var (
 	ckptDir    string
 	ckptResume bool
 	ckptSeq    int
+	certifyOn  bool
 )
+
+// SetCertify enables independent result certification (every level plus
+// the final placement, internal/certify) for all subsequent table runs —
+// the overhead shows up in the per-table phase times, so a certified
+// -bench-out can be diffed against an uncertified baseline.
+func SetCertify(on bool) { certifyOn = on }
 
 // SetCheckpoint enables per-run checkpointing under dir for all subsequent
 // table runs ("" disables it). Run numbering restarts, so a resumed
@@ -32,6 +39,9 @@ func SetCheckpoint(dir string, resume bool) {
 // runPlace is the single chokepoint through which the experiment tables
 // invoke the FBP placer, so checkpointing applies uniformly.
 func runPlace(n *netlist.Netlist, cfg placer.Config) (*placer.Report, error) {
+	if certifyOn {
+		cfg.Certify = placer.CertifyEveryLevel
+	}
 	if ckptDir == "" {
 		return placer.PlaceCtx(harnessCtx(), n, cfg)
 	}

@@ -48,7 +48,7 @@ func suiteChip(t *testing.T) *gen.Instance {
 // two worker-count runs of a case see identical hit numbering) and runs
 // the full pipeline. A non-empty ckptDir enables per-level checkpointing,
 // so the ckpt.* sites sit in the run's write path.
-func place(t *testing.T, workers int, arm map[string]faultsim.Schedule, ckptDir string) (*placer.Report, *netlist.Netlist, error) {
+func place(t *testing.T, workers int, arm map[string]faultsim.Schedule, ckptDir string, certify bool) (*placer.Report, *netlist.Netlist, error) {
 	t.Helper()
 	for name, sched := range arm {
 		if err := faultsim.Arm(name, sched); err != nil {
@@ -58,6 +58,9 @@ func place(t *testing.T, workers int, arm map[string]faultsim.Schedule, ckptDir 
 	inst := suiteChip(t)
 	cfg := placer.Config{Movebounds: inst.Movebounds, Workers: workers,
 		Checkpoint: placer.Checkpoint{Dir: ckptDir}}
+	if certify {
+		cfg.Certify = placer.CertifyEveryLevel
+	}
 	rep, err := placer.Place(inst.N, cfg)
 	return rep, inst.N, err
 }
@@ -101,6 +104,10 @@ var suiteCases = []struct {
 	// ckpt runs the case with per-level checkpointing enabled, putting the
 	// ckpt.* sites in the write path.
 	ckpt bool
+	// certify runs the case with every-level certification enabled — the
+	// certify.corrupt site produces a wrong answer, not an error, so only
+	// the certificate can see it.
+	certify bool
 }{
 	{
 		name:     "cg non-convergence keeps the anchor solution",
@@ -168,6 +175,17 @@ var suiteCases = []struct {
 		degrades: []string{"ckpt.write -> skipped"},
 		ckpt:     true,
 	},
+	{
+		// One silent sign-bit flip after the last realization pass: no
+		// solver reports anything, the run "succeeds" wrong — the
+		// certificate must catch it and the safe-mode repair (always one
+		// worker, from the entry positions) must make both worker counts
+		// converge on the identical repaired placement.
+		name:     "silent position corruption is caught and repaired in safe mode",
+		arm:      map[string]faultsim.Schedule{"certify.corrupt": {Limit: 1}},
+		degrades: []string{"certify -> safe-mode"},
+		certify:  true,
+	},
 }
 
 func TestInjectionSuite(t *testing.T) {
@@ -187,7 +205,7 @@ func TestInjectionSuite(t *testing.T) {
 				if tc.ckpt {
 					dir = t.TempDir()
 				}
-				rep, n, err := place(t, workers, tc.arm, dir)
+				rep, n, err := place(t, workers, tc.arm, dir, tc.certify)
 				runs[workers] = outcome{rep, n, err}
 			}
 

@@ -22,6 +22,7 @@ import (
 	"fbplace/internal/netlist"
 	"fbplace/internal/obs"
 	"fbplace/internal/qp"
+	"fbplace/internal/transport"
 )
 
 // Directions of the four transit nodes per window and movebound class.
@@ -81,6 +82,31 @@ type Config struct {
 	// with the flag on, results remain capacity-feasible and within noise
 	// on quality, but are no longer bit-identical to the default mode.
 	ParallelWindows bool
+	// Check, when non-nil, certifies intermediate solver results: the MCF
+	// solution right after Solve and every realization transportation
+	// right after its engine returns. Failures propagate as the checker's
+	// error (internal/certify returns *certify.Error), which callers use
+	// to trigger safe-mode repair. The interface lives here rather than
+	// importing internal/certify so the dependency keeps pointing from the
+	// certifier at the solvers, never back.
+	Check Checker
+	// CondensedOnly disables the warm-startable network-simplex
+	// transportation rungs of the realization, keeping every block on the
+	// condensed/reference chain. Safe mode sets it so a repair run shares
+	// no engine state with the run that failed certification.
+	CondensedOnly bool
+}
+
+// Checker certifies intermediate solver results (implemented by
+// internal/certify.Checker). Implementations must be safe for concurrent
+// use: realization workers certify transportations in parallel.
+type Checker interface {
+	// Flow certifies a solved min-cost-flow instance (dual feasibility,
+	// complementary slackness, conservation).
+	Flow(g *flow.MinCostFlow) error
+	// Transport certifies a transportation solution against its instance
+	// (row conservation, capacity feasibility, admissibility).
+	Transport(p *transport.Problem, sol *transport.Solution) error
 }
 
 // DefaultConfig returns the configuration used by the placer.

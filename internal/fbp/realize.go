@@ -252,6 +252,13 @@ func Partition(n *netlist.Netlist, wr *grid.WindowRegions, cfg Config) (*Result,
 	if err := model.Solve(); err != nil {
 		return nil, err
 	}
+	if cfg.Check != nil {
+		// Certify the MCF solution before realizing it: a wrong flow would
+		// otherwise be baked into cell movements before anything notices.
+		if err := cfg.Check.Flow(model.G); err != nil {
+			return nil, err
+		}
+	}
 	return Realize(model, cfg)
 }
 
@@ -1058,7 +1065,8 @@ const splitMinCells = 24
 func (r *realizer) solveWithRelaxation(p *transport.Problem, sc *workerScratch) (*transport.Solution, error) {
 	factors := []float64{1, 1.001, 1.02, 1.1, 1.5, 4, 64}
 	base := append([]float64(nil), p.Capacity...)
-	useNS := len(p.Supply) <= nsEngineMaxCells && len(p.Capacity) <= nsEngineMaxSinks
+	useNS := !r.cfg.CondensedOnly &&
+		len(p.Supply) <= nsEngineMaxCells && len(p.Capacity) <= nsEngineMaxSinks
 	var basis *flow.Basis
 	if useNS && r.cfg.ParallelWindows && sc != nil {
 		basis = sc.lastBasis
@@ -1088,6 +1096,14 @@ func (r *realizer) solveWithRelaxation(p *transport.Problem, sc *workerScratch) 
 			sol, err = transport.Solve(p)
 		}
 		if err == nil {
+			if r.cfg.Check != nil {
+				// Certify against the capacities the rung actually solved
+				// with (still inflated here; restored below either way).
+				if cerr := r.cfg.Check.Transport(p, sol); cerr != nil {
+					copy(p.Capacity, base)
+					return nil, cerr
+				}
+			}
 			if useNS && r.cfg.ParallelWindows && sc != nil {
 				sc.lastBasis = basis
 			}

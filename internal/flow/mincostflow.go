@@ -64,6 +64,43 @@ type MinCostFlow struct {
 	// error propagates through every caller without AddArc needing a
 	// multi-value signature at each of its dozens of call sites.
 	buildErr error
+
+	// duals holds the optimality certificate of the last successful solve
+	// (either engine); cleared at solve entry so a failed run never leaves
+	// a stale certificate behind.
+	duals *Duals
+}
+
+// Duals is the optimality certificate exported by a successful Solve or
+// SolveNS run: the node potentials (dual variables) of the min-cost-flow
+// LP, over which an independent checker can verify dual feasibility and
+// complementary slackness (paper Theorem 3 conditions) without trusting
+// the solver — in particular a warm-started simplex whose basis the
+// structural signature accepted but whose tree was subtly wrong.
+type Duals struct {
+	// Pot[v] is the potential of real node v (the nodes that existed when
+	// the solve started; solver-internal super/dummy nodes are excluded).
+	Pot []float64
+	// Arcs is the number of real arcs at solve entry: certificates apply
+	// to ArcIDs < Arcs (Solve appends internal supply/demand arcs).
+	Arcs int
+	// CostScale is 1 + the maximum finite arc cost, the scale on which
+	// reduced-cost tolerances are meaningful for this instance.
+	CostScale float64
+}
+
+// Duals returns the certificate of the most recent successful solve, or
+// nil when the last solve failed (or none ran). The slice is owned by the
+// instance; callers must not modify it.
+func (g *MinCostFlow) Duals() *Duals { return g.duals }
+
+// ArcInfo reports the endpoints, original capacity and cost of arc id.
+// Capacity is reconstructed from the residual pair, so it is valid before
+// and after a solve.
+func (g *MinCostFlow) ArcInfo(id ArcID) (from, to int, capacity, cost float64) {
+	p := g.arcPos[id]
+	a := g.adj[p[0]][p[1]]
+	return int(p[0]), int(a.to), a.cap + g.adj[a.to][a.rev].cap, a.cost
 }
 
 // NewMinCostFlow returns an instance with n nodes.
@@ -176,7 +213,9 @@ func (g *MinCostFlow) Solve() (float64, error) {
 	if err := sspFault.Check(); err != nil {
 		return 0, fmt.Errorf("flow: ssp solve: %w", err)
 	}
+	g.duals = nil
 	n := len(g.adj)
+	realArcs := len(g.arcPos)
 	s, t := g.AddNode(), g.AddNode()
 	totalSupply := 0.0
 	for v := 0; v < n; v++ {
@@ -255,6 +294,13 @@ func (g *MinCostFlow) Solve() (float64, error) {
 		if pushed <= Eps {
 			return totalCost, &ErrInfeasible{Unrouted: totalSupply - routed}
 		}
+	}
+	// SSP terminates with every residual arc at non-negative reduced cost
+	// under pot, which is exactly dual feasibility; export the certificate.
+	g.duals = &Duals{
+		Pot:       append([]float64(nil), pot[:n]...),
+		Arcs:      realArcs,
+		CostScale: 1 + g.maxCost,
 	}
 	return totalCost, nil
 }

@@ -66,6 +66,7 @@ func (g *MinCostFlow) solveNS(basis *Basis) (float64, error) {
 	if g.buildErr != nil {
 		return 0, g.buildErr
 	}
+	g.duals = nil
 	n := len(g.adj)
 	// Balance the instance: total supply S must equal total demand D.
 	// D >= S is the normal case (capacity exceeds cell area): a dummy
@@ -174,6 +175,14 @@ func (g *MinCostFlow) solveNS(basis *Basis) (float64, error) {
 	}
 	if unrouted > 1e-6*math.Max(1, totalSupply) {
 		return totalCost, &ErrInfeasible{Unrouted: unrouted}
+	}
+	// The simplex terminated with no non-tree arc violating its bound's
+	// reduced-cost condition beyond Eps*(1+maxCost): ns.pi is a feasible
+	// dual certificate for the real-node subproblem.
+	g.duals = &Duals{
+		Pot:       append([]float64(nil), ns.pi[:n]...),
+		Arcs:      len(g.arcPos),
+		CostScale: 1 + g.maxCost,
 	}
 	return totalCost, nil
 }

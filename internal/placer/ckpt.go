@@ -150,8 +150,10 @@ func ConfigFingerprint(cfg *Config) uint64 {
 // different configuration. Workers is deliberately excluded — the placer
 // guarantees bit-identical results across worker counts — as are Obs,
 // Checkpoint itself, Preempt (a preempted-and-resumed run reproduces the
-// uninterrupted one), and the QP plumbing fields (Obs/Stats/Ctx/Workspace/
-// Degrade) the placer injects per run.
+// uninterrupted one), Certify (checks observe the trajectory, they never
+// steer it; only the SafeMode a repair forces does, and that IS hashed),
+// and the QP plumbing fields (Obs/Stats/Ctx/Workspace/Degrade) the placer
+// injects per run.
 func configFingerprint(cfg *Config) uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
@@ -180,6 +182,7 @@ func configFingerprint(cfg *Config) uint64 {
 	wb(cfg.NoLocalQP)
 	wb(cfg.NoPairPass)
 	wb(cfg.ParallelWindows)
+	wb(cfg.SafeMode)
 	wb(cfg.SkipLegalization)
 	wb(cfg.KeepPlacement)
 	w(uint64(cfg.DetailPasses))

@@ -9,10 +9,12 @@ package placer
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"time"
 
+	"fbplace/internal/certify"
 	"fbplace/internal/ckpt"
 	"fbplace/internal/cluster"
 	"fbplace/internal/degrade"
@@ -33,6 +35,29 @@ import (
 // structured error propagation out of the global loop.
 var levelFault = faultsim.Register("placer.level.fail",
 	"a global-loop partitioning level fails at entry")
+
+// corruptFault silently bit-flips one cell position between realization
+// and legalization — the kind of wrong answer no solver error path can
+// report. It exists to prove end-to-end that certification catches
+// corruption, safe mode repairs it, and a corrupted result is never
+// cached (see internal/serve and ci.sh).
+var corruptFault = faultsim.Register("certify.corrupt",
+	"bit-flips one cell position between realization and legalization")
+
+// CertifyMode selects how much of a run is independently certified.
+type CertifyMode int
+
+const (
+	// CertifyOff runs no certification (the default).
+	CertifyOff CertifyMode = iota
+	// CertifyFinal certifies the final placement only: positions sane and
+	// the report matching an independent recount/recompute.
+	CertifyFinal
+	// CertifyEveryLevel additionally certifies every FBP level: MCF
+	// optimality (dual feasibility/complementary slackness), every
+	// realization transportation, and the partition invariants.
+	CertifyEveryLevel
+)
 
 // Mode selects the partitioning engine.
 type Mode int
@@ -107,6 +132,18 @@ type Config struct {
 	// for the whole run (see internal/obs). A nil recorder disables
 	// observability at the cost of a nil check per call site.
 	Obs *obs.Recorder
+	// Certify enables independent result certification (internal/certify).
+	// A failed certificate triggers safe-mode repair: the failing level
+	// (CertifyEveryLevel) or the whole run is re-executed with
+	// conservative engines, recorded as a "certify" degradation with the
+	// certify.fail/certify.repair counters. A repair that fails
+	// certification again propagates the *certify.Error to the caller.
+	Certify CertifyMode
+	// SafeMode forces the conservative engine set everywhere: no pair
+	// pass, no parallel windows, condensed-only transportation rungs,
+	// sequential workers. Repair runs set it; callers may too, to
+	// reproduce exactly what a repair would compute.
+	SafeMode bool
 }
 
 func (c *Config) fill() {
@@ -157,6 +194,9 @@ func (c *Config) Validate() error {
 	if c.Checkpoint.EveryLevel < 0 {
 		return &ConfigError{Field: "Checkpoint.EveryLevel", Reason: fmt.Sprintf("negative level stride %d", c.Checkpoint.EveryLevel)}
 	}
+	if c.Certify < CertifyOff || c.Certify > CertifyEveryLevel {
+		return &ConfigError{Field: "Certify", Reason: fmt.Sprintf("unknown mode %d", c.Certify)}
+	}
 	return nil
 }
 
@@ -192,6 +232,10 @@ type Report struct {
 	// legality) — the entries say where optimality was traded for
 	// robustness (see DESIGN.md §6).
 	Degradations []degrade.Event
+	// Certified is true when Config.Certify was enabled and the final
+	// certificates held (possibly after a safe-mode repair, which then
+	// appears in Degradations as a "certify" stage).
+	Certified bool
 }
 
 // Place runs global placement and legalization on the netlist in place.
@@ -226,7 +270,13 @@ func Resume(ctx context.Context, n *netlist.Netlist, dir string, cfg Config) (*R
 }
 
 // run is the shared body of PlaceCtx and Resume; resumeDir is empty for
-// fresh runs.
+// fresh runs. With certification enabled it is also the whole-run repair
+// loop: a *certify.Error from the attempt restores the entry positions
+// and re-runs the placement once in safe mode (conservative engines,
+// sequential, no checkpointing or preemption — the repair must share no
+// state with the run that produced a wrong answer). A repair that fails
+// certification again propagates the error; so does a certify failure of
+// a run that was already in safe mode.
 func run(ctx context.Context, n *netlist.Netlist, cfg Config, resumeDir string) (*Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -235,6 +285,40 @@ func run(ctx context.Context, n *netlist.Netlist, cfg Config, resumeDir string) 
 		return nil, err
 	}
 	cfg.fill()
+	dl := degrade.New(cfg.Obs)
+	var entryX, entryY []float64
+	if cfg.Certify != CertifyOff && !cfg.SafeMode {
+		entryX = append([]float64(nil), n.X...)
+		entryY = append([]float64(nil), n.Y...)
+	}
+	rep, err := runOnce(ctx, n, cfg, resumeDir, dl)
+	var ce *certify.Error
+	if err != nil && errors.As(err, &ce) {
+		cfg.Obs.Count("certify.fail", 1)
+		if !cfg.SafeMode {
+			dl.Add("certify", "safe-mode", ce.Error())
+			cfg.Obs.Count("certify.repair", 1)
+			copy(n.X, entryX)
+			copy(n.Y, entryY)
+			safe := cfg
+			safe.SafeMode = true
+			safe.NoPairPass = true
+			safe.ParallelWindows = false
+			safe.Workers = 1
+			safe.Checkpoint = Checkpoint{}
+			safe.Preempt = nil
+			rep, err = runOnce(ctx, n, safe, "", dl)
+			if err != nil && errors.As(err, &ce) {
+				cfg.Obs.Count("certify.fail", 1)
+			}
+		}
+	}
+	return rep, err
+}
+
+// runOnce executes one placement attempt; the degradation log is owned by
+// run so a repair attempt extends its predecessor's record.
+func runOnce(ctx context.Context, n *netlist.Netlist, cfg Config, resumeDir string, dl *degrade.Log) (*Report, error) {
 	if err := validateNumerics(n); err != nil {
 		return nil, err
 	}
@@ -244,7 +328,6 @@ func run(ctx context.Context, n *netlist.Netlist, cfg Config, resumeDir string) 
 	// overrides these options for its local solves, so the split stays
 	// clean.
 	var qpStats qp.SolveStats
-	dl := degrade.New(cfg.Obs)
 	cfg.QP.Obs = cfg.Obs
 	cfg.QP.Stats = &qpStats
 	cfg.QP.Ctx = ctx
@@ -369,6 +452,27 @@ func run(ctx context.Context, n *netlist.Netlist, cfg Config, resumeDir string) 
 	}
 	finishGlobal()
 
+	if ierr := corruptFault.Check(); ierr != nil {
+		// Injected silent corruption: flip the sign bit of the first
+		// movable cell's x — a wrong answer with no error attached, which
+		// only certification can catch.
+		for i := range n.Cells {
+			if !n.Cells[i].Fixed {
+				n.X[i] = math.Float64frombits(math.Float64bits(n.X[i]) ^ (1 << 63))
+				break
+			}
+		}
+	}
+	if cfg.Certify != CertifyOff {
+		// Position sanity before legalization: corruption must be caught
+		// while the damage is still one coordinate, not after legalization
+		// has spread it across a row.
+		chk := &certify.Checker{Obs: cfg.Obs, Ctx: ctx, Level: -1}
+		if cerr := chk.Positions(n); cerr != nil {
+			return report, cerr
+		}
+	}
+
 	if !cfg.SkipLegalization {
 		if err := ctx.Err(); err != nil {
 			return report, err
@@ -404,6 +508,19 @@ func run(ctx context.Context, n *netlist.Netlist, cfg Config, resumeDir string) 
 	}
 	report.HPWL = n.HPWL()
 	report.Violations = region.CheckLegal(n, mbs)
+	if cfg.Certify != CertifyOff {
+		chk := &certify.Checker{Obs: cfg.Obs, Ctx: ctx, Level: -1}
+		if cerr := chk.Placement(n, mbs, certify.Reported{
+			HPWL:          report.HPWL,
+			Violations:    report.Violations,
+			Overlaps:      report.Overlaps,
+			Legalized:     !cfg.SkipLegalization,
+			TargetDensity: cfg.TargetDensity,
+		}); cerr != nil {
+			return report, cerr
+		}
+		report.Certified = true
+	}
 	return report, nil
 }
 
@@ -480,15 +597,56 @@ func globalLoop(ctx context.Context, n *netlist.Netlist, decomp *region.Decompos
 		default:
 			fcfg := fbp.Config{
 				LocalQP:         !cfg.NoLocalQP,
-				PairPass:        !cfg.NoPairPass,
-				ParallelWindows: cfg.ParallelWindows,
+				PairPass:        !cfg.NoPairPass && !cfg.SafeMode,
+				ParallelWindows: cfg.ParallelWindows && !cfg.SafeMode,
+				CondensedOnly:   cfg.SafeMode,
 				QP:              cfg.QP,
 				Workers:         cfg.Workers,
 				Obs:             cfg.Obs,
 				Ctx:             ctx,
 				Degrade:         dl,
 			}
-			res, err := fbp.Partition(n, wr, fcfg)
+			var checker *certify.Checker
+			if cfg.Certify == CertifyEveryLevel {
+				checker = &certify.Checker{Obs: cfg.Obs, Ctx: ctx, Level: lv}
+				fcfg.Check = checker
+			}
+			partition := func(fc fbp.Config) (*fbp.Result, error) {
+				res, perr := fbp.Partition(n, wr, fc)
+				if perr != nil {
+					return nil, perr
+				}
+				if checker != nil {
+					if cerr := checker.Partition(n, wr, res); cerr != nil {
+						return nil, cerr
+					}
+				}
+				return res, nil
+			}
+			var lvlX, lvlY []float64
+			if checker != nil && !cfg.SafeMode {
+				lvlX = append([]float64(nil), n.X...)
+				lvlY = append([]float64(nil), n.Y...)
+			}
+			res, err := partition(fcfg)
+			var ce *certify.Error
+			if err != nil && errors.As(err, &ce) && !cfg.SafeMode {
+				// Level-local repair: restore the level's entry positions
+				// and redo just this level with the conservative engines. A
+				// second certify failure propagates, and run escalates to a
+				// whole-placement safe-mode rerun.
+				cfg.Obs.Count("certify.fail", 1)
+				dl.Add("certify", "level-safe-mode", ce.Error())
+				cfg.Obs.Count("certify.repair", 1)
+				copy(n.X, lvlX)
+				copy(n.Y, lvlY)
+				safe := fcfg
+				safe.PairPass = false
+				safe.ParallelWindows = false
+				safe.CondensedOnly = true
+				safe.Workers = 1
+				res, err = partition(safe)
+			}
 			if err != nil {
 				lsp.End()
 				return fmt.Errorf("placer: FBP level %d: %w", lv, err)

@@ -146,6 +146,11 @@ type Result struct {
 	GlobalTime   time.Duration
 	LegalTime    time.Duration
 	Degradations []degrade.Event
+	// Certified is true when the placement passed independent
+	// certification (Options.Certify) before being cached or served; a
+	// certify-stage entry in Degradations means it took a safe-mode repair
+	// to get there.
+	Certified bool
 }
 
 // Job is one submission's full lifecycle. All mutable fields are guarded
@@ -185,6 +190,7 @@ type Job struct {
 	mu            sync.Mutex
 	state         State              // guarded by mu
 	errText       string             // guarded by mu
+	errCode       string             // guarded by mu — machine-readable failure code
 	userCanceled  bool               // guarded by mu
 	resumable     bool               // guarded by mu
 	preemptions   int                // guarded by mu
@@ -203,15 +209,23 @@ type Job struct {
 
 // Status is the JSON view of a job.
 type Status struct {
-	ID            string  `json:"id"`
-	State         State   `json:"state"`
-	Priority      int     `json:"priority"`
-	Preemptions   int     `json:"preemptions"`
-	LevelsDone    int     `json:"levels_done"`
-	LevelsPlanned int     `json:"levels_planned,omitempty"`
-	Cached        bool    `json:"cached,omitempty"`
-	Coalesced     bool    `json:"coalesced,omitempty"`
-	Error         string  `json:"error,omitempty"`
+	ID            string `json:"id"`
+	State         State  `json:"state"`
+	Priority      int    `json:"priority"`
+	Preemptions   int    `json:"preemptions"`
+	LevelsDone    int    `json:"levels_done"`
+	LevelsPlanned int    `json:"levels_planned,omitempty"`
+	Cached        bool   `json:"cached,omitempty"`
+	Coalesced     bool   `json:"coalesced,omitempty"`
+	Error         string `json:"error,omitempty"`
+	// ErrorCode is the machine-readable failure code when one applies
+	// (currently "result_uncertified": the placement failed independent
+	// certification and the safe-mode retry did too).
+	ErrorCode string `json:"error_code,omitempty"`
+	// Certified is true when the job's result passed independent
+	// certification (Options.Certify) — including results served from the
+	// cache, which only ever holds certified placements.
+	Certified     bool    `json:"certified,omitempty"`
 	HPWL          float64 `json:"hpwl,omitempty"`
 	SubmittedUnix int64   `json:"submitted_unix,omitempty"`
 	// Requeues counts watchdog requeues, Strikes the consecutive
@@ -237,6 +251,7 @@ func (j *Job) Status() Status {
 		Cached:        j.cached,
 		Coalesced:     j.coalesced,
 		Error:         j.errText,
+		ErrorCode:     j.errCode,
 		SubmittedUnix: j.submitted.Unix(),
 		Requeues:      j.wdRequeues,
 		Strikes:       j.strikes,
@@ -245,8 +260,17 @@ func (j *Job) Status() Status {
 	}
 	if j.result != nil {
 		st.HPWL = j.result.HPWL
+		st.Certified = j.result.Certified
 	}
 	return st
+}
+
+// ErrorCode returns the job's machine-readable failure code ("" when none
+// applies).
+func (j *Job) ErrorCode() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.errCode
 }
 
 // State returns the job's current state.

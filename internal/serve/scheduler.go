@@ -24,17 +24,20 @@
 package serve
 
 import (
+	"bytes"
 	"container/heap"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"time"
 
 	"sync"
 
+	"fbplace/internal/certify"
 	"fbplace/internal/degrade"
 	"fbplace/internal/faultsim"
 	"fbplace/internal/obs"
@@ -81,6 +84,18 @@ type Options struct {
 	// Obs receives the scheduler's serve.* counters and gauges. Nil
 	// creates an internal recorder (always available via Stats).
 	Obs *obs.Recorder
+
+	// Certify independently re-certifies every completed placement before
+	// it can reach the result cache or a client (internal/certify):
+	// positions, overlap and movebound-violation recounts and the HPWL are
+	// re-derived by the scheduler's own checker, on top of the placer's
+	// per-run certificates (placer.CertifyFinal is forced onto each
+	// attempt, including checkpoint resumes). An uncertifiable result is
+	// quarantined under the job's state directory and retried once in safe
+	// mode — conservative engines, sequential, no checkpoints — and a
+	// repeat failure fails the job terminally with the result_uncertified
+	// error code.
+	Certify bool
 
 	// QueueLimit bounds the queue depth; submissions past it are refused
 	// with ErrQueueFull (HTTP 429). 0 selects the default of 64, negative
@@ -594,6 +609,12 @@ func (s *Scheduler) runJob(j *Job) {
 	cfg := j.cfg
 	cfg.Obs = rec
 	cfg.Workers = s.opt.JobWorkers
+	if s.opt.Certify {
+		// Certification observes the trajectory without steering it, so the
+		// mode is absent from the config fingerprint and the cache key is
+		// unchanged.
+		cfg.Certify = placer.CertifyFinal
+	}
 	s.mu.Lock()
 	ckptOn := !s.lowDisk
 	s.mu.Unlock()
@@ -649,9 +670,31 @@ func (s *Scheduler) runJob(j *Job) {
 	}
 	rec.Flush()
 
+	// Certification gate: the scheduler re-certifies the attempt's result
+	// itself, before anything can reach the cache or a client — the
+	// placer's certificates guard its internals, this one guards the
+	// boundary (and the resume path re-enters here like any attempt). A
+	// failed certificate — the scheduler's or one escaping the placer —
+	// quarantines the snapshot and earns one safe-mode retry.
+	if err == nil && s.opt.Certify {
+		err = s.certifyResult(actx, j, rep)
+	}
+	var ce *certify.Error
+	if errors.As(err, &ce) {
+		rep, err = s.safeRetry(actx, j, cfg, ce)
+	}
+
 	var pe *placer.PreemptedError
 	switch {
 	case err == nil:
+		// Placer-internal certify repairs happened on the job's recorder;
+		// surface them on the service counters next to serve-level ones.
+		for _, d := range rep.Degradations {
+			if d.Stage == "certify" && d.Fallback == "safe-mode" {
+				s.rec.Count("certify.fail", 1)
+				s.rec.Count("certify.repair", 1)
+			}
+		}
 		s.rec.Count("serve.degradations", float64(len(rep.Degradations)))
 		s.release(j)
 		s.completeFlight(j, buildResult(j, rep))
@@ -664,10 +707,105 @@ func (s *Scheduler) runJob(j *Job) {
 		// run. Requeue through the checkpoint path or, past the strike
 		// budget, fail terminally.
 		s.watchdogRequeue(j)
+	case errors.As(err, &ce):
+		// The safe-mode retry could not produce a certifiable result
+		// either: terminal, with the offending snapshots quarantined.
+		j.mu.Lock()
+		j.errCode = "result_uncertified"
+		j.mu.Unlock()
+		s.rec.Count("certify.uncertified", 1)
+		s.release(j)
+		s.failFlight(j, err.Error())
 	default:
 		s.release(j)
 		s.failFlight(j, err.Error())
 	}
+}
+
+// certifyResult independently certifies a finished attempt's final
+// positions against its report, on the scheduler's own checker — the gate
+// must not trust the run it is gating. Context errors pass through as-is:
+// an aborted check says nothing about the result.
+func (s *Scheduler) certifyResult(ctx context.Context, j *Job, rep *placer.Report) error {
+	chk := &certify.Checker{Obs: s.rec, Ctx: ctx, Level: -1}
+	return chk.Placement(j.n, j.mbs, certify.Reported{
+		HPWL:          rep.HPWL,
+		Violations:    rep.Violations,
+		Overlaps:      rep.Overlaps,
+		Legalized:     !j.cfg.SkipLegalization,
+		TargetDensity: j.cfg.TargetDensity,
+	})
+}
+
+// safeRetry is the scheduler's certify-and-repair step: the offending
+// positions are quarantined, the job rewinds to its load-time state and
+// re-places once in safe mode — conservative engines, sequential, no
+// checkpoints or preemption, sharing no state with the attempt that
+// produced the wrong answer — and the retried result is certified again.
+// A second failure is quarantined too and propagates; runJob then fails
+// the job terminally as result_uncertified.
+func (s *Scheduler) safeRetry(ctx context.Context, j *Job, cfg placer.Config, ce *certify.Error) (*placer.Report, error) {
+	s.rec.Count("certify.fail", 1)
+	s.quarantine(j, ce)
+	s.dl.Add("certify", "serve-safe-mode", fmt.Sprintf("job %s: %s", j.ID, ce.Error()))
+	s.rec.Count("certify.repair", 1)
+	safe := cfg
+	safe.SafeMode = true
+	safe.NoPairPass = true
+	safe.ParallelWindows = false
+	safe.Workers = 1
+	safe.Checkpoint = placer.Checkpoint{}
+	safe.Preempt = nil
+	j.restoreStart()
+	rep, err := placer.PlaceCtx(ctx, j.n, safe)
+	if err == nil {
+		err = s.certifyResult(ctx, j, rep)
+	}
+	var ce2 *certify.Error
+	switch {
+	case errors.As(err, &ce2):
+		s.rec.Count("certify.fail", 1)
+		s.quarantine(j, ce2)
+	case err == nil:
+		// Record the repair on the result itself, so clients (and the
+		// load-test verifier) can tell this placement came from the
+		// safe-mode trajectory. The fallback name differs from the placer's
+		// internal "safe-mode" entries, which runJob mines into counters.
+		rep.Degradations = append(rep.Degradations, degrade.Event{
+			Stage: "certify", Fallback: "serve-safe-mode", Detail: ce.Error(),
+		})
+	}
+	return rep, err
+}
+
+// quarantine preserves an uncertifiable result for post-mortem under the
+// job's state directory: the violated certificate and the exact positions
+// (hex float64 bits), captured before the retry rewinds them. Quarantine
+// is diagnostics, not correctness — failures are counted, never fatal.
+func (s *Scheduler) quarantine(j *Job, ce *certify.Error) {
+	if j.dir == "" {
+		return
+	}
+	dir := filepath.Join(j.dir, "quarantine")
+	err := os.MkdirAll(dir, 0o755)
+	if err == nil {
+		detail := fmt.Sprintf("%s\nlayer: %s\nlevel: %d\ninvariant: %s\nwitness: %s\n",
+			ce.Error(), ce.Layer, ce.Level, ce.Invariant, ce.Witness)
+		err = os.WriteFile(filepath.Join(dir, "certify.txt"), []byte(detail), 0o644)
+	}
+	if err == nil {
+		var buf bytes.Buffer
+		for i := range j.n.X {
+			fmt.Fprintf(&buf, "%016x %016x\n",
+				math.Float64bits(j.n.X[i]), math.Float64bits(j.n.Y[i]))
+		}
+		err = os.WriteFile(filepath.Join(dir, "positions.hex"), buf.Bytes(), 0o644)
+	}
+	if err != nil {
+		s.rec.Count("certify.quarantine.errors", 1)
+		return
+	}
+	s.rec.Count("certify.quarantined", 1)
 }
 
 // release drops the job from the running set.
@@ -708,6 +846,7 @@ func buildResult(j *Job, rep *placer.Report) *Result {
 		GlobalTime:   rep.GlobalTime,
 		LegalTime:    rep.LegalTime,
 		Degradations: rep.Degradations,
+		Certified:    rep.Certified,
 	}
 }
 
@@ -1055,6 +1194,7 @@ type jobFile struct {
 	State       State  `json:"state"`
 	Preemptions int    `json:"preemptions"`
 	Error       string `json:"error,omitempty"`
+	ErrorCode   string `json:"error_code,omitempty"`
 	Spec        Spec   `json:"spec"`
 }
 
@@ -1072,6 +1212,7 @@ func (s *Scheduler) persist(j *Job) {
 		State:       j.state,
 		Preemptions: j.preemptions,
 		Error:       j.errText,
+		ErrorCode:   j.errCode,
 		Spec:        j.spec,
 	}
 	j.mu.Unlock()
@@ -1198,6 +1339,7 @@ func tombstoneJob(jf jobFile, errText string) *Job {
 		submitted: time.Now(),
 	}
 	j.preemptions = jf.Preemptions
+	j.errCode = jf.ErrorCode
 	j.ctx, j.cancel = context.WithCancel(context.Background())
 	j.cancel()
 	return j

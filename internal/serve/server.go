@@ -140,11 +140,24 @@ func (sv *Server) shedRender(w http.ResponseWriter) bool {
 	return true
 }
 
+// maxSpecBytes bounds a POST /jobs body. Inline netlist text is the
+// largest legitimate payload; instances past this belong on disk behind a
+// "file" reference (fbplaced -root). The bound keeps a hostile or buggy
+// client from streaming unbounded JSON into the decoder.
+const maxSpecBytes = 8 << 20
+
 func (sv *Server) submit(w http.ResponseWriter, r *http.Request) {
 	var spec Spec
+	r.Body = http.MaxBytesReader(w, r.Body, maxSpecBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "payload_too_large",
+				fmt.Errorf("request body exceeds %d bytes (use a file reference for large instances)", mbe.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, "bad_spec", fmt.Errorf("decoding spec: %w", err))
 		return
 	}
@@ -263,7 +276,13 @@ func (sv *Server) resultOf(w http.ResponseWriter, j *Job) (*Result, bool) {
 			// Still queued/running: retry later.
 			writeErrorRetry(w, http.StatusAccepted, "pending", err, time.Second)
 		} else {
-			writeError(w, http.StatusConflict, "no_result", err)
+			// Failures with a machine-readable code keep it on the wire
+			// (result_uncertified: certification failed twice).
+			code := "no_result"
+			if ec := j.ErrorCode(); ec != "" {
+				code = ec
+			}
+			writeError(w, http.StatusConflict, code, err)
 		}
 		return nil, false
 	}
@@ -279,6 +298,7 @@ type resultJSON struct {
 	Overlaps     int       `json:"overlaps"`
 	GlobalMS     int64     `json:"global_ms"`
 	LegalMS      int64     `json:"legal_ms"`
+	Certified    bool      `json:"certified,omitempty"`
 	Degradations []string  `json:"degradations,omitempty"`
 	X            []float64 `json:"x"`
 	Y            []float64 `json:"y"`
@@ -308,7 +328,8 @@ func (sv *Server) result(w http.ResponseWriter, r *http.Request) {
 		ID: j.ID, HPWL: res.HPWL, Levels: res.Levels,
 		Violations: res.Violations, Overlaps: res.Overlaps,
 		GlobalMS: res.GlobalTime.Milliseconds(), LegalMS: res.LegalTime.Milliseconds(),
-		X: res.X, Y: res.Y,
+		Certified: res.Certified,
+		X:         res.X, Y: res.Y,
 	}
 	for _, d := range res.Degradations {
 		out.Degradations = append(out.Degradations,

@@ -42,6 +42,11 @@ func runChaosSoak(t *testing.T, workers int) {
 	// Two stalls, placed deterministically mid-run; each earns exactly one
 	// watchdog strike and a requeue (the strike budget of 3 is never hit).
 	arm("serve.stall", faultsim.Schedule{After: 3, Every: 9, Limit: 2})
+	// Two silent corruptions. Certification (enabled below) must catch and
+	// repair both — worst case the two fires land on one job's attempt and
+	// its placer-internal repair, which the serve-level safe retry then
+	// absorbs — so no job may fail terminally and nothing corrupt is served.
+	arm("certify.corrupt", faultsim.Schedule{Limit: 2})
 
 	// Budget sized to the soak mix: two mid-size jobs fit, more contend —
 	// so start gating, memory preemption and the brownout ladder all
@@ -76,6 +81,7 @@ func runChaosSoak(t *testing.T, workers int) {
 			StuckStrikes:   3,
 			GovernTick:     30 * time.Millisecond,
 			GCKeepTerminal: 8,
+			Certify:        true,
 		},
 	})
 	if err != nil {
@@ -117,6 +123,15 @@ func runChaosSoak(t *testing.T, workers int) {
 	}
 	if c["serve.watchdog.stuck"] != 0 {
 		t.Fatalf("serve.watchdog.stuck=%g with a strike budget the stalls cannot reach", c["serve.watchdog.stuck"])
+	}
+	// Both injected corruptions were caught and repaired — how the repairs
+	// split between placer-internal and serve-level safe retries depends on
+	// which attempts the two fires landed on, so only the floor is exact.
+	if c["certify.repair"] < 1 {
+		t.Fatalf("certify.repair=%g, want >=1 with certify.corrupt armed", c["certify.repair"])
+	}
+	if c["certify.uncertified"] != 0 {
+		t.Fatalf("certify.uncertified=%g: a job failed terminally despite the repair ladder", c["certify.uncertified"])
 	}
 
 	// Post-soak round trip on a fresh scheduler with the faults disarmed:
